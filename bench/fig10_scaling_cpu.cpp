@@ -1,0 +1,62 @@
+// Figure 10: strong scalability of broadcast and reduce with CPU data on
+// Cori — 4 MB message, 8 to 32 nodes (128-1024 ranks at the paper's
+// placement density for this experiment: the paper varies nodes with ranks
+// 128/256/512/1024).
+//
+// ADAPT uses chains at every topo level; with enough segments the chain cost
+// ns*(alpha+beta*m) is independent of P (§5.2.1), so its curve should be
+// flat while rank-order trees grow.
+//
+//   fig10_scaling_cpu [--iters N] [--msg BYTES]
+#include <iostream>
+
+#include "src/bench/cli.hpp"
+#include "src/bench/imb.hpp"
+#include "src/coll/library.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  bench::Cli cli(argc, argv);
+  const int iters = static_cast<int>(cli.get_int("iters", 3));
+  const Bytes msg = cli.get_int("msg", mib(4));
+  const std::vector<int> rank_counts = {128, 256, 512, 1024};
+
+  std::cout << "== Figure 10: strong scalability on Cori, MSG="
+            << format_bytes(msg) << " ==\n\n";
+  for (const char* op : {"Broadcast", "Reduce"}) {
+    const bool is_bcast = std::string(op) == "Broadcast";
+    std::cout << "Strong Scalability of " << op
+              << " with CPU data, NB nodes from 8 to 32, time in ms\n";
+    std::vector<std::string> header = {"library"};
+    for (int r : rank_counts) header.push_back(std::to_string(r));
+    Table table(header);
+    for (const std::string& name : coll::end_to_end_libraries("cori")) {
+      std::vector<double> row;
+      for (int ranks : rank_counts) {
+        const int nodes = (ranks + 31) / 32;
+        const auto setup = bench::make_cluster("cori", nodes, ranks);
+        const mpi::Comm world = mpi::Comm::world(ranks);
+        auto lib = coll::make_library(name, setup.machine);
+        runtime::SimEngine engine(setup.machine);
+        mpi::MutView buffer{nullptr, msg};
+        auto fn = [&](runtime::Context& ctx, int) -> sim::Task<> {
+          if (is_bcast) {
+            co_await lib->bcast(ctx, world, buffer, 0);
+          } else {
+            co_await lib->reduce(ctx, world, buffer, mpi::ReduceOp::kSum,
+                                 mpi::Datatype::kFloat, 0);
+          }
+        };
+        row.push_back(bench::measure(engine, world, fn,
+                                     {.warmup = 1, .iterations = iters})
+                          .avg_ms());
+      }
+      table.add_row_numeric(name, row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

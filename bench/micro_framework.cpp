@@ -1,0 +1,100 @@
+// Micro-benchmarks of the framework's hot internals (google-benchmark):
+// event-queue throughput, fluid-flow rebalancing, matching, tree builders and
+// the end-to-end simulated-message rate. These guard the simulator's own
+// performance, which bounds how large a cluster the figure benches can model.
+#include <benchmark/benchmark.h>
+
+#include "src/coll/coll.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/mpi/match.hpp"
+#include "src/net/fabric.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/rng.hpp"
+#include "src/topo/presets.hpp"
+
+namespace {
+
+using namespace adapt;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(static_cast<TimeNs>(rng.next_below(1 << 20)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().second);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_FabricContendedFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Fabric fabric(sim);
+    const net::LinkId link = fabric.add_link(8.0);
+    for (int i = 0; i < flows; ++i) {
+      fabric.transfer(net::Route{{link}, 1.0, 100}, 100000, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fabric.flows_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FabricContendedFlows)->Arg(16)->Arg(256);
+
+void BM_MatcherThroughput(benchmark::State& state) {
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::Matcher matcher;
+    for (int i = 0; i < msgs; ++i) {
+      mpi::PostedRecv recv{nullptr, mpi::MutView{}, 0, i};
+      matcher.post(std::move(recv));
+    }
+    for (int i = msgs - 1; i >= 0; --i) {
+      mpi::Envelope env;
+      env.src = 0;
+      env.tag = i;
+      benchmark::DoNotOptimize(matcher.arrive(env));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_MatcherThroughput)->Arg(64)->Arg(512);
+
+void BM_TopoTreeBuild(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll::build_topo_tree(machine, world, 0));
+  }
+}
+BENCHMARK(BM_TopoTreeBuild)->Arg(128)->Arg(1024);
+
+void BM_SimulatedBcast(benchmark::State& state) {
+  // End-to-end simulator rate: one ADAPT broadcast per iteration.
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngine engine(machine);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(engine.simulator().events_processed());
+  }
+}
+BENCHMARK(BM_SimulatedBcast)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

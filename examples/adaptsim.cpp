@@ -1,0 +1,88 @@
+// adaptsim: general-purpose driver for one-off experiments.
+//
+// Pick a cluster (preset or custom spec), an MPI library personality, an
+// operation, a message-size range and a noise level, and get the measured
+// times — everything the figure benches do, but à la carte.
+//
+//   ./adaptsim --cluster cori --nodes 8 --ranks 256 --lib ompi-adapt
+//              --op bcast --min 65536 --max 4194304 --noise 5 --iters 4
+//   (single command line; wrapped here for readability)
+//   ./adaptsim --spec "nodes=4,sockets=2,cores=8,bw_node=10" --lib cray ...
+#include <iostream>
+#include <string>
+
+#include "src/bench/cli.hpp"
+#include "src/bench/imb.hpp"
+#include "src/coll/library.hpp"
+#include "src/gpu/gpu_coll.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/support/table.hpp"
+#include "src/topo/presets.hpp"
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  bench::Cli cli(argc, argv);
+  const std::string lib_name = cli.get("lib", "ompi-adapt");
+  const std::string op = cli.get("op", "bcast");
+  const int nodes = static_cast<int>(cli.get_int("nodes", 8));
+  const int noise_duty = static_cast<int>(cli.get_int("noise", 0));
+  const int iters = static_cast<int>(cli.get_int("iters", 4));
+  const Bytes min_msg = cli.get_int("min", kib(64));
+  const Bytes max_msg = cli.get_int("max", mib(4));
+
+  topo::MachineSpec spec = cli.has("spec")
+                               ? topo::parse_spec(cli.get("spec", ""))
+                               : topo::preset(cli.get("cluster", "cori"), nodes);
+  if (cli.has("spec")) spec.nodes = std::max(spec.nodes, nodes);
+  const bool gpu = spec.gpus_per_socket > 0;
+  const int default_ranks =
+      gpu ? spec.nodes * spec.gpus_per_node() : spec.nodes * spec.cores_per_node();
+  const int ranks = static_cast<int>(cli.get_int("ranks", default_ranks));
+  topo::Machine machine(spec, ranks,
+                        gpu ? topo::PlacementPolicy::kByGpu
+                            : topo::PlacementPolicy::kByCore);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+
+  std::shared_ptr<coll::MpiLibrary> lib;
+  net::GpuConfig gpu_config;
+  if (lib_name.ends_with("-gpu")) {
+    auto gpu_lib = gpu::make_gpu_library(lib_name, machine);
+    gpu_config = gpu_lib->gpu_config();
+    lib = gpu_lib;
+  } else {
+    lib = coll::make_library(lib_name, machine);
+  }
+
+  std::cout << "cluster=" << spec.name << " nodes=" << spec.nodes
+            << " ranks=" << ranks << " lib=" << lib_name << " op=" << op
+            << " noise=" << noise_duty << "%\n\n";
+  Table table({"message", "avg(ms)", "min(ms)", "max(ms)"});
+  for (Bytes msg = min_msg; msg <= max_msg; msg *= 2) {
+    runtime::SimEngineOptions options;
+    options.gpu = gpu_config;
+    options.noise = noise::paper_noise(noise_duty, 0xCAFE + noise_duty);
+    runtime::SimEngine engine(machine, options);
+    mpi::MutView buffer{nullptr, msg};
+    auto fn = [&](runtime::Context& ctx, int) -> sim::Task<> {
+      if (op == "bcast") {
+        co_await lib->bcast(ctx, world, buffer, 0);
+      } else if (op == "reduce") {
+        co_await lib->reduce(ctx, world, buffer, mpi::ReduceOp::kSum,
+                             mpi::Datatype::kFloat, 0);
+      } else {
+        throw Error("unknown --op (use bcast or reduce): " + op);
+      }
+    };
+    const auto m =
+        noise_duty > 0
+            ? bench::measure_throughput(engine, world, fn,
+                                        {.warmup = 1, .iterations = iters})
+            : bench::measure(engine, world, fn,
+                             {.warmup = 1, .iterations = iters});
+    table.add_row_numeric(format_bytes(msg),
+                          {m.avg_ms(), m.min_ms(), m.max_ms()});
+  }
+  table.print(std::cout);
+  return 0;
+}

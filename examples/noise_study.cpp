@@ -1,0 +1,76 @@
+// Noise study: watch the paper's central claim happen.
+//
+// Runs the same 4 MB broadcast on a simulated 256-rank cluster with the three
+// implementation styles (blocking / nonblocking+Waitall / ADAPT event-driven)
+// over the SAME topology-aware tree, sweeping injected noise, and prints how
+// much each design amplifies it (§2's analysis, Fig. 7's experiment at
+// example scale).
+//
+//   ./noise_study [--ranks 256] [--msg BYTES] [--iters 12]
+#include <iostream>
+#include <string>
+
+#include "src/bench/imb.hpp"
+#include "src/coll/coll.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/support/table.hpp"
+#include "src/topo/presets.hpp"
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  int ranks = 256;
+  Bytes msg = mib(4);
+  int iters = 64;  // the loop must span several 100 ms noise periods
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ranks") ranks = std::atoi(argv[i + 1]);
+    if (arg == "--msg") msg = std::atoll(argv[i + 1]);
+    if (arg == "--iters") iters = std::atoi(argv[i + 1]);
+  }
+
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+
+  std::cout << "Same tree, same message (" << format_bytes(msg) << ", "
+            << ranks << " ranks) — only the synchronisation style differs.\n"
+            << "Noise: uniform bursts at 10 Hz on every rank's application "
+               "thread.\n\n";
+
+  Table table({"style", "no-noise(ms)", "5%-noise(ms)", "10%-noise(ms)",
+               "amplification@10%"});
+  for (coll::Style style : {coll::Style::kBlocking, coll::Style::kNonblocking,
+                            coll::Style::kAdapt}) {
+    double results[3];
+    int idx = 0;
+    for (int duty : {0, 5, 10}) {
+      runtime::SimEngineOptions options;
+      options.noise = noise::paper_noise(duty, 0xBEEF + duty);
+      runtime::SimEngine engine(machine, options);
+      mpi::MutView buffer{nullptr, msg};
+      auto fn = [&](runtime::Context& ctx, int) -> sim::Task<> {
+        co_await coll::bcast(ctx, world, buffer, 0, tree, style,
+                             coll::CollOpts{.segment_size = kib(128)});
+      };
+      results[idx++] =
+          bench::measure_throughput(engine, world, fn,
+                                    {.warmup = 1, .iterations = iters})
+              .avg_ms();
+    }
+    char c0[32], c1[32], c2[32], amp[32];
+    std::snprintf(c0, sizeof c0, "%.3f", results[0]);
+    std::snprintf(c1, sizeof c1, "%.3f", results[1]);
+    std::snprintf(c2, sizeof c2, "%.3f", results[2]);
+    // Amplification: extra time relative to the injected duty itself.
+    std::snprintf(amp, sizeof amp, "%.1fx",
+                  (results[2] / results[0] - 1.0) / 0.10);
+    table.add_row({coll::style_name(style), c0, c1, c2, amp});
+  }
+  table.print(std::cout);
+  std::cout << "\nAn amplification of 1x means the design only loses the CPU "
+               "time the noise actually stole;\nlarger values mean "
+               "synchronisation dependencies propagated the delays (§2.1).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the smallest complete ADAPT program.
+//
+// Eight ranks (real OS threads) broadcast a message with the event-driven
+// ADAPT algorithm over a topology-aware tree, then reduce a vector back to
+// rank 0 — the two collectives the paper evaluates. Swap ThreadEngine for
+// SimEngine and the identical program runs at cluster scale in virtual time.
+//
+//   ./quickstart [--ranks N]
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/coll/coll.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/runtime/thread_engine.hpp"
+#include "src/topo/presets.hpp"
+
+using namespace adapt;
+
+int main(int argc, char** argv) {
+  int ranks = 8;
+  for (int i = 1; i + 1 < argc + 1; ++i) {
+    if (std::string(argv[i]) == "--ranks" && i + 1 < argc)
+      ranks = std::atoi(argv[i + 1]);
+  }
+
+  // Describe the hardware (here: one dual-socket node) and place the ranks.
+  topo::Machine machine(topo::cori(/*nodes=*/1), ranks);
+  runtime::ThreadEngine engine(machine);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+
+  // A topology-aware communication tree, chains at every level (§3.2).
+  const coll::Tree tree = coll::build_topo_tree(machine, world, /*root=*/0);
+
+  const std::string message = "hello from the ADAPT event-driven broadcast";
+  std::vector<std::vector<char>> inbox(static_cast<std::size_t>(ranks),
+                                       std::vector<char>(message.size()));
+  std::copy(message.begin(), message.end(), inbox[0].begin());
+
+  std::vector<std::vector<double>> contrib(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    contrib[static_cast<std::size_t>(r)] = {1.0 * r, 0.5};
+  }
+
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const auto me = static_cast<std::size_t>(ctx.rank());
+
+    // Event-driven broadcast (Algorithm 3): callbacks below Isend/Irecv keep
+    // N sends per child and M receives in flight, no Waitall anywhere.
+    co_await coll::bcast(
+        ctx, world,
+        mpi::MutView{reinterpret_cast<std::byte*>(inbox[me].data()),
+                     static_cast<Bytes>(message.size())},
+        /*root=*/0, tree, coll::Style::kAdapt,
+        coll::CollOpts{.segment_size = 16});
+
+    // Event-driven reduce: segments flow up the same tree as soon as every
+    // child contributed, independently of one another.
+    co_await coll::reduce(
+        ctx, world,
+        mpi::MutView{reinterpret_cast<std::byte*>(contrib[me].data()), 16},
+        mpi::ReduceOp::kSum, mpi::Datatype::kDouble, /*root=*/0, tree,
+        coll::Style::kAdapt, coll::CollOpts{.segment_size = 16});
+  };
+
+  engine.run(program);
+
+  for (int r = 0; r < ranks; ++r) {
+    std::cout << "rank " << r << " received: \""
+              << std::string(inbox[static_cast<std::size_t>(r)].begin(),
+                             inbox[static_cast<std::size_t>(r)].end())
+              << "\"\n";
+  }
+  std::cout << "reduce(sum) at root: [" << contrib[0][0] << ", "
+            << contrib[0][1] << "]  (expected ["
+            << ranks * (ranks - 1) / 2.0 << ", " << ranks * 0.5 << "])\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Topology explorer: prints the topology-aware communication tree ADAPT
+// builds for a machine (paper §3.2, Fig. 5) and contrasts its edge-lane
+// profile with a rank-order binomial tree.
+//
+//   ./topo_explorer [--spec "nodes=3,sockets=2,cores=4"] [--ranks N]
+//                   [--root R]
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/coll/topo_tree.hpp"
+#include "src/coll/tree.hpp"
+#include "src/topo/presets.hpp"
+
+using namespace adapt;
+
+namespace {
+
+void print_tree(const coll::Tree& tree, const topo::Machine& m, Rank rank,
+                int depth) {
+  const topo::Loc& loc = m.loc(rank);
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "rank "
+            << rank << "  (node " << loc.node << ", socket " << loc.socket
+            << ", core " << loc.core << ")";
+  if (depth > 0) {
+    std::cout << "  <- " << topo::level_name(m.level_between(tree.up(rank), rank))
+              << " edge";
+  }
+  std::cout << "\n";
+  for (Rank c : tree.kids(rank)) print_tree(tree, m, c, depth + 1);
+}
+
+void lane_profile(const char* name, const coll::Tree& tree,
+                  const topo::Machine& m) {
+  std::map<std::string, int> lanes;
+  for (Rank r = 0; r < tree.size(); ++r) {
+    if (tree.up(r) == -1) continue;
+    lanes[topo::level_name(m.level_between(tree.up(r), r))]++;
+  }
+  std::cout << name << ": ";
+  for (const auto& [lane, count] : lanes) std::cout << count << " " << lane << " edges  ";
+  std::cout << "(height " << tree.height() << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_text = "nodes=3,sockets=2,cores=4";
+  int ranks = -1;
+  Rank root = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spec") spec_text = argv[i + 1];
+    if (arg == "--ranks") ranks = std::atoi(argv[i + 1]);
+    if (arg == "--root") root = std::atoi(argv[i + 1]);
+  }
+  const topo::MachineSpec spec = topo::parse_spec(spec_text);
+  if (ranks < 0) ranks = spec.nodes * spec.sockets_per_node * spec.cores_per_socket;
+  topo::Machine machine(spec, ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+
+  std::cout << "Machine: " << spec.nodes << " nodes x "
+            << spec.sockets_per_node << " sockets x " << spec.cores_per_socket
+            << " cores, " << ranks << " ranks\n\n";
+  const coll::Tree topo_tree = coll::build_topo_tree(machine, world, root);
+  std::cout << "Topology-aware tree (chains per level, leaders glue them):\n";
+  print_tree(topo_tree, machine, root, 0);
+
+  std::cout << "\nEdge lanes used:\n";
+  lane_profile("  topo-aware tree   ", topo_tree, machine);
+  lane_profile("  rank-order binomial", coll::binomial_tree(ranks, root),
+               machine);
+  std::cout << "\nFewer inter-node/inter-socket edges means less traffic on "
+               "the slow lanes,\nand per-level chains pipeline at each "
+               "lane's full bandwidth (§3.2.2).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "src/bench/imb.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "src/coll/coll.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::bench {
+
+Measurement measure(runtime::Engine& engine, const mpi::Comm& comm,
+                    const CollectiveFn& fn, const MeasureOpts& opts) {
+  ADAPT_CHECK(opts.warmup >= 0);
+  ADAPT_CHECK(opts.iterations > 0);
+  const int total = opts.warmup + opts.iterations;
+  const std::size_t nranks = static_cast<std::size_t>(comm.size());
+
+  // rank x iteration op durations; written by rank programs. The SimEngine is
+  // single-threaded; the ThreadEngine writes disjoint rows, so a mutex is
+  // only needed for allocation-free safety of the shared matrix — rows are
+  // pre-sized, making writes race-free by construction.
+  std::vector<std::vector<TimeNs>> durations(
+      nranks, std::vector<TimeNs>(static_cast<std::size_t>(total), 0));
+
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const Rank local = comm.local_of(ctx.rank());
+    if (local == kAnyRank) co_return;  // engine rank outside the comm
+    for (int it = 0; it < total; ++it) {
+      if (opts.gap > 0) co_await ctx.sleep_for(opts.gap);
+      co_await coll::barrier(ctx, comm);
+      const TimeNs start = ctx.now();
+      co_await fn(ctx, it);
+      durations[static_cast<std::size_t>(local)]
+               [static_cast<std::size_t>(it)] = ctx.now() - start;
+    }
+  };
+  engine.run(program);
+
+  Measurement m;
+  for (int it = opts.warmup; it < total; ++it) {
+    TimeNs worst = 0;
+    for (std::size_t r = 0; r < nranks; ++r) {
+      worst = std::max(worst, durations[r][static_cast<std::size_t>(it)]);
+    }
+    m.op_ms.add(to_ms(worst));
+  }
+  return m;
+}
+
+Measurement measure_throughput(runtime::Engine& engine, const mpi::Comm& comm,
+                               const CollectiveFn& fn,
+                               const MeasureOpts& opts) {
+  ADAPT_CHECK(opts.warmup >= 0);
+  ADAPT_CHECK(opts.iterations > 0);
+  const std::size_t nranks = static_cast<std::size_t>(comm.size());
+  std::vector<TimeNs> loop_time(nranks, 0);
+
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const Rank local = comm.local_of(ctx.rank());
+    if (local == kAnyRank) co_return;
+    for (int it = 0; it < opts.warmup; ++it) {
+      co_await coll::barrier(ctx, comm);
+      co_await fn(ctx, it);
+    }
+    co_await coll::barrier(ctx, comm);
+    if (opts.gap > 0) co_await ctx.sleep_for(opts.gap);
+    const TimeNs start = ctx.now();
+    for (int it = 0; it < opts.iterations; ++it) {
+      co_await fn(ctx, opts.warmup + it);
+    }
+    loop_time[static_cast<std::size_t>(local)] = ctx.now() - start;
+  };
+  engine.run(program);
+
+  Measurement m;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    m.op_ms.add(to_ms(loop_time[r]) / opts.iterations);
+  }
+  return m;
+}
+
+}  // namespace adapt::bench

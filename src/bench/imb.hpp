@@ -1,0 +1,52 @@
+// IMB-style measurement harness (the paper measures with the Intel MPI
+// Benchmark): warm-up iterations, barrier-separated timed iterations, per-op
+// time = max over ranks, reported as min/avg/max across iterations.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/mpi/comm.hpp"
+#include "src/runtime/context.hpp"
+#include "src/support/stats.hpp"
+
+namespace adapt::bench {
+
+/// One timed operation; invoked once per iteration on every rank.
+/// `iteration` counts from 0 including warm-up.
+using CollectiveFn =
+    std::function<sim::Task<>(runtime::Context& ctx, int iteration)>;
+
+struct MeasureOpts {
+  int warmup = 1;
+  int iterations = 5;
+  /// Idle time inserted between iterations. Under injected noise this makes
+  /// successive iterations sample different alignments against the burst
+  /// period (virtual-time sleeps are free on the SimEngine).
+  TimeNs gap = 0;
+};
+
+struct Measurement {
+  Samples op_ms;  ///< per-iteration op time (max over ranks), milliseconds
+  double avg_ms() const { return op_ms.mean(); }
+  double min_ms() const { return op_ms.min(); }
+  double max_ms() const { return op_ms.max(); }
+};
+
+/// Runs `fn` under the IMB discipline on `engine` over `comm`: every
+/// iteration is barrier-separated and timed individually (per-op time = max
+/// over ranks). Best for deterministic, noise-free comparisons.
+Measurement measure(runtime::Engine& engine, const mpi::Comm& comm,
+                    const CollectiveFn& fn, const MeasureOpts& opts = {});
+
+/// IMB's actual timing loop: after warm-up, iterations run BACK-TO-BACK with
+/// no intervening barrier, and each rank reports (loop end - loop start) /
+/// iterations; the op time is the average over ranks. Under injected noise
+/// this is the measurement the paper's Fig. 7 uses — back-to-back pipelined
+/// iterations let asynchronous designs absorb bursts, while synchronising
+/// designs stall the loop on every delayed rank.
+Measurement measure_throughput(runtime::Engine& engine, const mpi::Comm& comm,
+                               const CollectiveFn& fn,
+                               const MeasureOpts& opts = {});
+
+}  // namespace adapt::bench

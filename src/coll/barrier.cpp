@@ -1,0 +1,29 @@
+// Dissemination barrier (Hensgen/Finkel/Manber): ceil(log2 P) rounds of
+// zero-byte exchanges. Used by the IMB-style harness to separate iterations.
+#include "src/coll/coll.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::coll {
+
+sim::Task<> barrier(runtime::Context& ctx, const mpi::Comm& comm) {
+  const int n = comm.size();
+  if (n == 1) co_return;
+  const Rank me = comm.local_of(ctx.rank());
+  ADAPT_CHECK(me != kAnyRank);
+
+  int rounds = 0;
+  for (int span = 1; span < n; span *= 2) ++rounds;
+  const Tag base_tag = ctx.alloc_tags(rounds);
+
+  int round = 0;
+  for (int span = 1; span < n; span *= 2, ++round) {
+    const Rank to = comm.global((me + span) % n);
+    const Rank from = comm.global((me - span % n + n) % n);
+    auto send = ctx.isend(to, base_tag + round, mpi::ConstView{});
+    auto recv = ctx.irecv(from, base_tag + round, mpi::MutView{});
+    co_await mpi::wait(recv);
+    co_await mpi::wait(send);
+  }
+}
+
+}  // namespace adapt::coll

@@ -1,0 +1,34 @@
+#include "src/coll/detail.hpp"
+
+#include "src/support/error.hpp"
+
+namespace adapt::coll::detail {
+
+Edges resolve(const runtime::Context& ctx, const mpi::Comm& comm,
+              const Tree& tree) {
+  ADAPT_CHECK(tree.size() == comm.size())
+      << "tree over " << tree.size() << " ranks, comm of " << comm.size();
+  Edges e;
+  e.me_local = comm.local_of(ctx.rank());
+  ADAPT_CHECK(e.me_local != kAnyRank)
+      << "rank " << ctx.rank() << " is not a member of the communicator";
+  e.is_root = e.me_local == tree.root;
+  const Rank p = tree.up(e.me_local);
+  e.parent_global = p == -1 ? -1 : comm.global(p);
+  for (Rank c : tree.kids(e.me_local)) e.kids_global.push_back(comm.global(c));
+  return e;
+}
+
+TimeNs reduce_cost(const runtime::Context& ctx, const CollOpts& opts,
+                   Bytes len) {
+  const double gamma = ctx.machine().spec().reduce_gamma * opts.gamma_scale;
+  return static_cast<TimeNs>(gamma * static_cast<double>(len));
+}
+
+void apply_if_real(mpi::MutView dst, mpi::ConstView src, mpi::ReduceOp op,
+                   mpi::Datatype dtype, Bytes len) {
+  if (len == 0 || dst.synthetic() || src.synthetic()) return;
+  mpi::apply(op, dtype, dst.data, src.data, len);
+}
+
+}  // namespace adapt::coll::detail

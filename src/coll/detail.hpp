@@ -1,0 +1,29 @@
+// Internal helpers shared by the collective implementations.
+#pragma once
+
+#include "src/coll/coll.hpp"
+
+namespace adapt::coll::detail {
+
+/// A rank's resolved position in a tree: its local rank and the *global*
+/// ranks of its parent and children (what the endpoint addresses).
+struct Edges {
+  Rank me_local = -1;
+  Rank parent_global = -1;  ///< -1 at the root
+  std::vector<Rank> kids_global;
+  bool is_root = false;
+};
+
+Edges resolve(const runtime::Context& ctx, const mpi::Comm& comm,
+              const Tree& tree);
+
+/// CPU (or GPU) time to fold `len` bytes into an accumulator.
+TimeNs reduce_cost(const runtime::Context& ctx, const CollOpts& opts,
+                   Bytes len);
+
+/// Element-wise dst = dst OP src when both views are real; no-op for
+/// synthetic payloads (the cost model is charged by the caller either way).
+void apply_if_real(mpi::MutView dst, mpi::ConstView src, mpi::ReduceOp op,
+                   mpi::Datatype dtype, Bytes len);
+
+}  // namespace adapt::coll::detail

@@ -1,0 +1,70 @@
+// Further collectives built from the same basic building block (paper
+// §2.2.3): scatter, gather, allgather, the scatter+allgather big-message
+// broadcast, Rabenseifner's reduce (reduce-scatter + gather) and allreduce.
+// These also serve as the algorithm families behind the Intel-MPI comparison
+// variants in Fig. 8 (recursive doubling, ring, Rabenseifner's).
+#pragma once
+
+#include "src/coll/coll.hpp"
+
+namespace adapt::coll {
+
+/// Scatter: the root's `sendbuf` (comm.size() equal blocks of `block` bytes)
+/// is distributed so local rank i receives block i into `recvblock`.
+/// Binomial-tree scatter: intermediate ranks forward their subtree's range.
+sim::Task<> scatter(runtime::Context& ctx, const mpi::Comm& comm,
+                    mpi::ConstView sendbuf, mpi::MutView recvblock,
+                    Bytes block, Rank root);
+
+/// Gather: local rank i's `sendblock` lands in block i of the root's
+/// `recvbuf`. Binomial-tree gather (inverse of scatter).
+sim::Task<> gather(runtime::Context& ctx, const mpi::Comm& comm,
+                   mpi::ConstView sendblock, mpi::MutView recvbuf, Bytes block,
+                   Rank root);
+
+enum class AllgatherAlgo { kRing, kRecursiveDoubling };
+
+/// Allgather: on entry block `me` of `buf` holds this rank's contribution; on
+/// exit all comm.size() blocks are filled on every rank. Recursive doubling
+/// requires a power-of-two communicator (callers fall back to ring).
+sim::Task<> allgather(runtime::Context& ctx, const mpi::Comm& comm,
+                      mpi::MutView buf, Bytes block, AllgatherAlgo algo);
+
+/// Big-message broadcast as scatter + allgather (the paper's §2.2.3 example
+/// of extending the framework beyond trees; also Intel's "recursive doubling"
+/// and "ring" broadcast variants, selected by `algo`).
+sim::Task<> bcast_scatter_allgather(runtime::Context& ctx,
+                                    const mpi::Comm& comm, mpi::MutView buffer,
+                                    Rank root, AllgatherAlgo algo);
+
+/// Rabenseifner's reduce: recursive-halving reduce-scatter, then gather to
+/// the root. Non-power-of-two sizes pre-fold the surplus ranks into their
+/// even neighbours. Same in/out contract as coll::reduce.
+sim::Task<> reduce_rabenseifner(runtime::Context& ctx, const mpi::Comm& comm,
+                                mpi::MutView accum, mpi::ReduceOp op,
+                                mpi::Datatype dtype, Rank root,
+                                const CollOpts& opts = {});
+
+/// Allreduce as reduce-to-0 followed by broadcast (tree-based composition).
+sim::Task<> allreduce(runtime::Context& ctx, const mpi::Comm& comm,
+                      mpi::MutView accum, mpi::ReduceOp op,
+                      mpi::Datatype dtype, const Tree& reduce_tree,
+                      const Tree& bcast_tree, Style style,
+                      const CollOpts& opts = {});
+
+/// Bandwidth-optimal ring allreduce (reduce-scatter ring + allgather ring):
+/// 2(P-1) steps moving ~2·size/P each. The large-message workhorse of data-
+/// parallel training; included as the natural extension target the paper's
+/// future work points to.
+sim::Task<> allreduce_ring(runtime::Context& ctx, const mpi::Comm& comm,
+                           mpi::MutView accum, mpi::ReduceOp op,
+                           mpi::Datatype dtype, const CollOpts& opts = {});
+
+/// Alltoall (personalised exchange): block i*P+j of rank i's `sendbuf` lands
+/// in block j*P+i... conventionally: rank i sends its block j to rank j,
+/// which stores it at block i. Pairwise-exchange algorithm, P-1 rounds.
+sim::Task<> alltoall(runtime::Context& ctx, const mpi::Comm& comm,
+                     mpi::ConstView sendbuf, mpi::MutView recvbuf,
+                     Bytes block);
+
+}  // namespace adapt::coll

@@ -1,0 +1,41 @@
+#include "src/coll/nonblocking.hpp"
+
+namespace adapt::coll {
+
+namespace {
+
+/// Launches a collective coroutine detached and wires its completion (or
+/// failure) into the request handle.
+CollRequestPtr launch(sim::Task<> op) {
+  auto request = std::make_shared<CollRequest>();
+  auto failure = std::make_shared<std::exception_ptr>();
+  sim::run_detached(std::move(op), [request, failure](std::exception_ptr ep) {
+    *failure = ep;
+    request->set_failure(failure);
+    request->trigger().fire();
+  });
+  return request;
+}
+
+}  // namespace
+
+CollRequestPtr ibcast(runtime::Context& ctx, const mpi::Comm& comm,
+                      mpi::MutView buffer, Rank root, const Tree& tree,
+                      const CollOpts& opts) {
+  const Segmenter segs(buffer.size, opts.segment_size);
+  const Tag base_tag = ctx.alloc_tags(segs.count());
+  return launch(bcast_tagged(ctx, comm, buffer, root, tree, Style::kAdapt,
+                             opts, base_tag));
+}
+
+CollRequestPtr ireduce(runtime::Context& ctx, const mpi::Comm& comm,
+                       mpi::MutView accum, mpi::ReduceOp op,
+                       mpi::Datatype dtype, Rank root, const Tree& tree,
+                       const CollOpts& opts) {
+  const Segmenter segs(accum.size, opts.segment_size);
+  const Tag base_tag = ctx.alloc_tags(segs.count());
+  return launch(reduce_tagged(ctx, comm, accum, op, dtype, root, tree,
+                              Style::kAdapt, opts, base_tag));
+}
+
+}  // namespace adapt::coll

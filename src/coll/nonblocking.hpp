@@ -1,0 +1,57 @@
+// Non-blocking collectives with asynchronous progress — the paper's §7
+// future-work item, which the event-driven design makes almost free: the
+// ADAPT state machine already advances entirely on completion callbacks in
+// the progress context, so an MPI_Ibcast-style call only needs to hand back
+// a waitable handle instead of awaiting internally. The application overlaps
+// its own compute with the collective and waits when it needs the data.
+#pragma once
+
+#include <memory>
+
+#include "src/coll/coll.hpp"
+
+namespace adapt::coll {
+
+/// Handle to an in-flight non-blocking collective.
+class CollRequest {
+ public:
+  bool complete() const { return done_.fired(); }
+
+  /// Suspends until the collective finished on this rank, then hops back to
+  /// the application thread (so a noise burst delays the *observation* of
+  /// completion, not the collective's own progress). Rethrows any error the
+  /// collective hit.
+  sim::Task<> wait(runtime::Context& ctx) {
+    if (!done_.fired()) co_await done_;
+    co_await ctx.compute(0);
+    if (failure_ && *failure_) std::rethrow_exception(*failure_);
+  }
+
+  /// Internal: fired by the collective's completion callback.
+  sim::Trigger& trigger() { return done_; }
+  void set_failure(std::shared_ptr<std::exception_ptr> failure) {
+    failure_ = std::move(failure);
+  }
+
+ private:
+  sim::Trigger done_;
+  std::shared_ptr<std::exception_ptr> failure_;
+};
+
+using CollRequestPtr = std::shared_ptr<CollRequest>;
+
+/// Starts an ADAPT event-driven broadcast and returns immediately; the
+/// operation progresses asynchronously. Same contract as coll::bcast
+/// otherwise (call on every rank in the same order; buffer must stay alive
+/// until the request completes).
+CollRequestPtr ibcast(runtime::Context& ctx, const mpi::Comm& comm,
+                      mpi::MutView buffer, Rank root, const Tree& tree,
+                      const CollOpts& opts = {});
+
+/// Non-blocking ADAPT reduce; accum must stay alive until completion.
+CollRequestPtr ireduce(runtime::Context& ctx, const mpi::Comm& comm,
+                       mpi::MutView accum, mpi::ReduceOp op,
+                       mpi::Datatype dtype, Rank root, const Tree& tree,
+                       const CollOpts& opts = {});
+
+}  // namespace adapt::coll

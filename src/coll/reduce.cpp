@@ -1,0 +1,297 @@
+// Reduce in the three implementation styles (§2.2.3 applied to all-to-one),
+// with segment-wise accumulation on the CPU (γ per byte, occupying the rank)
+// or offloaded to the rank's GPU (§4.2, overlapping with communication).
+#include <deque>
+#include <memory>
+
+#include "src/coll/detail.hpp"
+#include "src/gpu/device.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::coll {
+
+namespace {
+
+using detail::Edges;
+
+/// Scratch space for one in-flight child contribution; real iff the
+/// accumulator is real.
+mpi::Payload make_scratch(const mpi::MutView& accum, Bytes len) {
+  return accum.synthetic() ? mpi::Payload::synthetic(len)
+                           : mpi::Payload::real(len);
+}
+
+/// Suspending accumulate used by the blocking/nonblocking styles: charges the
+/// rank's CPU (or the GPU engine) and performs the arithmetic.
+sim::Task<> accumulate(runtime::Context& ctx, const CollOpts& opts,
+                       mpi::MutView dst, mpi::ConstView src, mpi::ReduceOp op,
+                       mpi::Datatype dtype, Bytes len) {
+  if (opts.gpu_reduce) {
+    gpu::Device* dev = ctx.gpu();
+    ADAPT_CHECK(dev != nullptr) << "gpu_reduce on a rank without a GPU";
+    auto trigger = std::make_shared<sim::Trigger>();
+    dev->stream(0).launch(dev->reduce_cost(len), [trigger] { trigger->fire(); });
+    detail::apply_if_real(dst, src, op, dtype, len);
+    co_await *trigger;
+  } else {
+    detail::apply_if_real(dst, src, op, dtype, len);
+    co_await ctx.compute(detail::reduce_cost(ctx, opts, len));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking: children drained strictly in order, segment after segment.
+// ---------------------------------------------------------------------------
+sim::Task<> reduce_blocking(runtime::Context& ctx, const Edges& e,
+                            mpi::MutView accum, mpi::ReduceOp op,
+                            mpi::Datatype dtype, const Segmenter& segs,
+                            const CollOpts& opts, Tag base_tag) {
+  mpi::Payload scratch = make_scratch(accum, opts.segment_size);
+  for (int s = 0; s < segs.count(); ++s) {
+    const Bytes len = segs.length(s);
+    mpi::MutView piece = accum.slice(segs.offset(s), len);
+    for (Rank child : e.kids_global) {
+      co_await ctx.recv(child, base_tag + s, scratch.view().slice(0, len));
+      co_await accumulate(ctx, opts, piece, scratch.cview().slice(0, len), op,
+                          dtype, len);
+    }
+    if (!e.is_root) {
+      co_await ctx.send(e.parent_global, base_tag + s, piece.as_const(),
+                        opts.spaces(ctx.rank(), e.parent_global));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking: per segment, receives from all children progress concurrently
+// but a Waitall gates the accumulate, and the send up is waited before the
+// next segment completes — Algorithm 2's synchronisation structure.
+// ---------------------------------------------------------------------------
+sim::Task<> reduce_nonblocking(runtime::Context& ctx, const Edges& e,
+                               mpi::MutView accum, mpi::ReduceOp op,
+                               mpi::Datatype dtype, const Segmenter& segs,
+                               const CollOpts& opts, Tag base_tag) {
+  const int S = segs.count();
+  const std::size_t nkids = e.kids_global.size();
+  // Double-buffered per-child scratch: segment s lives in window s % 2.
+  std::vector<mpi::Payload> scratch;
+  scratch.reserve(nkids * 2);
+  for (std::size_t i = 0; i < nkids * 2; ++i)
+    scratch.push_back(make_scratch(accum, opts.segment_size));
+  auto scratch_view = [&](std::size_t c, int s, Bytes len) {
+    return scratch[c * 2 + static_cast<std::size_t>(s % 2)].view().slice(0,
+                                                                         len);
+  };
+
+  std::vector<std::vector<mpi::RequestPtr>> recvs(
+      static_cast<std::size_t>(S));
+  auto post_recvs = [&](int s) {
+    auto& rs = recvs[static_cast<std::size_t>(s)];
+    rs.reserve(nkids);
+    for (std::size_t c = 0; c < nkids; ++c) {
+      rs.push_back(ctx.irecv(e.kids_global[c], base_tag + s,
+                             scratch_view(c, s, segs.length(s))));
+    }
+  };
+
+  for (int s = 0; s < std::min(S, 2); ++s) post_recvs(s);
+  mpi::RequestPtr pending_send;
+  for (int s = 0; s < S; ++s) {
+    const Bytes len = segs.length(s);
+    mpi::MutView piece = accum.slice(segs.offset(s), len);
+    co_await mpi::wait_all(recvs[static_cast<std::size_t>(s)]);
+    for (std::size_t c = 0; c < nkids; ++c) {
+      co_await accumulate(ctx, opts, piece,
+                          scratch_view(c, s, len).as_const(), op, dtype, len);
+    }
+    if (s + 2 < S) post_recvs(s + 2);
+    if (!e.is_root) {
+      if (pending_send) co_await mpi::wait(pending_send);
+      pending_send = ctx.isend(e.parent_global, base_tag + s,
+                               piece.as_const(),
+                               opts.spaces(ctx.rank(), e.parent_global));
+    }
+  }
+  if (pending_send) co_await mpi::wait(pending_send);
+}
+
+// ---------------------------------------------------------------------------
+// ADAPT event-driven reduce: per-child receive pipelines of depth M, deferred
+// accumulations, and a segment is forwarded up the moment every child has
+// contributed to it — independent of every other segment and child.
+// ---------------------------------------------------------------------------
+struct AdaptReduceState {
+  runtime::Context* ctx = nullptr;
+  Edges edges;
+  mpi::MutView accum;
+  mpi::ReduceOp op{};
+  mpi::Datatype dtype{};
+  Segmenter segs{0, 1};
+  CollOpts opts;
+  Tag base_tag = 0;
+
+  std::vector<int> contributed;          // per segment: children folded in
+  std::vector<int> next_recv;            // per child: next segment to post
+  std::vector<mpi::Payload> scratch;     // per (child, window) buffers
+  std::deque<int> ready;                 // segments ready to send up
+  int inflight_up = 0;
+  sim::Countdown done{0};
+
+  std::size_t nkids() const { return edges.kids_global.size(); }
+  /// Scratch buffers are identified by an explicit per-child window: a window
+  /// is reposted for the next segment only after its fold ran, so a slot is
+  /// never overwritten while the accumulation still reads it (folds may
+  /// complete out of segment order).
+  mpi::MutView scratch_view(std::size_t c, int window, Bytes len) {
+    return scratch[c * static_cast<std::size_t>(opts.outstanding_recvs) +
+                   static_cast<std::size_t>(window)]
+        .view()
+        .slice(0, len);
+  }
+  mpi::MutView piece(int s) {
+    return accum.slice(segs.offset(s), segs.length(s));
+  }
+
+  void post_recv(const std::shared_ptr<AdaptReduceState>& self, std::size_t c,
+                 int window) {
+    if (next_recv[c] >= segs.count()) return;
+    const int s = next_recv[c]++;
+    auto req = ctx->irecv(edges.kids_global[c], base_tag + s,
+                          scratch_view(c, window, segs.length(s)));
+    req->set_completion_cb([self, c, s, window](mpi::Request&) {
+      self->on_recv(self, c, s, window);
+    });
+  }
+
+  void on_recv(const std::shared_ptr<AdaptReduceState>& self, std::size_t c,
+               int s, int window) {
+    const Bytes len = segs.length(s);
+    auto fold = [self, c, s, window, len] {
+      detail::apply_if_real(self->piece(s),
+                            self->scratch_view(c, window, len).as_const(),
+                            self->op, self->dtype, len);
+      self->post_recv(self, c, window);
+      if (++self->contributed[static_cast<std::size_t>(s)] ==
+          static_cast<int>(self->nkids())) {
+        self->segment_ready(self, s);
+      }
+    };
+    if (opts.gpu_reduce) {
+      gpu::Device* dev = ctx->gpu();
+      ADAPT_CHECK(dev != nullptr) << "gpu_reduce on a rank without a GPU";
+      // Round-robin streams so independent segments overlap on the device.
+      dev->stream(s % dev->num_streams())
+          .launch(dev->reduce_cost(len), std::move(fold));
+    } else {
+      // ADAPT folds run inside the event callbacks (progress context).
+      ctx->defer_progress(detail::reduce_cost(*ctx, opts, len),
+                          std::move(fold));
+    }
+  }
+
+  void segment_ready(const std::shared_ptr<AdaptReduceState>& self, int s) {
+    if (edges.is_root) {
+      done.signal();
+      return;
+    }
+    ready.push_back(s);
+    pump_parent(self);
+  }
+
+  void pump_parent(const std::shared_ptr<AdaptReduceState>& self) {
+    while (inflight_up < opts.outstanding_sends && !ready.empty()) {
+      const int s = ready.front();
+      ready.pop_front();
+      ++inflight_up;
+      auto req = ctx->isend(edges.parent_global, base_tag + s,
+                            piece(s).as_const(),
+                            opts.spaces(ctx->rank(), edges.parent_global));
+      req->set_completion_cb([self](mpi::Request&) {
+        --self->inflight_up;
+        self->done.signal();
+        self->pump_parent(self);
+      });
+    }
+  }
+};
+
+sim::Task<> reduce_adapt(runtime::Context& ctx, const Edges& e,
+                         mpi::MutView accum, mpi::ReduceOp op,
+                         mpi::Datatype dtype, const Segmenter& segs,
+                         const CollOpts& opts, Tag base_tag) {
+  ADAPT_CHECK(opts.outstanding_sends >= 1);
+  ADAPT_CHECK(opts.outstanding_recvs >= 1);
+  const int S = segs.count();
+  auto st = std::make_shared<AdaptReduceState>();
+  st->ctx = &ctx;
+  st->edges = e;
+  st->accum = accum;
+  st->op = op;
+  st->dtype = dtype;
+  st->segs = segs;
+  st->opts = opts;
+  st->base_tag = base_tag;
+  st->contributed.assign(static_cast<std::size_t>(S), 0);
+  st->next_recv.assign(st->nkids(), 0);
+  const std::size_t windows =
+      st->nkids() * static_cast<std::size_t>(opts.outstanding_recvs);
+  st->scratch.reserve(windows);
+  for (std::size_t i = 0; i < windows; ++i)
+    st->scratch.push_back(make_scratch(accum, opts.segment_size));
+
+  // Root finishes when all segments are fully reduced; everyone else when all
+  // segments have been sent up.
+  st->done = sim::Countdown(S);
+
+  if (st->nkids() == 0) {
+    // Leaf: every segment is ready immediately; the N-outstanding pipeline to
+    // the parent takes over.
+    for (int s = 0; s < S; ++s) st->segment_ready(st, s);
+  } else {
+    for (std::size_t c = 0; c < st->nkids(); ++c) {
+      const int prepost = std::min(S, opts.outstanding_recvs);
+      for (int window = 0; window < prepost; ++window)
+        st->post_recv(st, c, window);
+    }
+  }
+  co_await st->done;
+  // Land back on the application thread (see bcast_adapt).
+  co_await ctx.compute(0);
+}
+
+}  // namespace
+
+sim::Task<> reduce_tagged(runtime::Context& ctx, const mpi::Comm& comm,
+                          mpi::MutView accum, mpi::ReduceOp op,
+                          mpi::Datatype dtype, Rank root, const Tree& tree,
+                          Style style, const CollOpts& opts, Tag base_tag) {
+  ADAPT_CHECK(tree.root == root)
+      << "tree rooted at " << tree.root << ", reduce root " << root;
+  const Edges e = detail::resolve(ctx, comm, tree);
+  const Segmenter segs(accum.size, opts.segment_size);
+  switch (style) {
+    case Style::kBlocking:
+      co_await reduce_blocking(ctx, e, accum, op, dtype, segs, opts, base_tag);
+      co_return;
+    case Style::kNonblocking:
+      co_await reduce_nonblocking(ctx, e, accum, op, dtype, segs, opts,
+                                  base_tag);
+      co_return;
+    case Style::kAdapt:
+      co_await reduce_adapt(ctx, e, accum, op, dtype, segs, opts, base_tag);
+      co_return;
+  }
+  ADAPT_UNREACHABLE("bad style");
+}
+
+sim::Task<> reduce(runtime::Context& ctx, const mpi::Comm& comm,
+                   mpi::MutView accum, mpi::ReduceOp op, mpi::Datatype dtype,
+                   Rank root, const Tree& tree, Style style,
+                   const CollOpts& opts) {
+  const Segmenter segs(accum.size, opts.segment_size);
+  const Tag base_tag = ctx.alloc_tags(segs.count());
+  co_await reduce_tagged(ctx, comm, accum, op, dtype, root, tree, style, opts,
+                         base_tag);
+}
+
+}  // namespace adapt::coll

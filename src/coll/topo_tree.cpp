@@ -1,0 +1,88 @@
+#include "src/coll/topo_tree.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/error.hpp"
+
+namespace adapt::coll {
+
+namespace {
+
+/// Leader of a group: the root when present, otherwise the first member.
+Rank leader_of(const std::vector<Rank>& group, Rank root) {
+  ADAPT_CHECK(!group.empty());
+  if (std::find(group.begin(), group.end(), root) != group.end()) return root;
+  return group.front();
+}
+
+void merge_edges(Tree& final_tree, const Tree& group_tree) {
+  for (Rank r = 0; r < group_tree.size(); ++r) {
+    for (Rank c : group_tree.kids(r)) {
+      ADAPT_CHECK(final_tree.parent[static_cast<std::size_t>(c)] == -1)
+          << "rank " << c << " acquired two parents";
+      final_tree.parent[static_cast<std::size_t>(c)] = r;
+      final_tree.children[static_cast<std::size_t>(r)].push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+Tree build_topo_tree(const topo::Machine& machine, const mpi::Comm& comm,
+                     Rank root, const TopoTreeSpec& spec) {
+  const int n = comm.size();
+  ADAPT_CHECK(root >= 0 && root < n);
+
+  // Group local ranks by global socket, remembering each socket's node.
+  std::map<int, std::vector<Rank>> socket_groups;  // socket id -> local ranks
+  std::map<int, int> socket_node;                  // socket id -> node id
+  for (Rank local = 0; local < n; ++local) {
+    const Rank global = comm.global(local);
+    const int sock = machine.socket_id(global);
+    socket_groups[sock].push_back(local);
+    socket_node[sock] = machine.node_of(global);
+  }
+
+  // Socket leaders grouped by node.
+  std::map<int, std::vector<Rank>> node_groups;  // node id -> socket leaders
+  for (const auto& [sock, members] : socket_groups)
+    node_groups[socket_node.at(sock)].push_back(leader_of(members, root));
+
+  // Node leaders, rooted at the root's node leader (== root, since the root
+  // leads its socket and node by construction).
+  std::vector<Rank> node_leaders;
+  node_leaders.reserve(node_groups.size());
+  for (const auto& [node, socket_leaders] : node_groups)
+    node_leaders.push_back(leader_of(socket_leaders, root));
+
+  Tree result;
+  result.root = root;
+  result.parent.assign(static_cast<std::size_t>(n), -1);
+  result.children.resize(static_cast<std::size_t>(n));
+
+  // Merge order = upper level first, so leaders' child lists start with
+  // their slow-lane (inter-node, then inter-socket) children.
+  if (node_leaders.size() > 1) {
+    merge_edges(result,
+                tree_over(spec.node_level, node_leaders, root, spec.radix));
+  }
+  for (const auto& [node, socket_leaders] : node_groups) {
+    if (socket_leaders.size() > 1) {
+      merge_edges(result, tree_over(spec.socket_level, socket_leaders,
+                                    leader_of(socket_leaders, root),
+                                    spec.radix));
+    }
+  }
+  for (const auto& [sock, members] : socket_groups) {
+    if (members.size() > 1) {
+      merge_edges(result, tree_over(spec.core_level, members,
+                                    leader_of(members, root), spec.radix));
+    }
+  }
+
+  result.validate();
+  return result;
+}
+
+}  // namespace adapt::coll

@@ -1,0 +1,109 @@
+#include "src/gpu/device.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace adapt::gpu {
+
+// ---------------------------------------------------------------- Stream ---
+
+void Stream::enqueue(Op op) {
+  ++pending_;
+  queue_.push_back(std::move(op));
+  if (!running_) run_next();
+}
+
+void Stream::run_next() {
+  if (queue_.empty()) {
+    running_ = false;
+    return;
+  }
+  running_ = true;
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  op.start([this, on_done = std::move(op.on_done)] {
+    --pending_;
+    if (on_done) on_done();
+    run_next();
+  });
+}
+
+void Stream::launch(TimeNs cost, std::function<void()> on_done) {
+  ADAPT_CHECK(cost >= 0);
+  enqueue(Op{[this, cost](std::function<void()> done) {
+               device_.execute_kernel(cost, std::move(done));
+             },
+             std::move(on_done)});
+}
+
+void Stream::memcpy_async(MemSpace dst_space, MemSpace src_space, Bytes bytes,
+                          std::function<void()> on_done) {
+  ADAPT_CHECK(bytes >= 0);
+  const Rank r = device_.owner();
+  enqueue(Op{[this, r, dst_space, src_space, bytes](std::function<void()> done) {
+               auto& net = device_.runtime().net();
+               const net::Route route =
+                   net.route_mem(r, src_space, r, dst_space);
+               net.transfer(route, bytes, std::move(done));
+             },
+             std::move(on_done)});
+}
+
+sim::Task<> Stream::synchronize() {
+  if (pending_ == 0) co_return;
+  // A zero-cost marker kernel completes only after everything ahead of it.
+  auto trigger = std::make_shared<sim::Trigger>();
+  launch(0, [trigger] { trigger->fire(); });
+  co_await *trigger;
+}
+
+// ---------------------------------------------------------------- Device ---
+
+Device::Device(GpuRuntime& runtime, Rank owner, int socket_id, int num_streams)
+    : runtime_(runtime), owner_(owner), socket_id_(socket_id) {
+  ADAPT_CHECK(num_streams > 0);
+  streams_.reserve(static_cast<std::size_t>(num_streams));
+  for (int i = 0; i < num_streams; ++i)
+    streams_.push_back(std::make_unique<Stream>(*this, i));
+}
+
+Stream& Device::stream(int i) {
+  ADAPT_CHECK(i >= 0 && i < num_streams());
+  return *streams_[static_cast<std::size_t>(i)];
+}
+
+TimeNs Device::reduce_cost(Bytes bytes) const {
+  const topo::MachineSpec& spec = runtime_.spec();
+  return spec.gpu_kernel_launch +
+         static_cast<TimeNs>(spec.gpu_reduce_gamma *
+                             static_cast<double>(bytes));
+}
+
+void Device::execute_kernel(TimeNs cost, std::function<void()> on_done) {
+  sim::Simulator& sim = runtime_.simulator();
+  const TimeNs start = std::max(sim.now(), engine_busy_until_);
+  engine_busy_until_ = start + cost;
+  sim.at(engine_busy_until_, std::move(on_done));
+}
+
+// ------------------------------------------------------------ GpuRuntime ---
+
+GpuRuntime::GpuRuntime(sim::Simulator& simulator, net::ClusterNet& net,
+                       const topo::Machine& machine)
+    : sim_(simulator), net_(net), machine_(machine) {
+  devices_.resize(static_cast<std::size_t>(machine.nranks()));
+  for (Rank r = 0; r < machine.nranks(); ++r) {
+    if (machine.loc(r).gpu >= 0) {
+      devices_[static_cast<std::size_t>(r)] =
+          std::make_unique<Device>(*this, r, machine.socket_id(r));
+    }
+  }
+}
+
+Device* GpuRuntime::device_for(Rank r) {
+  ADAPT_CHECK(r >= 0 && r < static_cast<Rank>(devices_.size()));
+  return devices_[static_cast<std::size_t>(r)].get();
+}
+
+}  // namespace adapt::gpu

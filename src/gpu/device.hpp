@@ -1,0 +1,113 @@
+// Simulated CUDA substrate (paper §4).
+//
+// Each GPU rank owns a Device with a small pool of Streams. Stream semantics
+// follow CUDA: operations issued to one stream execute in order; operations
+// on different streams may overlap. Two resources are modelled:
+//   * the device's execution engine — kernels (reductions) serialise on it,
+//     costing launch latency + γ_gpu per byte;
+//   * the PCIe lanes — async copies are routed through the ClusterNet fabric
+//     (pcie_up / pcie_down links), so they contend with the collective's own
+//     message traffic exactly as in Fig. 6.
+//
+// This gives §4.2's mechanism for free: a reduction offloaded to a stream
+// overlaps with communication and leaves the rank's CPU available, whereas a
+// CPU reduction occupies the rank and defers every callback behind it.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/routes.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/task.hpp"
+#include "src/support/units.hpp"
+#include "src/topo/hardware.hpp"
+
+namespace adapt::gpu {
+
+class Device;
+class GpuRuntime;
+
+/// In-order asynchronous work queue on a device (CUDA-stream semantics).
+class Stream {
+ public:
+  Stream(Device& device, int index) : device_(device), index_(index) {}
+
+  /// Enqueues a kernel occupying the device engine for `cost`.
+  void launch(TimeNs cost, std::function<void()> on_done = {});
+
+  /// Enqueues an async host<->device copy local to the owning rank; the copy
+  /// crosses the socket's PCIe lane and contends with message traffic.
+  void memcpy_async(MemSpace dst_space, MemSpace src_space, Bytes bytes,
+                    std::function<void()> on_done = {});
+
+  /// Suspends until every operation enqueued so far has finished.
+  sim::Task<> synchronize();
+
+  int index() const { return index_; }
+  bool idle() const { return pending_ == 0; }
+
+ private:
+  struct Op {
+    std::function<void(std::function<void()> done)> start;
+    std::function<void()> on_done;
+  };
+  void enqueue(Op op);
+  void run_next();
+
+  Device& device_;
+  int index_;
+  std::deque<Op> queue_;
+  int pending_ = 0;     ///< queued + running ops
+  bool running_ = false;
+};
+
+/// One simulated GPU, owned by a rank.
+class Device {
+ public:
+  Device(GpuRuntime& runtime, Rank owner, int socket_id, int num_streams = 4);
+
+  Rank owner() const { return owner_; }
+  int socket_id() const { return socket_id_; }
+  Stream& stream(int i);
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  /// Cost of a reduction kernel over `bytes` (launch latency + γ_gpu·bytes).
+  TimeNs reduce_cost(Bytes bytes) const;
+
+  GpuRuntime& runtime() { return runtime_; }
+
+  // Stream-internal: serialises kernels on the device engine.
+  void execute_kernel(TimeNs cost, std::function<void()> on_done);
+
+ private:
+  GpuRuntime& runtime_;
+  Rank owner_;
+  int socket_id_;
+  TimeNs engine_busy_until_ = 0;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+/// Engine-wide GPU state: one Device per GPU-placed rank.
+class GpuRuntime {
+ public:
+  GpuRuntime(sim::Simulator& simulator, net::ClusterNet& net,
+             const topo::Machine& machine);
+
+  /// The device bound to rank r, or nullptr for CPU-only ranks.
+  Device* device_for(Rank r);
+
+  sim::Simulator& simulator() { return sim_; }
+  net::ClusterNet& net() { return net_; }
+  const topo::MachineSpec& spec() const { return machine_.spec(); }
+
+ private:
+  sim::Simulator& sim_;
+  net::ClusterNet& net_;
+  const topo::Machine& machine_;
+  std::vector<std::unique_ptr<Device>> devices_;  // indexed by rank
+};
+
+}  // namespace adapt::gpu

@@ -1,0 +1,38 @@
+// GPU-aware collective personalities for the paper's §5.2.2 comparison
+// (Fig. 11): broadcast and reduce over GPU-resident data on the PSG-like
+// cluster, one MPI rank per GPU.
+//
+//   mvapich-gpu       device-direct k-nomial, CUDA IPC (peer DMA) and
+//                     GPUDirect enabled, CPU-side reduction
+//   ompi-default-gpu  decision tree not tuned for GPUs: rank-order binomial,
+//                     no peer DMA, no GPUDirect — every transfer bounces
+//                     through the socket's PCIe root port (Fig. 6b)
+//   ompi-adapt-gpu    ADAPT event-driven on the topo tree, explicit CPU
+//                     buffer at node leaders (§4.1) and reductions offloaded
+//                     to GPU streams (§4.2)
+//
+// Each personality also prescribes the engine-level GpuConfig (routing) it
+// assumes; benchmarks construct the SimEngine with it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/coll/library.hpp"
+#include "src/net/routes.hpp"
+
+namespace adapt::gpu {
+
+class GpuLibrary : public coll::MpiLibrary {
+ public:
+  /// Engine routing configuration this personality assumes.
+  virtual net::GpuConfig gpu_config() const = 0;
+};
+
+std::shared_ptr<GpuLibrary> make_gpu_library(const std::string& name,
+                                             const topo::Machine& machine);
+
+std::vector<std::string> gpu_libraries();
+
+}  // namespace adapt::gpu

@@ -1,0 +1,29 @@
+#include "src/mpi/comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace adapt::mpi {
+
+Comm Comm::world(int nranks) {
+  ADAPT_CHECK(nranks > 0);
+  std::vector<Rank> members(static_cast<std::size_t>(nranks));
+  std::iota(members.begin(), members.end(), 0);
+  return Comm(std::move(members));
+}
+
+Comm::Comm(std::vector<Rank> members) : members_(std::move(members)) {
+  ADAPT_CHECK(!members_.empty());
+  std::vector<Rank> sorted = members_;
+  std::sort(sorted.begin(), sorted.end());
+  ADAPT_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      << "duplicate member rank";
+}
+
+Rank Comm::local_of(Rank global_rank) const {
+  const auto it = std::find(members_.begin(), members_.end(), global_rank);
+  if (it == members_.end()) return kAnyRank;
+  return static_cast<Rank>(it - members_.begin());
+}
+
+}  // namespace adapt::mpi

@@ -1,0 +1,39 @@
+// Communicators: ordered process groups with local<->global rank translation.
+//
+// ADAPT's topology-aware collectives run on a *single* communicator (§3.2);
+// the multi-level-communicator baseline (§3.1) splits the world by node and
+// socket, which `split_by` supports.
+#pragma once
+
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::mpi {
+
+class Comm {
+ public:
+  /// World communicator over ranks [0, nranks).
+  static Comm world(int nranks);
+
+  /// Communicator over an explicit ordered member list (global ranks).
+  explicit Comm(std::vector<Rank> members);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  Rank global(Rank local) const {
+    ADAPT_CHECK(local >= 0 && local < size());
+    return members_[static_cast<std::size_t>(local)];
+  }
+  /// Local rank of a global rank, or kAnyRank when not a member.
+  Rank local_of(Rank global_rank) const;
+  bool contains(Rank global_rank) const {
+    return local_of(global_rank) != kAnyRank;
+  }
+  const std::vector<Rank>& members() const { return members_; }
+
+ private:
+  std::vector<Rank> members_;
+};
+
+}  // namespace adapt::mpi

@@ -1,0 +1,29 @@
+#include "src/mpi/datatype.hpp"
+
+#include "src/support/error.hpp"
+
+namespace adapt::mpi {
+
+Bytes size_of(Datatype dtype) {
+  switch (dtype) {
+    case Datatype::kUint8: return 1;
+    case Datatype::kInt32: return 4;
+    case Datatype::kInt64: return 8;
+    case Datatype::kFloat: return 4;
+    case Datatype::kDouble: return 8;
+  }
+  ADAPT_UNREACHABLE("bad datatype");
+}
+
+const char* datatype_name(Datatype dtype) {
+  switch (dtype) {
+    case Datatype::kUint8: return "uint8";
+    case Datatype::kInt32: return "int32";
+    case Datatype::kInt64: return "int64";
+    case Datatype::kFloat: return "float";
+    case Datatype::kDouble: return "double";
+  }
+  return "?";
+}
+
+}  // namespace adapt::mpi

@@ -1,0 +1,25 @@
+// Predefined datatypes, mirroring the MPI basic types the collectives and
+// reduction operations work over.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/support/units.hpp"
+
+namespace adapt::mpi {
+
+enum class Datatype {
+  kUint8,
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+};
+
+/// Size in bytes of one element.
+Bytes size_of(Datatype dtype);
+
+const char* datatype_name(Datatype dtype);
+
+}  // namespace adapt::mpi

@@ -1,0 +1,94 @@
+#include "src/mpi/endpoint.hpp"
+
+#include <cstring>
+
+#include "src/support/error.hpp"
+
+namespace adapt::mpi {
+
+RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
+  ADAPT_CHECK(dst >= 0) << "isend to wildcard";
+  ADAPT_CHECK(dst != rank_) << "self-send not supported; copy locally";
+  auto req = std::make_shared<Request>(Request::Kind::kSend, dst, tag,
+                                       data.size, &exec_);
+  ++sends_;
+  exec_.charge(costs_.cpu_overhead);
+
+  Envelope env;
+  env.src = rank_;
+  env.dst = dst;
+  env.tag = tag;
+  env.size = data.size;
+  if (!data.synthetic() && data.size > 0) {
+    // The payload is captured at post time, so the sender's buffer is
+    // immediately reusable (for rendezvous the transport keeps this copy
+    // until the grant; semantically equivalent, since the request only
+    // completes at transfer end).
+    env.data = std::make_shared<std::vector<std::byte>>(
+        data.data, data.data + data.size);
+  }
+  transport_.submit(std::move(env), opts.src_space, opts.dst_space,
+                    [req] { req->mark_complete(); });
+  return req;
+}
+
+RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer) {
+  auto req = std::make_shared<Request>(Request::Kind::kRecv, src, tag,
+                                       buffer.size, &exec_);
+  exec_.charge(costs_.cpu_overhead);
+
+  PostedRecv posted{req, buffer, src, tag};
+  if (auto env = matcher_.post(posted)) {
+    if (env->rendezvous()) {
+      // Late software match of a queued RTS: hand the receive back to the
+      // transport, which runs CTS + data. No extra copy — rendezvous's point.
+      env->grant(posted);
+    } else {
+      // Eager unexpected hit: the data already sits in a temporary buffer;
+      // pay the allocation/copy penalty before completing (paper §2.2.1 —
+      // the cost ADAPT's M > N rule exists to avoid).
+      const TimeNs copy_cost =
+          costs_.unexpected_overhead +
+          static_cast<TimeNs>(costs_.memcpy_beta *
+                              static_cast<double>(env->size));
+      const Envelope captured = std::move(*env);
+      const PostedRecv recv = posted;
+      exec_.post_progress(
+          [this, recv, captured] { finalize_recv(recv, captured); },
+          copy_cost);
+    }
+  }
+  return req;
+}
+
+void Endpoint::deliver(Envelope env) {
+  // Runs at arrival time WITHOUT the receiver's CPU: matching against
+  // pre-posted receives is NIC-offloaded (Aries/Portals-style). Anything that
+  // does need the CPU (completion callbacks, unexpected copies, software
+  // rendezvous matches) is deferred through the executor by the paths below.
+  if (auto recv = matcher_.arrive(env)) {
+    if (env.rendezvous()) {
+      env.grant(*recv);
+    } else {
+      exec_.post_progress(
+          [this, recv = *recv, env] { finalize_recv(recv, env); },
+          costs_.cpu_overhead);
+    }
+  }
+  // Otherwise queued as unexpected (an eager payload or an RTS); a later
+  // irecv picks it up.
+}
+
+void Endpoint::finalize_recv(const PostedRecv& recv, const Envelope& env) {
+  ADAPT_CHECK(env.size <= recv.buffer.size)
+      << "message of " << env.size << "B overflows a " << recv.buffer.size
+      << "B receive buffer (src=" << env.src << " tag=" << env.tag << ")";
+  if (env.data && !recv.buffer.synthetic()) {
+    std::memcpy(recv.buffer.data, env.data->data(),
+                static_cast<std::size_t>(env.size));
+  }
+  ++recvs_done_;
+  recv.request->mark_complete(env.src, env.tag, env.size);
+}
+
+}  // namespace adapt::mpi

@@ -1,0 +1,112 @@
+// Per-rank communication endpoint: isend/irecv, matching, completion.
+//
+// The Endpoint is execution-engine agnostic. It talks to the world through
+// two small interfaces:
+//   * Transport — moves envelopes between ranks and decides when the send
+//     completes (the engine models/performs the actual data movement);
+//   * RankExecutor — runs closures on this rank's CPU, charging CPU time so
+//     that noise and rank-side overheads defer exactly the work that needs
+//     the CPU (matching, callbacks), never in-flight transfers.
+//
+// All Endpoint methods must be invoked from the owning rank's execution
+// context (simulator event loop / the rank's own thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/mpi/match.hpp"
+#include "src/mpi/payload.hpp"
+#include "src/mpi/request.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::mpi {
+
+/// Engine service: CPU scheduling for one rank, on two execution contexts.
+///
+/// The MAIN context is the application thread: collective control flow,
+/// blocking-call returns, compute. System noise preempts it. The PROGRESS
+/// context is the communication engine (async progress thread + NIC offload,
+/// where Open MPI completes requests and fires ADAPT's callbacks): it keeps
+/// running while the main thread is preempted. This split is the paper's
+/// §2.2.1 architecture and the mechanism behind Fig. 7 — event-driven
+/// collectives live almost entirely on the progress context, so noise finds
+/// very little of their critical path to stretch.
+class RankExecutor {
+ public:
+  virtual ~RankExecutor() = default;
+  virtual TimeNs now() const = 0;
+  /// Runs `fn` on the main thread once it is free (noise applies), after
+  /// occupying it for `cpu_cost`.
+  virtual void post(std::function<void()> fn, TimeNs cpu_cost) = 0;
+  /// Runs `fn` on the progress context (noise does not apply).
+  virtual void post_progress(std::function<void()> fn, TimeNs cpu_cost) = 0;
+  /// Synchronously occupies the main thread (extends its busy window).
+  virtual void charge(TimeNs cpu_cost) = 0;
+};
+
+/// Engine service: data movement.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Ships `env` to env.dst. `on_sent` fires on the SENDER's context when the
+  /// send is complete; delivery to the destination endpoint is the
+  /// transport's job. Spaces select GPU-aware paths.
+  virtual void submit(Envelope env, MemSpace src_space, MemSpace dst_space,
+                      std::function<void()> on_sent) = 0;
+};
+
+/// Per-P2P options; defaults describe plain host-to-host messages.
+struct SendOpts {
+  MemSpace src_space = MemSpace::kHost;
+  MemSpace dst_space = MemSpace::kHost;
+};
+
+/// Local cost parameters (from the MachineSpec).
+struct EndpointCosts {
+  TimeNs cpu_overhead = 0;        ///< post/progress cost per P2P
+  TimeNs unexpected_overhead = 0; ///< extra latency to match an unexpected msg
+  double memcpy_beta = 0.0;       ///< ns/B for the unexpected-buffer copy
+};
+
+class Endpoint {
+ public:
+  Endpoint(Rank rank, RankExecutor& exec, Transport& transport,
+           EndpointCosts costs)
+      : rank_(rank), exec_(exec), transport_(transport), costs_(costs) {}
+
+  Rank rank() const { return rank_; }
+
+  /// Nonblocking send. The returned request completes when the transport
+  /// reports the message sent; attach callbacks via set_completion_cb.
+  RequestPtr isend(Rank dst, Tag tag, ConstView data, SendOpts opts = {});
+
+  /// Nonblocking receive (wildcards allowed).
+  RequestPtr irecv(Rank src, Tag tag, MutView buffer);
+
+  /// Transport upcall: an envelope (eager data or rendezvous RTS) reached
+  /// this rank. Invoked at arrival time; pre-posted matching is modelled as
+  /// NIC-offloaded, so this does not wait for the rank's CPU — CPU-bound
+  /// follow-ups (callbacks, unexpected copies) are deferred internally.
+  void deliver(Envelope env);
+
+  /// Copies `env`'s payload into the matched receive and completes it.
+  /// Must run on this rank's execution context (transports call it through
+  /// the executor after a rendezvous data transfer).
+  void finalize_recv(const PostedRecv& recv, const Envelope& env);
+
+  const Matcher& matcher() const { return matcher_; }
+  std::uint64_t sends_started() const { return sends_; }
+  std::uint64_t recvs_completed() const { return recvs_done_; }
+
+ private:
+  Rank rank_;
+  RankExecutor& exec_;
+  Transport& transport_;
+  EndpointCosts costs_;
+  Matcher matcher_;
+  std::uint64_t sends_ = 0;
+  std::uint64_t recvs_done_ = 0;
+};
+
+}  // namespace adapt::mpi

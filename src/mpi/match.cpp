@@ -1,0 +1,34 @@
+#include "src/mpi/match.hpp"
+
+#include <algorithm>
+
+namespace adapt::mpi {
+
+std::optional<Envelope> Matcher::post(PostedRecv recv) {
+  const auto it = std::find_if(
+      unexpected_.begin(), unexpected_.end(),
+      [&](const Envelope& env) { return matches(recv, env); });
+  if (it != unexpected_.end()) {
+    Envelope env = std::move(*it);
+    unexpected_.erase(it);
+    return env;
+  }
+  posted_.push_back(std::move(recv));
+  return std::nullopt;
+}
+
+std::optional<PostedRecv> Matcher::arrive(const Envelope& env) {
+  const auto it = std::find_if(
+      posted_.begin(), posted_.end(),
+      [&](const PostedRecv& recv) { return matches(recv, env); });
+  if (it != posted_.end()) {
+    PostedRecv recv = std::move(*it);
+    posted_.erase(it);
+    return recv;
+  }
+  unexpected_.push_back(env);
+  ++total_unexpected_;
+  return std::nullopt;
+}
+
+}  // namespace adapt::mpi

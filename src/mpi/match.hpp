@@ -1,0 +1,75 @@
+// Receiver-side message matching: the posted-receive queue and the
+// unexpected-message queue.
+//
+// Matching is by (source, tag) with MPI-style wildcards; among equally
+// matching entries the earliest posted/arrived wins (FIFO). The unexpected
+// path is what the paper's M > N discussion (§2.2.1) is about: an unexpected
+// message costs an extra buffer allocation and copy when it is finally
+// matched, so ADAPT posts more receives (M) than each sender keeps in
+// flight (N).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/mpi/payload.hpp"
+#include "src/mpi/request.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::mpi {
+
+/// A receive that has been posted and not yet matched.
+struct PostedRecv {
+  RequestPtr request;
+  MutView buffer;
+  Rank src = kAnyRank;  ///< kAnyRank = wildcard
+  Tag tag = kAnyTag;    ///< kAnyTag = wildcard
+};
+
+/// In-flight message (eager: data travels with it) or rendezvous
+/// ready-to-send notice (grant set: data moves only once a receive matched).
+struct Envelope {
+  Rank src = kAnyRank;
+  Rank dst = kAnyRank;
+  Tag tag = kAnyTag;
+  Bytes size = 0;
+  /// Copy of the sender's bytes; null for synthetic payloads and RTS notices.
+  std::shared_ptr<std::vector<std::byte>> data;
+  /// Rendezvous grant: invoked exactly once with the matched receive; the
+  /// transport then runs CTS + data transfer and finalises both requests.
+  std::function<void(PostedRecv)> grant;
+
+  bool rendezvous() const { return static_cast<bool>(grant); }
+};
+
+class Matcher {
+ public:
+  /// Tries to match a newly posted receive against the unexpected queue.
+  /// On a hit the envelope is removed and returned; otherwise the receive is
+  /// enqueued on the posted list.
+  std::optional<Envelope> post(PostedRecv recv);
+
+  /// Tries to match an arriving envelope against the posted list. On a hit
+  /// the posted receive is removed and returned; otherwise the envelope is
+  /// enqueued on the unexpected list.
+  std::optional<PostedRecv> arrive(const Envelope& env);
+
+  std::size_t posted_count() const { return posted_.size(); }
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::uint64_t total_unexpected() const { return total_unexpected_; }
+
+ private:
+  static bool matches(const PostedRecv& recv, const Envelope& env) {
+    return (recv.src == kAnyRank || recv.src == env.src) &&
+           (recv.tag == kAnyTag || recv.tag == env.tag);
+  }
+
+  std::deque<PostedRecv> posted_;
+  std::deque<Envelope> unexpected_;
+  std::uint64_t total_unexpected_ = 0;
+};
+
+}  // namespace adapt::mpi

@@ -1,0 +1,34 @@
+#include "src/mpi/p2p.hpp"
+
+#include <memory>
+
+namespace adapt::mpi {
+
+sim::Task<std::size_t> wait_any(std::vector<RequestPtr> requests) {
+  ADAPT_CHECK(!requests.empty());
+  auto first_done = [&]() -> std::size_t {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (requests[i] && requests[i]->complete()) return i;
+    return requests.size();
+  };
+  if (const std::size_t i = first_done(); i < requests.size()) co_return i;
+
+  // One-shot wake: the first completion schedules the resume on the main
+  // thread; later completions find the trigger fired and do nothing.
+  auto any = std::make_shared<sim::Trigger>();
+  co_await sim::Suspend([&](std::coroutine_handle<> h) {
+    for (auto& request : requests) {
+      if (!request) continue;
+      request->done().subscribe([any, request, h] {
+        if (any->fired()) return;
+        any->fire();
+        detail::wake_on_main(request, h);
+      });
+    }
+  });
+  const std::size_t i = first_done();
+  ADAPT_CHECK(i < requests.size()) << "wait_any woke with nothing complete";
+  co_return i;
+}
+
+}  // namespace adapt::mpi

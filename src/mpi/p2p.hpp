@@ -1,0 +1,58 @@
+// Wait primitives on top of request completion — the synchronisation the
+// blocking (Alg. 1) and nonblocking (Alg. 2) baselines rely on, implemented
+// over exactly the same completion events ADAPT attaches callbacks to.
+//
+// A completed request fires in the PROGRESS context; waiters are application
+// code, so their coroutines are woken through the owning rank's MAIN-thread
+// executor — which is where injected noise can delay them. This is the
+// asymmetry of Fig. 7: ADAPT's callback chains never cross this boundary,
+// the Wait/Waitall baselines cross it once per synchronisation point.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/mpi/endpoint.hpp"
+#include "src/mpi/request.hpp"
+#include "src/sim/task.hpp"
+
+namespace adapt::mpi {
+
+namespace detail {
+
+/// Resumes `h` on the request owner's main thread (directly when the request
+/// carries no executor, e.g. in unit tests of the matching layer).
+inline void wake_on_main(const RequestPtr& request, std::coroutine_handle<> h) {
+  if (RankExecutor* exec = request->owner_exec()) {
+    exec->post([h] { h.resume(); }, 0);
+  } else {
+    h.resume();
+  }
+}
+
+}  // namespace detail
+
+/// MPI_Wait: suspends until the request completes.
+inline sim::Task<> wait(RequestPtr request) {
+  ADAPT_CHECK(request != nullptr);
+  if (request->complete()) co_return;
+  co_await sim::Suspend([&request](std::coroutine_handle<> h) {
+    request->done().subscribe(
+        [request, h] { detail::wake_on_main(request, h); });
+  });
+}
+
+/// MPI_Waitall: suspends until every request completes. (Awaiting requests in
+/// sequence completes at the same instant all of them are done — this is the
+/// synchronisation barrier the paper blames for serialising the baselines.)
+inline sim::Task<> wait_all(std::vector<RequestPtr> requests) {
+  for (auto& request : requests) {
+    if (request) co_await wait(request);
+  }
+}
+
+/// MPI_Waitany: suspends until at least one request completes; returns the
+/// index of a completed request (lowest index among the completed).
+sim::Task<std::size_t> wait_any(std::vector<RequestPtr> requests);
+
+}  // namespace adapt::mpi

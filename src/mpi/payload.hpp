@@ -1,0 +1,76 @@
+// Payload views: the unit of data the runtime moves.
+//
+// A view is either *real* (points at actual bytes, which the transport copies
+// end-to-end so correctness is testable) or *synthetic* (size-only; used at
+// paper scale where materialising 1.5k ranks × 4 MB is pointless — the timing
+// model only ever reads sizes). Real and synthetic payloads follow identical
+// code paths; only the final memcpy/arithmetic is skipped for synthetic ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/error.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::mpi {
+
+/// Read-only view of send data.
+struct ConstView {
+  const std::byte* data = nullptr;  ///< null for synthetic views
+  Bytes size = 0;
+
+  bool synthetic() const { return data == nullptr; }
+  ConstView slice(Bytes offset, Bytes len) const {
+    ADAPT_CHECK(offset >= 0 && len >= 0 && offset + len <= size);
+    return ConstView{data ? data + offset : nullptr, len};
+  }
+};
+
+/// Writable view of receive space.
+struct MutView {
+  std::byte* data = nullptr;  ///< null for synthetic views
+  Bytes size = 0;
+
+  bool synthetic() const { return data == nullptr; }
+  MutView slice(Bytes offset, Bytes len) const {
+    ADAPT_CHECK(offset >= 0 && len >= 0 && offset + len <= size);
+    return MutView{data ? data + offset : nullptr, len};
+  }
+  ConstView as_const() const { return ConstView{data, size}; }
+};
+
+/// Owning buffer with view accessors; `Payload::synthetic(n)` produces a
+/// size-only payload that never allocates.
+class Payload {
+ public:
+  Payload() = default;
+
+  static Payload real(Bytes size) {
+    Payload p;
+    p.size_ = size;
+    p.bytes_.resize(static_cast<std::size_t>(size));
+    return p;
+  }
+  static Payload synthetic(Bytes size) {
+    Payload p;
+    p.size_ = size;
+    return p;
+  }
+
+  Bytes size() const { return size_; }
+  bool is_real() const { return !bytes_.empty() || size_ == 0; }
+
+  MutView view() { return MutView{bytes_.empty() ? nullptr : bytes_.data(), size_}; }
+  ConstView cview() const {
+    return ConstView{bytes_.empty() ? nullptr : bytes_.data(), size_};
+  }
+  std::byte* data() { return bytes_.data(); }
+  const std::byte* data() const { return bytes_.data(); }
+
+ private:
+  Bytes size_ = 0;
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace adapt::mpi

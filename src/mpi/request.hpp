@@ -1,0 +1,95 @@
+// Communication requests.
+//
+// A Request tracks one nonblocking P2P operation. Two completion mechanisms
+// coexist, mirroring Open MPI's layering as the paper describes (§2.2.1):
+//
+//  * `set_completion_cb` — the low-level hook "below MPI_Isend/MPI_Irecv"
+//    that the ADAPT collectives attach their event callbacks to
+//    (set_Isend_cb / set_Irecv_cb in the paper's Figure 4);
+//  * `wait()`-style coroutine awaiting (src/mpi/p2p.hpp) — the MPI_Wait /
+//    MPI_Waitall semantics the blocking and nonblocking baselines use, built
+//    on top of the same completion event.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/sim/task.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::mpi {
+
+class Request;
+class RankExecutor;  // endpoint.hpp
+using RequestPtr = std::shared_ptr<Request>;
+using RequestCallback = std::function<void(Request&)>;
+
+class Request {
+ public:
+  enum class Kind { kSend, kRecv };
+
+  Request(Kind kind, Rank peer, Tag tag, Bytes size,
+          RankExecutor* owner_exec = nullptr)
+      : kind_(kind), peer_(peer), tag_(tag), size_(size),
+        owner_exec_(owner_exec) {}
+
+  /// Executor of the owning rank's main thread; wait() wakes coroutines
+  /// through it (completion callbacks fire in the progress context instead).
+  RankExecutor* owner_exec() const { return owner_exec_; }
+
+  Kind kind() const { return kind_; }
+  Rank peer() const { return peer_; }       ///< dst for sends, src for recvs
+  Tag tag() const { return tag_; }
+  Bytes size() const { return size_; }
+  bool complete() const { return complete_; }
+
+  // Filled in at completion of a receive (meaningful with wildcards).
+  Rank actual_src() const { return actual_src_; }
+  Tag actual_tag() const { return actual_tag_; }
+  Bytes actual_size() const { return actual_size_; }
+
+  /// Attaches the event callback fired at completion. If the request already
+  /// completed, the callback runs immediately. At most one callback.
+  void set_completion_cb(RequestCallback cb) {
+    ADAPT_CHECK(!on_complete_) << "completion callback already set";
+    if (complete_) {
+      cb(*this);
+    } else {
+      on_complete_ = std::move(cb);
+    }
+  }
+
+  /// Awaitable completion event (used by wait/wait_all).
+  sim::Trigger& done() { return done_; }
+
+  /// Runtime-internal: marks completion, fires the callback, wakes waiters.
+  void mark_complete(Rank actual_src = kAnyRank, Tag actual_tag = kAnyTag,
+                     Bytes actual_size = -1) {
+    ADAPT_CHECK(!complete_) << "request completed twice";
+    complete_ = true;
+    actual_src_ = actual_src == kAnyRank ? peer_ : actual_src;
+    actual_tag_ = actual_tag == kAnyTag ? tag_ : actual_tag;
+    actual_size_ = actual_size < 0 ? size_ : actual_size;
+    if (on_complete_) {
+      auto cb = std::move(on_complete_);
+      on_complete_ = nullptr;
+      cb(*this);
+    }
+    done_.fire();
+  }
+
+ private:
+  Kind kind_;
+  Rank peer_;
+  Tag tag_;
+  Bytes size_;
+  RankExecutor* owner_exec_ = nullptr;
+  bool complete_ = false;
+  Rank actual_src_ = kAnyRank;
+  Tag actual_tag_ = kAnyTag;
+  Bytes actual_size_ = 0;
+  RequestCallback on_complete_;
+  sim::Trigger done_;
+};
+
+}  // namespace adapt::mpi

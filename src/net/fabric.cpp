@@ -1,0 +1,269 @@
+#include "src/net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/support/error.hpp"
+
+namespace adapt::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kRateEps = 1e-9;
+
+TimeNs duration_of(double bytes, double rate) {
+  return static_cast<TimeNs>(std::ceil(bytes / rate));
+}
+}  // namespace
+
+Fabric::Fabric(sim::Simulator& simulator, SharingPolicy policy)
+    : sim_(simulator), policy_(policy) {}
+
+LinkId Fabric::add_link(double capacity_bytes_per_ns) {
+  ADAPT_CHECK(capacity_bytes_per_ns > 0.0);
+  capacity_.push_back(capacity_bytes_per_ns);
+  link_flows_.emplace_back();
+  return static_cast<LinkId>(capacity_.size() - 1);
+}
+
+double Fabric::link_capacity(LinkId id) const {
+  ADAPT_CHECK(id >= 0 && id < static_cast<LinkId>(capacity_.size()));
+  return capacity_[static_cast<std::size_t>(id)];
+}
+
+int Fabric::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const int slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  flows_.emplace_back();
+  return static_cast<int>(flows_.size() - 1);
+}
+
+void Fabric::transfer(const Route& route, Bytes bytes,
+                      std::function<void()> on_complete) {
+  ADAPT_CHECK(bytes >= 0);
+  ADAPT_CHECK(route.per_flow_cap > 0.0) << "route without a rate cap";
+  for (LinkId l : route.links)
+    ADAPT_CHECK(l >= 0 && l < static_cast<LinkId>(capacity_.size()));
+
+  // Fast paths that never enter bandwidth sharing.
+  if (bytes == 0 || route.links.empty() ||
+      policy_ == SharingPolicy::kUncontended) {
+    const TimeNs total =
+        route.alpha +
+        (bytes > 0
+             ? duration_of(static_cast<double>(bytes), route.per_flow_cap)
+             : 0);
+    sim_.after(total, std::move(on_complete));
+    return;
+  }
+
+  if (route.serial_key >= 0 && serial_busy_.count(route.serial_key)) {
+    // The pair's transmit queue is busy: wait for the predecessor; the time
+    // spent waiting counts against this message's startup latency.
+    serial_waiting_[route.serial_key].push_back(
+        Pending{route, bytes, sim_.now(), std::move(on_complete)});
+    return;
+  }
+  if (route.serial_key >= 0) serial_busy_.insert(route.serial_key);
+  start_flow(route, bytes, route.alpha, std::move(on_complete));
+}
+
+void Fabric::start_flow(const Route& route, Bytes bytes,
+                        TimeNs alpha_remaining,
+                        std::function<void()> on_complete) {
+  const int slot = allocate_slot();
+  Flow& f = flows_[static_cast<std::size_t>(slot)];
+  f.links = route.links;
+  f.cap = route.per_flow_cap;
+  f.remaining = static_cast<double>(bytes);
+  f.rate = 0.0;
+  f.serial_key = route.serial_key;
+  f.on_complete = std::move(on_complete);
+  f.active = false;
+  sim_.after(alpha_remaining, [this, slot] { activate(slot); });
+}
+
+void Fabric::activate(int flow_index) {
+  Flow& f = flows_[static_cast<std::size_t>(flow_index)];
+  f.active = true;
+  f.settled_at = sim_.now();
+  for (LinkId l : f.links)
+    link_flows_[static_cast<std::size_t>(l)].push_back(flow_index);
+  ++active_count_;
+  peak_active_ = std::max<std::uint64_t>(
+      peak_active_, static_cast<std::uint64_t>(active_count_));
+  rebalance_component(f.links);
+}
+
+void Fabric::finish(int flow_index) {
+  Flow& f = flows_[static_cast<std::size_t>(flow_index)];
+  ADAPT_CHECK(f.active);
+  f.active = false;
+  for (LinkId l : f.links) {
+    auto& lst = link_flows_[static_cast<std::size_t>(l)];
+    lst.erase(std::find(lst.begin(), lst.end(), flow_index));
+  }
+  --active_count_;
+  ++completed_;
+  auto cb = std::move(f.on_complete);
+  f.on_complete = nullptr;
+  const std::int64_t key = f.serial_key;
+  f.serial_key = -1;
+  const std::vector<LinkId> links = std::move(f.links);
+  f.links.clear();
+  free_slots_.push_back(flow_index);
+
+  // Hand the pair's transmit queue to the next waiting message.
+  if (key >= 0) {
+    auto it = serial_waiting_.find(key);
+    if (it != serial_waiting_.end() && !it->second.empty()) {
+      Pending next = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) serial_waiting_.erase(it);
+      const TimeNs waited = sim_.now() - next.posted_at;
+      const TimeNs alpha_remaining = std::max<TimeNs>(0, next.route.alpha - waited);
+      start_flow(next.route, next.bytes, alpha_remaining,
+                 std::move(next.on_complete));
+    } else {
+      serial_busy_.erase(key);
+    }
+  }
+
+  rebalance_component(links);
+  cb();
+}
+
+// Collects the connected component of flows reachable from `seed_links`
+// through shared links. Rates in max-min fair sharing can only change within
+// this component, so everything else is left untouched — the key to keeping
+// per-event cost proportional to local congestion, not cluster size.
+void Fabric::collect_component(const std::vector<LinkId>& seed_links,
+                               std::vector<int>& flows_out,
+                               std::vector<LinkId>& links_out) {
+  ++visit_epoch_;
+  link_seen_.resize(capacity_.size(), 0);
+  flow_seen_.resize(flows_.size(), 0);
+
+  std::vector<LinkId> link_queue;
+  for (LinkId l : seed_links) {
+    if (link_seen_[static_cast<std::size_t>(l)] != visit_epoch_) {
+      link_seen_[static_cast<std::size_t>(l)] = visit_epoch_;
+      link_queue.push_back(l);
+      links_out.push_back(l);
+    }
+  }
+  for (std::size_t qi = 0; qi < link_queue.size(); ++qi) {
+    const LinkId l = link_queue[qi];
+    for (int fi : link_flows_[static_cast<std::size_t>(l)]) {
+      if (flow_seen_[static_cast<std::size_t>(fi)] == visit_epoch_) continue;
+      flow_seen_[static_cast<std::size_t>(fi)] = visit_epoch_;
+      flows_out.push_back(fi);
+      for (LinkId fl : flows_[static_cast<std::size_t>(fi)].links) {
+        if (link_seen_[static_cast<std::size_t>(fl)] != visit_epoch_) {
+          link_seen_[static_cast<std::size_t>(fl)] = visit_epoch_;
+          link_queue.push_back(fl);
+          links_out.push_back(fl);
+        }
+      }
+    }
+  }
+}
+
+void Fabric::rebalance_component(const std::vector<LinkId>& seed_links) {
+  scratch_flows_.clear();
+  scratch_links_.clear();
+  collect_component(seed_links, scratch_flows_, scratch_links_);
+  if (scratch_flows_.empty()) return;
+
+  const std::vector<int>& flows = scratch_flows_;
+  const std::vector<LinkId>& links = scratch_links_;
+  const std::size_t n = flows.size();
+
+  // Progressive filling restricted to the component. Links outside carry
+  // none of these flows by construction.
+  residual_.resize(capacity_.size());
+  unfixed_on_.resize(capacity_.size());
+  for (LinkId l : links) {
+    residual_[static_cast<std::size_t>(l)] =
+        capacity_[static_cast<std::size_t>(l)];
+    unfixed_on_[static_cast<std::size_t>(l)] = static_cast<int>(
+        link_flows_[static_cast<std::size_t>(l)].size());
+  }
+
+  rates_.assign(n, -1.0);
+  std::size_t nfixed = 0;
+  while (nfixed < n) {
+    double link_share = kInf;
+    for (LinkId l : links) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (unfixed_on_[lu] > 0)
+        link_share = std::min(link_share, residual_[lu] / unfixed_on_[lu]);
+    }
+    double flow_cap = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates_[i] < 0.0)
+        flow_cap = std::min(flow_cap,
+                            flows_[static_cast<std::size_t>(flows[i])].cap);
+    }
+    const bool cap_binds = flow_cap <= link_share;
+    const double level = cap_binds ? flow_cap : link_share;
+    ADAPT_CHECK(level > 0.0 && level < kInf);
+    const double threshold = level * (1.0 + 1e-12);
+
+    bool fixed_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates_[i] >= 0.0) continue;
+      const Flow& f = flows_[static_cast<std::size_t>(flows[i])];
+      bool binds;
+      if (cap_binds) {
+        binds = f.cap <= threshold;
+      } else {
+        binds = false;
+        for (LinkId l : f.links) {
+          const auto lu = static_cast<std::size_t>(l);
+          if (residual_[lu] / unfixed_on_[lu] <= threshold) {
+            binds = true;
+            break;
+          }
+        }
+      }
+      if (!binds) continue;
+      rates_[i] = level;
+      ++nfixed;
+      fixed_any = true;
+      for (LinkId l : f.links) {
+        const auto lu = static_cast<std::size_t>(l);
+        residual_[lu] = std::max(0.0, residual_[lu] - level);
+        --unfixed_on_[lu];
+      }
+    }
+    ADAPT_CHECK(fixed_any) << "progressive filling made no progress";
+  }
+
+  // Settle and reschedule only the flows whose rate actually changed.
+  const TimeNs now = sim_.now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int fi = flows[i];
+    Flow& f = flows_[static_cast<std::size_t>(fi)];
+    const double new_rate = rates_[i];
+    const bool changed =
+        std::abs(new_rate - f.rate) > kRateEps * std::max(1.0, f.rate);
+    if (!changed && f.completion.valid()) continue;
+
+    f.remaining =
+        std::max(0.0, f.remaining - f.rate * static_cast<double>(
+                                                 now - f.settled_at));
+    f.settled_at = now;
+    f.rate = new_rate;
+    f.completion.cancel();
+    ADAPT_CHECK(f.rate > 0.0) << "active flow starved";
+    f.completion =
+        sim_.after(duration_of(f.remaining, f.rate), [this, fi] { finish(fi); });
+  }
+}
+
+}  // namespace adapt::net

@@ -1,0 +1,124 @@
+// Contention-aware network model (fluid-flow / progressive filling).
+//
+// Every in-flight message is a *flow* across a set of shared *links*. Link
+// bandwidth is divided among its flows by max–min fairness (each flow further
+// bounded by a per-flow cap — the single-stream bandwidth of its lane), and
+// rates are recomputed whenever a flow starts or finishes. Per-message latency
+// (Hockney α) elapses before the flow enters the bandwidth-sharing phase.
+//
+// This model is the minimal one that preserves the paper's performance
+// arguments: flows on *different* lanes (intra-socket / QPI / NIC / PCIe)
+// overlap perfectly, flows on the *same* lane contend proportionally — which
+// is exactly the distinction §3.2.2 and §4.1 reason about.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::net {
+
+using LinkId = int;
+
+/// Sharing discipline; kUncontended ignores link capacities entirely (pure
+/// Hockney, for the contention ablation).
+enum class SharingPolicy { kFairShare, kUncontended };
+
+/// Route + cost parameters of one message.
+struct Route {
+  std::vector<LinkId> links;       ///< shared resources crossed (may be empty)
+  double per_flow_cap = 0.0;       ///< bytes/ns single-stream bound (>0)
+  TimeNs alpha = 0;                ///< startup latency before bytes move
+  /// Flows sharing a non-negative key serialise FIFO (a NIC's per-peer
+  /// transmit queue): concurrent segments between one (src, dst) pair go out
+  /// back to back at full stream rate instead of fair-sharing the lane —
+  /// keeping per-segment latency flat while the pipe stays busy. Queueing
+  /// time counts against alpha.
+  std::int64_t serial_key = -1;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Simulator& simulator,
+                  SharingPolicy policy = SharingPolicy::kFairShare);
+
+  /// Registers a shared resource with aggregate capacity in bytes/ns.
+  LinkId add_link(double capacity_bytes_per_ns);
+
+  /// Starts a message; `on_complete` runs (once) at the virtual time the last
+  /// byte arrives. Zero-byte messages complete after alpha alone.
+  void transfer(const Route& route, Bytes bytes,
+                std::function<void()> on_complete);
+
+  // -- introspection / stats ---------------------------------------------
+  int active_flows() const { return active_count_; }
+  std::uint64_t flows_completed() const { return completed_; }
+  std::uint64_t peak_active_flows() const { return peak_active_; }
+  double link_capacity(LinkId id) const;
+
+ private:
+  struct Flow {
+    std::vector<LinkId> links;
+    double cap = 0.0;              // per-flow rate bound, bytes/ns
+    double remaining = 0.0;        // bytes
+    double rate = 0.0;             // bytes/ns
+    TimeNs settled_at = 0;         // virtual time `remaining` refers to
+    std::int64_t serial_key = -1;
+    std::function<void()> on_complete;
+    sim::EventHandle completion;
+    bool active = false;
+  };
+
+  struct Pending {
+    Route route;
+    Bytes bytes;
+    TimeNs posted_at;
+    std::function<void()> on_complete;
+  };
+  void start_flow(const Route& route, Bytes bytes, TimeNs alpha_remaining,
+                  std::function<void()> on_complete);
+
+  void activate(int flow_index);
+  void finish(int flow_index);
+  /// Recomputes max-min rates within the connected component of flows
+  /// reachable from `seed_links` (rates outside it cannot change), settling
+  /// and rescheduling only flows whose rate moved.
+  void rebalance_component(const std::vector<LinkId>& seed_links);
+  void collect_component(const std::vector<LinkId>& seed_links,
+                         std::vector<int>& flows_out,
+                         std::vector<LinkId>& links_out);
+  int allocate_slot();
+
+  sim::Simulator& sim_;
+  SharingPolicy policy_;
+  std::vector<double> capacity_;            // per link
+  std::vector<std::vector<int>> link_flows_;  // active flows per link
+  std::vector<Flow> flows_;                 // slot-reused
+  std::vector<int> free_slots_;
+  int active_count_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t peak_active_ = 0;
+
+  // Scratch state reused across rebalances (epoch-marked visit flags).
+  std::uint64_t visit_epoch_ = 0;
+  std::vector<std::uint64_t> link_seen_;
+  std::vector<std::uint64_t> flow_seen_;
+  std::vector<int> scratch_flows_;
+  std::vector<LinkId> scratch_links_;
+  std::vector<double> residual_;
+  std::vector<int> unfixed_on_;
+  std::vector<double> rates_;
+
+  // Per-serial-key FIFO state: key -> waiting transfers (a key is "busy"
+  // while one of its flows is queued for activation or active).
+  std::map<std::int64_t, std::deque<Pending>> serial_waiting_;
+  std::set<std::int64_t> serial_busy_;
+};
+
+}  // namespace adapt::net

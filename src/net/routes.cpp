@@ -1,0 +1,125 @@
+#include "src/net/routes.hpp"
+
+#include <algorithm>
+
+#include "src/support/error.hpp"
+
+namespace adapt::net {
+
+ClusterNet::ClusterNet(sim::Simulator& simulator, const topo::Machine& machine,
+                       SharingPolicy policy, GpuConfig gpu)
+    : machine_(machine), fabric_(simulator, policy), gpu_(gpu) {
+  const topo::MachineSpec& spec = machine.spec();
+  const int nodes = spec.nodes;
+  const int sockets = nodes * spec.sockets_per_node;
+
+  shm_.reserve(static_cast<std::size_t>(sockets));
+  for (int s = 0; s < sockets; ++s)
+    shm_.push_back(fabric_.add_link(spec.shm_parallel /
+                                    spec.intra_socket.beta_ns_per_byte));
+  qpi_.reserve(static_cast<std::size_t>(nodes));
+  nic_tx_.reserve(static_cast<std::size_t>(nodes));
+  nic_rx_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    qpi_.push_back(fabric_.add_link(1.0 / spec.inter_socket.beta_ns_per_byte));
+    nic_tx_.push_back(fabric_.add_link(1.0 / spec.inter_node.beta_ns_per_byte));
+    nic_rx_.push_back(fabric_.add_link(1.0 / spec.inter_node.beta_ns_per_byte));
+  }
+  if (spec.gpus_per_socket > 0) {
+    ADAPT_CHECK(spec.pcie.beta_ns_per_byte > 0.0) << "GPU machine needs PCIe";
+    ADAPT_CHECK(spec.nic_bus.beta_ns_per_byte > 0.0);
+    for (int s = 0; s < sockets; ++s) {
+      pcie_up_.push_back(fabric_.add_link(1.0 / spec.pcie.beta_ns_per_byte));
+      pcie_down_.push_back(fabric_.add_link(1.0 / spec.pcie.beta_ns_per_byte));
+      gpu_peer_.push_back(fabric_.add_link(1.0 / spec.pcie.beta_ns_per_byte));
+    }
+    for (int n = 0; n < nodes; ++n)
+      nic_bus_.push_back(fabric_.add_link(1.0 / spec.nic_bus.beta_ns_per_byte));
+  }
+}
+
+Route ClusterNet::route(Rank src, Rank dst) const {
+  ADAPT_CHECK(src != dst) << "route to self";
+  const topo::Level level = machine_.level_between(src, dst);
+  const topo::LinkParams& lane = machine_.lane(level);
+  Route r;
+  r.alpha = lane.alpha;
+  r.per_flow_cap = 1.0 / lane.beta_ns_per_byte;
+  switch (level) {
+    case topo::Level::kIntraSocket:
+      r.links = {shm(machine_.socket_id(src))};
+      break;
+    case topo::Level::kInterSocket:
+      r.links = {qpi(machine_.node_of(src))};
+      break;
+    case topo::Level::kInterNode:
+      r.links = {nic_tx(machine_.node_of(src)), nic_rx(machine_.node_of(dst))};
+      break;
+    case topo::Level::kSelf:
+      ADAPT_UNREACHABLE("self route");
+  }
+  return r;
+}
+
+Route ClusterNet::route_mem(Rank src, MemSpace src_space, Rank dst,
+                            MemSpace dst_space) const {
+  const topo::MachineSpec& spec = machine_.spec();
+  const bool src_dev = src_space == MemSpace::kDevice;
+  const bool dst_dev = dst_space == MemSpace::kDevice;
+  if (!src_dev && !dst_dev) return route(src, dst);
+
+  ADAPT_CHECK(spec.gpus_per_socket > 0) << "device endpoint without GPUs";
+  const int src_sock = machine_.socket_id(src);
+  const int dst_sock = machine_.socket_id(dst);
+  const topo::Level level = machine_.level_between(src, dst);
+
+  // Same-socket GPU<->GPU: peer DMA stays on the switch-local lane; otherwise
+  // the copy bounces through the root port (up then down), contending with
+  // every other GPU transfer of this socket — the paper's Fig. 6a/b regime.
+  if (level != topo::Level::kInterNode && src_sock == dst_sock && src_dev &&
+      dst_dev) {
+    Route r;
+    r.alpha = spec.pcie.alpha;
+    r.per_flow_cap = 1.0 / spec.pcie.beta_ns_per_byte;
+    if (gpu_.peer_dma) {
+      r.links = {gpu_peer(src_sock)};
+    } else {
+      r.links = {pcie_up(src_sock), pcie_down(src_sock)};
+    }
+    return r;
+  }
+
+  // General case: base route between the hosts, plus PCIe crossings for each
+  // device endpoint. Per-flow cap is the slowest lane crossed.
+  Route r = (level == topo::Level::kSelf) ? Route{} : route(src, dst);
+  if (level == topo::Level::kSelf) {
+    // Host<->device copy local to one rank.
+    r.alpha = 0;
+    r.per_flow_cap = 1.0 / spec.pcie.beta_ns_per_byte;
+  }
+  const double pcie_cap = 1.0 / spec.pcie.beta_ns_per_byte;
+  if (src_dev) {
+    r.links.insert(r.links.begin(), pcie_up(src_sock));
+    r.alpha += spec.pcie.alpha;
+    r.per_flow_cap = std::min(r.per_flow_cap, pcie_cap);
+  }
+  if (dst_dev) {
+    r.links.push_back(pcie_down(dst_sock));
+    r.alpha += spec.pcie.alpha;
+    r.per_flow_cap = std::min(r.per_flow_cap, pcie_cap);
+  }
+  // Without GPUDirect, inter-node device traffic is staged through implicit
+  // host buffers (Fig. 6b): extra copy latency on each side, the staging
+  // copies cross the NIC's own PCIe attachment, and store-and-forward through
+  // per-message buffers halves the achievable streaming rate.
+  if (level == topo::Level::kInterNode && (src_dev || dst_dev) &&
+      !gpu_.gpudirect) {
+    r.alpha += 2 * spec.pcie.alpha;
+    if (src_dev) r.links.push_back(nic_bus(machine_.node_of(src)));
+    if (dst_dev) r.links.push_back(nic_bus(machine_.node_of(dst)));
+    r.per_flow_cap *= 0.5;
+  }
+  return r;
+}
+
+}  // namespace adapt::net

@@ -1,0 +1,79 @@
+// Route construction: turns a Machine description into a concrete link
+// inventory on the Fabric and builds per-message routes between endpoints.
+//
+// CPU lanes (per the paper's hierarchy): one shared-memory resource per
+// socket, one QPI resource per node, directional NIC injection/ejection
+// resources per node (full-duplex fabric core assumed uncongested — the usual
+// fat-network simplification; NICs are the inter-node bottleneck).
+//
+// GPU lanes (paper §4, Fig. 6): directional host<->GPU PCIe lanes per socket
+// (pcie_up reads GPU memory, pcie_down writes it), a switch-local GPU-peer
+// lane per socket (only used when peer DMA is enabled — the §4.1 optimised
+// flow), and the NIC's own PCIe attachment (nic_bus) so host-staged NIC
+// traffic does not consume the GPUs' root-port lanes.
+#pragma once
+
+#include "src/net/fabric.hpp"
+#include "src/topo/hardware.hpp"
+
+namespace adapt::net {
+
+using adapt::MemSpace;
+
+/// GPU transfer behaviour of the underlying runtime (per-library knobs the
+/// baselines and ADAPT set differently).
+struct GpuConfig {
+  bool gpudirect = false;  ///< NIC reads/writes GPU memory directly
+  bool peer_dma = false;   ///< same-socket GPU<->GPU via switch-local DMA
+};
+
+class ClusterNet {
+ public:
+  ClusterNet(sim::Simulator& simulator, const topo::Machine& machine,
+             SharingPolicy policy = SharingPolicy::kFairShare,
+             GpuConfig gpu = {});
+
+  Fabric& fabric() { return fabric_; }
+  const topo::Machine& machine() const { return machine_; }
+  const GpuConfig& gpu_config() const { return gpu_; }
+
+  /// Host-to-host route between two CPU ranks.
+  Route route(Rank src, Rank dst) const;
+
+  /// Route between arbitrary endpoints (host or device memory of a rank),
+  /// honouring the GpuConfig.
+  Route route_mem(Rank src, MemSpace src_space, Rank dst,
+                  MemSpace dst_space) const;
+
+  /// Starts a transfer along a route (convenience passthrough).
+  void transfer(const Route& route, Bytes bytes,
+                std::function<void()> on_complete) {
+    fabric_.transfer(route, bytes, std::move(on_complete));
+  }
+
+  // Named links, exposed for the GPU collective optimisations that compose
+  // their own routes (e.g. explicit CPU-buffer staging).
+  LinkId shm(int socket_id) const { return shm_.at(socket_id); }
+  LinkId qpi(int node) const { return qpi_.at(node); }
+  LinkId nic_tx(int node) const { return nic_tx_.at(node); }
+  LinkId nic_rx(int node) const { return nic_rx_.at(node); }
+  LinkId nic_bus(int node) const { return nic_bus_.at(node); }
+  LinkId pcie_up(int socket_id) const { return pcie_up_.at(socket_id); }
+  LinkId pcie_down(int socket_id) const { return pcie_down_.at(socket_id); }
+  LinkId gpu_peer(int socket_id) const { return gpu_peer_.at(socket_id); }
+
+ private:
+  const topo::Machine& machine_;
+  Fabric fabric_;
+  GpuConfig gpu_;
+  std::vector<LinkId> shm_;       // per global socket
+  std::vector<LinkId> qpi_;       // per node
+  std::vector<LinkId> nic_tx_;    // per node
+  std::vector<LinkId> nic_rx_;    // per node
+  std::vector<LinkId> nic_bus_;   // per node (GPU machines only)
+  std::vector<LinkId> pcie_up_;   // per global socket (GPU machines only)
+  std::vector<LinkId> pcie_down_; // per global socket (GPU machines only)
+  std::vector<LinkId> gpu_peer_;  // per global socket (GPU machines only)
+};
+
+}  // namespace adapt::net

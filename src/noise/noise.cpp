@@ -1,0 +1,71 @@
+#include "src/noise/noise.hpp"
+
+#include "src/support/error.hpp"
+#include "src/support/rng.hpp"
+
+namespace adapt::noise {
+
+UniformBurstNoise::UniformBurstNoise(TimeNs max_duration, double freq_hz,
+                                     std::uint64_t seed, bool synchronized)
+    : max_duration_(max_duration),
+      period_(static_cast<TimeNs>(1e9 / freq_hz)),
+      seed_(seed),
+      synchronized_(synchronized) {
+  ADAPT_CHECK(max_duration >= 0);
+  ADAPT_CHECK(freq_hz > 0.0);
+  // A burst must fit inside its own period (phase <= P/2, duration <= P/2),
+  // so bursts of consecutive periods never overlap and next_free needs to
+  // examine a single period.
+  ADAPT_CHECK(max_duration_ <= period_ / 2)
+      << "burst duration " << max_duration_ << " exceeds half period "
+      << period_;
+}
+
+std::pair<TimeNs, TimeNs> UniformBurstNoise::burst(Rank r, std::int64_t k)
+    const {
+  if (k < 0) return {0, 0};
+  // Stateless derivation: hash (seed, rank, period index); the phase hash
+  // drops the rank when bursts are cluster-synchronized.
+  SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r + 1)) ^
+                (0xd1b54a32d192ed03ULL * static_cast<std::uint64_t>(k + 1)));
+  SplitMix64 sm_phase(seed_ ^
+                      (0xd1b54a32d192ed03ULL * static_cast<std::uint64_t>(k + 1)));
+  const std::uint64_t r1 = sm.next();
+  const std::uint64_t h2 = sm.next();
+  const std::uint64_t h1 = synchronized_ ? sm_phase.next() : r1;
+  const TimeNs phase =
+      static_cast<TimeNs>(h1 % static_cast<std::uint64_t>(period_ / 2 + 1));
+  const TimeNs duration =
+      max_duration_ > 0
+          ? static_cast<TimeNs>(h2 % static_cast<std::uint64_t>(max_duration_))
+          : 0;
+  const TimeNs start = k * period_ + phase;
+  return {start, start + duration};
+}
+
+TimeNs UniformBurstNoise::next_free(Rank r, TimeNs t) const {
+  if (t < 0) t = 0;
+  const std::int64_t k = t / period_;
+  const auto [start, end] = burst(r, k);
+  if (t >= start && t < end) return end;
+  return t;
+}
+
+double UniformBurstNoise::duty() const {
+  // Mean burst duration is max/2 per period.
+  return static_cast<double>(max_duration_) / 2.0 /
+         static_cast<double>(period_);
+}
+
+std::shared_ptr<NoiseModel> paper_noise(int duty_percent, std::uint64_t seed) {
+  ADAPT_CHECK(duty_percent >= 0);
+  if (duty_percent == 0) return std::make_shared<NoNoise>();
+  // duty% at 10 Hz: mean burst = duty% of 100 ms, max = twice the mean.
+  // The paper injects independently per process ("randomly ... following a
+  // uniform distribution"), so phases are per-rank here.
+  const TimeNs max_duration = milliseconds(2.0 * duty_percent);
+  return std::make_shared<UniformBurstNoise>(max_duration, 10.0, seed,
+                                             /*synchronized=*/false);
+}
+
+}  // namespace adapt::noise

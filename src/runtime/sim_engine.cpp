@@ -1,0 +1,247 @@
+#include "src/runtime/sim_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/gpu/device.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::runtime {
+
+// ------------------------------------------------------- SimRankExecutor ---
+
+class SimEngine::SimRankExecutor final : public mpi::RankExecutor {
+ public:
+  SimRankExecutor(SimEngine& engine, Rank rank)
+      : engine_(engine), rank_(rank) {}
+
+  TimeNs now() const override { return engine_.sim_.now(); }
+  void post(std::function<void()> fn, TimeNs cpu_cost) override {
+    engine_.run_on(rank_, std::move(fn), cpu_cost);
+  }
+  void post_progress(std::function<void()> fn, TimeNs cpu_cost) override {
+    engine_.run_progress(rank_, std::move(fn), cpu_cost);
+  }
+  void charge(TimeNs cpu_cost) override { engine_.charge(rank_, cpu_cost); }
+
+ private:
+  SimEngine& engine_;
+  Rank rank_;
+};
+
+// ---------------------------------------------------------- SimTransport ---
+
+class SimEngine::SimTransport final : public mpi::Transport {
+ public:
+  explicit SimTransport(SimEngine& engine) : engine_(engine) {}
+
+  void submit(mpi::Envelope env, MemSpace src_space, MemSpace dst_space,
+              std::function<void()> on_sent) override {
+    net::Route route =
+        engine_.net_.route_mem(env.src, src_space, env.dst, dst_space);
+    // FIFO per (src, dst, lane-direction): segments between one pair leave
+    // back to back (NIC transmit queue), not fair-shared against each other.
+    route.serial_key =
+        static_cast<std::int64_t>(env.src) * engine_.machine_.nranks() +
+        env.dst;
+    if (env.size <= engine_.machine_.spec().eager_threshold) {
+      submit_eager(route, std::move(env), std::move(on_sent));
+    } else {
+      submit_rendezvous(route, std::move(env), std::move(on_sent));
+    }
+  }
+
+ private:
+  mpi::Endpoint& endpoint(Rank r) {
+    return *engine_.endpoints_[static_cast<std::size_t>(r)];
+  }
+
+  /// Eager: the data travels immediately and is buffered at the receiver if
+  /// nothing matches; the sender never waits on the receiver's CPU.
+  void submit_eager(const net::Route& route, mpi::Envelope env,
+                    std::function<void()> on_sent) {
+    const Rank src = env.src;
+    const Rank dst = env.dst;
+    engine_.net_.transfer(
+        route, env.size,
+        [this, src, dst, env = std::move(env),
+         on_sent = std::move(on_sent)]() mutable {
+          engine_.run_progress(src, std::move(on_sent), 0);
+          // NIC-side matching: no receiver-CPU gate here (deliver defers any
+          // CPU-bound follow-up itself).
+          endpoint(dst).deliver(std::move(env));
+        });
+  }
+
+  /// Rendezvous: an RTS races ahead; the bulk data moves only once a receive
+  /// matched (instantly when pre-posted — hardware matching — or whenever
+  /// the receiver gets around to posting one). This is the coupling that
+  /// lets a noisy receiver stall its parent in blocking/Waitall designs.
+  void submit_rendezvous(const net::Route& route, mpi::Envelope env,
+                         std::function<void()> on_sent) {
+    const Rank dst = env.dst;
+    const TimeNs rts_latency = route.alpha;
+    mpi::Envelope rts = env;  // shares the payload pointer
+    rts.grant = [this, route, env = std::move(env),
+                 on_sent = std::move(on_sent)](mpi::PostedRecv recv) {
+      // CTS back to the sender, then the bulk transfer.
+      engine_.sim_.after(route.alpha, [this, route, env, on_sent, recv] {
+        const Rank src = env.src;
+        const Rank rdst = env.dst;
+        engine_.net_.transfer(route, env.size, [this, src, rdst, env, on_sent,
+                                                recv] {
+          engine_.run_progress(src, on_sent, 0);
+          engine_.run_progress(
+              rdst,
+              [this, rdst, recv, env] { endpoint(rdst).finalize_recv(recv, env); },
+              engine_.machine_.spec().cpu_overhead);
+        });
+      });
+    };
+    engine_.sim_.after(rts_latency, [this, dst, rts = std::move(rts)]() mutable {
+      endpoint(dst).deliver(std::move(rts));
+    });
+  }
+
+  SimEngine& engine_;
+};
+
+// ------------------------------------------------------------- SimContext ---
+
+class SimEngine::SimContext final : public Context {
+ public:
+  SimContext(SimEngine& engine, Rank rank) : engine_(engine), rank_(rank) {}
+
+  Rank rank() const override { return rank_; }
+  int nranks() const override { return engine_.machine_.nranks(); }
+  TimeNs now() const override { return engine_.sim_.now(); }
+  mpi::Endpoint& endpoint() override {
+    return *engine_.endpoints_[static_cast<std::size_t>(rank_)];
+  }
+  const topo::Machine& machine() const override { return engine_.machine_; }
+
+  sim::Task<> compute(TimeNs cost) override {
+    ADAPT_CHECK(cost >= 0);
+    co_await sim::Suspend([this, cost](std::coroutine_handle<> h) {
+      engine_.run_on(rank_, [h] { h.resume(); }, cost);
+    });
+  }
+
+  void defer(TimeNs cpu_cost, std::function<void()> fn) override {
+    engine_.run_on(rank_, std::move(fn), cpu_cost);
+  }
+
+  void defer_progress(TimeNs cpu_cost, std::function<void()> fn) override {
+    engine_.run_progress(rank_, std::move(fn), cpu_cost);
+  }
+
+  sim::Task<> sleep_for(TimeNs duration) override {
+    ADAPT_CHECK(duration >= 0);
+    co_await sim::Suspend([this, duration](std::coroutine_handle<> h) {
+      engine_.sim_.after(duration, [h] { h.resume(); });
+    });
+  }
+
+  gpu::Device* gpu() override {
+    return engine_.gpu_ ? engine_.gpu_->device_for(rank_) : nullptr;
+  }
+
+ private:
+  SimEngine& engine_;
+  Rank rank_;
+};
+
+// -------------------------------------------------------------- SimEngine ---
+
+SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
+    : machine_(machine),
+      options_(options),
+      net_(sim_, machine, options.sharing, options.gpu),
+      noise_(options.noise ? options.noise
+                           : std::make_shared<noise::NoNoise>()) {
+  const int n = machine_.nranks();
+  transport_ = std::make_unique<SimTransport>(*this);
+  busy_until_.assign(static_cast<std::size_t>(n), 0);
+  progress_busy_until_.assign(static_cast<std::size_t>(n), 0);
+
+  const mpi::EndpointCosts costs{machine_.spec().cpu_overhead,
+                                 machine_.spec().unexpected_overhead,
+                                 machine_.spec().memcpy_beta};
+  executors_.reserve(static_cast<std::size_t>(n));
+  endpoints_.reserve(static_cast<std::size_t>(n));
+  contexts_.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) {
+    executors_.push_back(std::make_unique<SimRankExecutor>(*this, r));
+    endpoints_.push_back(std::make_unique<mpi::Endpoint>(
+        r, *executors_.back(), *transport_, costs));
+    contexts_.push_back(std::make_unique<SimContext>(*this, r));
+  }
+  if (machine_.spec().gpus_per_socket > 0) {
+    gpu_ = std::make_unique<gpu::GpuRuntime>(sim_, net_, machine_);
+  }
+}
+
+SimEngine::~SimEngine() = default;
+
+Context& SimEngine::context(Rank r) {
+  ADAPT_CHECK(r >= 0 && r < machine_.nranks());
+  return *contexts_[static_cast<std::size_t>(r)];
+}
+
+void SimEngine::run_on(Rank r, std::function<void()> fn, TimeNs cpu_cost) {
+  ADAPT_CHECK(cpu_cost >= 0);
+  auto& busy = busy_until_[static_cast<std::size_t>(r)];
+  TimeNs start = std::max(sim_.now(), busy);
+  start = noise_->next_free(r, start);
+  busy = start + cpu_cost;
+  sim_.at(busy, std::move(fn));
+}
+
+void SimEngine::run_progress(Rank r, std::function<void()> fn,
+                             TimeNs cpu_cost) {
+  ADAPT_CHECK(cpu_cost >= 0);
+  auto& busy = progress_busy_until_[static_cast<std::size_t>(r)];
+  busy = std::max(sim_.now(), busy) + cpu_cost;
+  sim_.at(busy, std::move(fn));
+}
+
+void SimEngine::charge(Rank r, TimeNs cpu_cost) {
+  ADAPT_CHECK(cpu_cost >= 0);
+  auto& busy = busy_until_[static_cast<std::size_t>(r)];
+  busy = std::max(sim_.now(), busy) + cpu_cost;
+}
+
+RunResult SimEngine::run(const RankProgram& program) {
+  const int n = machine_.nranks();
+  RunResult result;
+  result.rank_finish.assign(static_cast<std::size_t>(n), -1);
+  int remaining = n;
+  std::exception_ptr failure;
+
+  for (Rank r = 0; r < n; ++r) {
+    run_on(
+        r,
+        [this, r, &program, &result, &remaining, &failure] {
+          sim::run_detached(
+              program(*contexts_[static_cast<std::size_t>(r)]),
+              [this, r, &result, &remaining, &failure](std::exception_ptr ep) {
+                result.rank_finish[static_cast<std::size_t>(r)] = sim_.now();
+                --remaining;
+                if (ep && !failure) failure = ep;
+              });
+        },
+        0);
+  }
+
+  sim_.run();
+  if (failure) std::rethrow_exception(failure);
+  ADAPT_CHECK(remaining == 0)
+      << remaining << " of " << n
+      << " ranks never finished: deadlock (blocked on a message that is "
+         "never sent)";
+  result.total_time =
+      *std::max_element(result.rank_finish.begin(), result.rank_finish.end());
+  return result;
+}
+
+}  // namespace adapt::runtime

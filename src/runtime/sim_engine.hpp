@@ -1,0 +1,72 @@
+// Discrete-event execution engine: every rank is a coroutine scheduled on one
+// virtual clock; messages move through the contention-aware ClusterNet;
+// rank CPUs are serialised resources that noise can occupy.
+//
+// This is the engine all paper-scale experiments run on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/mpi/endpoint.hpp"
+#include "src/net/routes.hpp"
+#include "src/noise/noise.hpp"
+#include "src/runtime/context.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/topo/hardware.hpp"
+
+namespace adapt::gpu {
+class GpuRuntime;
+}
+
+namespace adapt::runtime {
+
+struct SimEngineOptions {
+  net::SharingPolicy sharing = net::SharingPolicy::kFairShare;
+  net::GpuConfig gpu;
+  std::shared_ptr<noise::NoiseModel> noise;  ///< null = no noise
+};
+
+class SimEngine final : public Engine {
+ public:
+  SimEngine(const topo::Machine& machine, SimEngineOptions options = {});
+  ~SimEngine() override;
+
+  int nranks() const override { return machine_.nranks(); }
+  RunResult run(const RankProgram& program) override;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::ClusterNet& net() { return net_; }
+  const topo::Machine& machine() const { return machine_; }
+  Context& context(Rank r);
+  TimeNs now() const { return sim_.now(); }
+
+  /// Main-thread scheduling: runs `fn` once rank r's application thread is
+  /// free (noise applies), after occupying it for `cpu_cost`.
+  void run_on(Rank r, std::function<void()> fn, TimeNs cpu_cost);
+  /// Progress-context scheduling: the communication engine's timeline, which
+  /// noise never touches (async progress thread + NIC offload).
+  void run_progress(Rank r, std::function<void()> fn, TimeNs cpu_cost);
+  /// Synchronously extends rank r's main-thread busy window.
+  void charge(Rank r, TimeNs cpu_cost);
+
+ private:
+  class SimContext;
+  class SimRankExecutor;
+  class SimTransport;
+
+  const topo::Machine& machine_;
+  SimEngineOptions options_;
+  sim::Simulator sim_;
+  net::ClusterNet net_;
+  std::shared_ptr<noise::NoiseModel> noise_;
+  std::unique_ptr<SimTransport> transport_;
+  std::vector<std::unique_ptr<SimRankExecutor>> executors_;
+  std::vector<std::unique_ptr<mpi::Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<SimContext>> contexts_;
+  std::vector<TimeNs> busy_until_;           // main thread, noise applies
+  std::vector<TimeNs> progress_busy_until_;  // progress context
+  std::unique_ptr<gpu::GpuRuntime> gpu_;
+};
+
+}  // namespace adapt::runtime

@@ -1,0 +1,37 @@
+#include "src/sim/event_queue.hpp"
+
+#include "src/support/error.hpp"
+
+namespace adapt::sim {
+
+EventHandle EventQueue::push(TimeNs time, std::function<void()> fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  state->fn = std::move(fn);
+  heap_.push(Entry{time, seq_++, state});
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+TimeNs EventQueue::next_time() const {
+  drop_cancelled();
+  ADAPT_CHECK(!heap_.empty()) << "next_time on empty event queue";
+  return heap_.top().time;
+}
+
+std::pair<TimeNs, std::function<void()>> EventQueue::pop() {
+  drop_cancelled();
+  ADAPT_CHECK(!heap_.empty()) << "pop on empty event queue";
+  Entry top = heap_.top();
+  heap_.pop();
+  return {top.time, std::move(top.state->fn)};
+}
+
+}  // namespace adapt::sim

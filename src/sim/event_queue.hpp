@@ -1,0 +1,85 @@
+// Pending-event priority queue for the discrete-event kernel.
+//
+// Ordering is (time, insertion sequence): events at equal times fire in the
+// order they were scheduled, which makes whole-simulation traces reproducible
+// bit-for-bit — a property the determinism tests pin down.
+//
+// Cancellation is lazy: a cancelled entry stays in the heap until it reaches
+// the top and is then discarded, keeping push/pop at O(log n) with no
+// secondary index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/support/units.hpp"
+
+namespace adapt::sim {
+
+/// Cancellable handle to a scheduled event. Cheap shared ownership: the queue
+/// keeps one reference until the event fires or is skipped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event's callback from running. Idempotent; safe after fire.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap of timed callbacks with stable same-time ordering.
+class EventQueue {
+ public:
+  EventHandle push(TimeNs time, std::function<void()> fn);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Entry count, counting cancelled entries not yet collected (upper bound
+  /// on live events).
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest live event; precondition: !empty().
+  TimeNs next_time() const;
+
+  /// Pops the earliest live event and returns (time, callback).
+  /// Precondition: !empty().
+  std::pair<TimeNs, std::function<void()>> pop();
+
+  std::uint64_t total_scheduled() const { return seq_; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace adapt::sim

@@ -1,0 +1,45 @@
+// The discrete-event simulation kernel: a virtual clock plus an event queue.
+//
+// The kernel knows nothing about ranks, networks or MPI — higher layers
+// (net::Fabric, runtime::SimEngine) schedule closures on it. Strictly
+// single-threaded; determinism follows from EventQueue's stable ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "src/sim/event_queue.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::sim {
+
+class Simulator {
+ public:
+  /// Current virtual time. Starts at 0.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
+  EventHandle at(TimeNs t, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay (must be >= 0).
+  EventHandle after(TimeNs delay, std::function<void()> fn);
+
+  /// Runs until the event queue drains or `until` is passed; returns the
+  /// final virtual time. Events exactly at `until` still fire.
+  TimeNs run(TimeNs until = std::numeric_limits<TimeNs>::max());
+
+  /// Executes at most one event; returns false when none are pending.
+  bool step();
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::uint64_t events_scheduled() const { return queue_.total_scheduled(); }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace adapt::sim

@@ -1,0 +1,13 @@
+#include "src/support/error.hpp"
+
+namespace adapt::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream ss;
+  ss << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) ss << " — " << message;
+  throw Error(ss.str());
+}
+
+}  // namespace adapt::detail

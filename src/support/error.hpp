@@ -1,0 +1,60 @@
+// Error handling policy: programming errors and violated invariants throw
+// adapt::Error carrying a formatted message with source location. The macros
+// are used for preconditions on public APIs and internal invariants; they are
+// always on (the simulator's correctness depends on them, and the cost is
+// negligible next to event dispatch).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adapt {
+
+/// Exception type thrown for all precondition and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& message);
+
+}  // namespace detail
+
+}  // namespace adapt
+
+/// Precondition / invariant check: throws adapt::Error when `expr` is false.
+/// Additional stream-style context may follow:
+///   ADAPT_CHECK(rank < size) << "rank=" << rank;
+#define ADAPT_CHECK(expr)                                                   \
+  if (expr) {                                                               \
+  } else                                                                    \
+    ::adapt::detail::CheckStream(#expr, __FILE__, __LINE__).stream()
+
+/// Unreachable-code marker.
+#define ADAPT_UNREACHABLE(msg) \
+  ::adapt::detail::throw_check_failure("unreachable", __FILE__, __LINE__, msg)
+
+namespace adapt::detail {
+
+/// Collects streamed context then throws from its destructor-like terminator.
+class CheckStream {
+ public:
+  CheckStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckStream() noexcept(false) {
+    throw_check_failure(expr_, file_, line_, ss_.str());
+  }
+  std::ostream& stream() { return ss_; }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+}  // namespace adapt::detail

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Off by default (benchmarks must stay quiet); tests
+// and examples can raise the level. Not thread-safe beyond line atomicity,
+// which is all the thread engine needs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace adapt {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+/// Stream-style logging: ADAPT_LOG(kInfo) << "rank " << r << " done";
+#define ADAPT_LOG(level)                                              \
+  if (::adapt::LogLevel::level > ::adapt::log_level()) {              \
+  } else                                                              \
+    ::adapt::detail::LogStream(::adapt::LogLevel::level).stream()
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  std::ostream& stream() { return ss_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace detail
+}  // namespace adapt

@@ -1,0 +1,94 @@
+// Deterministic random number generation.
+//
+// Reproducibility is a hard requirement: the same seed must yield the same
+// virtual-time trace on every platform, so we avoid std:: distribution objects
+// (whose algorithms are implementation-defined) and provide our own sampling
+// on top of a fixed-algorithm generator.
+//
+// Per-rank streams are derived by splitting a master seed through SplitMix64,
+// which is also the recommended seeding procedure for xoshiro generators.
+#pragma once
+
+#include <cstdint>
+
+#include "src/support/units.hpp"
+
+namespace adapt {
+
+/// SplitMix64: tiny, full-period 2^64 generator used for seed derivation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derives an independent stream, e.g. one per rank: Rng(seed).split(rank).
+  Rng split(std::uint64_t stream_id) const {
+    SplitMix64 sm(state_[0] ^ (0xa0761d6478bd642fULL * (stream_id + 1)));
+    return Rng(sm.next());
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (unbiased
+  /// enough for simulation purposes; exactness is not required, determinism is).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform duration in [lo, hi).
+  TimeNs next_time(TimeNs lo, TimeNs hi) {
+    return lo + static_cast<TimeNs>(
+                    next_below(static_cast<std::uint64_t>(hi - lo)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace adapt

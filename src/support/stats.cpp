@@ -1,0 +1,60 @@
+#include "src/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/error.hpp"
+
+namespace adapt {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::min() const {
+  ADAPT_CHECK(!xs_.empty());
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  ADAPT_CHECK(!xs_.empty());
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Samples::quantile(double q) const {
+  ADAPT_CHECK(!xs_.empty());
+  ADAPT_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace adapt

@@ -1,0 +1,49 @@
+// Measurement accumulators used by the benchmark harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/units.hpp"
+
+namespace adapt {
+
+/// Streaming summary statistics (Welford) over double samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining accumulator providing exact quantiles; used where the
+/// harness reports medians/percentiles across iterations.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile with linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace adapt

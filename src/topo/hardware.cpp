@@ -1,0 +1,107 @@
+#include "src/topo/hardware.hpp"
+
+#include <functional>
+#include <map>
+
+#include "src/support/error.hpp"
+
+namespace adapt::topo {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kSelf: return "self";
+    case Level::kIntraSocket: return "intra-socket";
+    case Level::kInterSocket: return "inter-socket";
+    case Level::kInterNode: return "inter-node";
+  }
+  return "?";
+}
+
+Machine::Machine(MachineSpec spec, int nranks, PlacementPolicy policy)
+    : spec_(std::move(spec)), policy_(policy) {
+  ADAPT_CHECK(nranks > 0);
+  ADAPT_CHECK(spec_.nodes > 0 && spec_.sockets_per_node > 0 &&
+              spec_.cores_per_socket > 0);
+  locs_.reserve(static_cast<std::size_t>(nranks));
+
+  if (policy == PlacementPolicy::kByCore) {
+    const int capacity = spec_.nodes * spec_.cores_per_node();
+    ADAPT_CHECK(nranks <= capacity)
+        << "nranks=" << nranks << " exceeds " << capacity << " cores on "
+        << spec_.name;
+    for (int r = 0; r < nranks; ++r) {
+      const int node = r / spec_.cores_per_node();
+      const int within = r % spec_.cores_per_node();
+      locs_.push_back(Loc{node, within / spec_.cores_per_socket,
+                          within % spec_.cores_per_socket, -1});
+    }
+  } else {
+    ADAPT_CHECK(spec_.gpus_per_socket > 0)
+        << "by-GPU placement on a machine without GPUs";
+    const int capacity = spec_.nodes * spec_.gpus_per_node();
+    ADAPT_CHECK(nranks <= capacity)
+        << "nranks=" << nranks << " exceeds " << capacity << " GPUs on "
+        << spec_.name;
+    for (int r = 0; r < nranks; ++r) {
+      const int node = r / spec_.gpus_per_node();
+      const int within = r % spec_.gpus_per_node();
+      const int socket = within / spec_.gpus_per_socket;
+      const int gpu = within % spec_.gpus_per_socket;
+      // One rank per GPU; the rank's CPU core is the gpu-th core of the socket.
+      locs_.push_back(Loc{node, socket, gpu, gpu});
+    }
+  }
+}
+
+const Loc& Machine::loc(Rank r) const {
+  ADAPT_CHECK(r >= 0 && r < nranks()) << "rank " << r << " of " << nranks();
+  return locs_[static_cast<std::size_t>(r)];
+}
+
+Level Machine::level_between(Rank a, Rank b) const {
+  const Loc& la = loc(a);
+  const Loc& lb = loc(b);
+  if (a == b) return Level::kSelf;
+  if (la.node != lb.node) return Level::kInterNode;
+  if (la.socket != lb.socket) return Level::kInterSocket;
+  return Level::kIntraSocket;
+}
+
+const LinkParams& Machine::lane(Level level) const {
+  switch (level) {
+    case Level::kIntraSocket: return spec_.intra_socket;
+    case Level::kInterSocket: return spec_.inter_socket;
+    case Level::kInterNode: return spec_.inter_node;
+    case Level::kSelf: break;
+  }
+  ADAPT_UNREACHABLE("no lane for Level::kSelf");
+}
+
+int Machine::socket_id(Rank r) const {
+  const Loc& l = loc(r);
+  return l.node * spec_.sockets_per_node + l.socket;
+}
+
+namespace {
+
+std::vector<std::vector<Rank>> group_by(
+    int nranks, const std::function<int(Rank)>& key) {
+  std::map<int, std::vector<Rank>> groups;
+  for (Rank r = 0; r < nranks; ++r) groups[key(r)].push_back(r);
+  std::vector<std::vector<Rank>> out;
+  out.reserve(groups.size());
+  for (auto& [k, v] : groups) out.push_back(std::move(v));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<Rank>> Machine::ranks_by_node() const {
+  return group_by(nranks(), [this](Rank r) { return node_of(r); });
+}
+
+std::vector<std::vector<Rank>> Machine::ranks_by_socket() const {
+  return group_by(nranks(), [this](Rank r) { return socket_id(r); });
+}
+
+}  // namespace adapt::topo

@@ -1,0 +1,129 @@
+#include "src/topo/presets.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/support/error.hpp"
+
+namespace adapt::topo {
+
+namespace {
+
+/// LinkParams from (latency ns, bandwidth GB/s). 1 GB/s == 1 byte/ns.
+LinkParams link(TimeNs alpha_ns, double bw_gbs) {
+  return LinkParams{alpha_ns, 1.0 / bw_gbs};
+}
+
+}  // namespace
+
+MachineSpec cori(int nodes) {
+  MachineSpec m;
+  m.name = "cori";
+  m.nodes = nodes;
+  m.sockets_per_node = 2;
+  m.cores_per_socket = 16;
+  m.intra_socket = link(300, 8.0);    // shared-memory copy-in/copy-out
+  m.shm_parallel = 8.0;               // ~64 GB/s socket memory system
+  m.inter_socket = link(500, 6.0);    // QPI hop
+  m.inter_node = link(1400, 8.0);     // Cray Aries
+  m.memcpy_beta = 0.12;
+  m.unexpected_overhead = 700;
+  m.reduce_gamma = 0.25;
+  m.cpu_overhead = 150;
+  return m;
+}
+
+MachineSpec stampede2(int nodes) {
+  MachineSpec m;
+  m.name = "stampede2";
+  m.nodes = nodes;
+  m.sockets_per_node = 2;
+  m.cores_per_socket = 24;
+  m.intra_socket = link(280, 9.0);
+  m.shm_parallel = 9.0;               // ~80 GB/s socket memory system
+  m.inter_socket = link(480, 7.0);
+  m.inter_node = link(1100, 12.0);    // Intel Omni-Path 100 Gb
+  m.memcpy_beta = 0.11;
+  m.unexpected_overhead = 650;
+  m.reduce_gamma = 0.22;
+  m.cpu_overhead = 140;
+  return m;
+}
+
+MachineSpec psg(int nodes) {
+  MachineSpec m;
+  m.name = "psg";
+  m.nodes = nodes;
+  m.sockets_per_node = 2;
+  m.cores_per_socket = 10;
+  m.gpus_per_socket = 2;              // 4 K40 per node
+  m.intra_socket = link(350, 7.0);
+  m.inter_socket = link(550, 5.5);
+  m.inter_node = link(1700, 5.0);     // 40 Gb/s FDR InfiniBand
+  m.pcie = link(6000, 10.0);          // PCIe gen3 x16 incl. cudaMemcpy setup
+  m.nic_bus = link(1500, 6.0);        // NIC's PCIe attachment
+  m.memcpy_beta = 0.15;
+  m.unexpected_overhead = 800;
+  m.reduce_gamma = 0.28;
+  m.gpu_reduce_gamma = 0.02;          // K40 is memory-bound at ~200 GB/s
+  m.gpu_kernel_launch = 8000;
+  m.cpu_overhead = 180;
+  return m;
+}
+
+MachineSpec preset(const std::string& name, int nodes) {
+  ADAPT_CHECK(nodes > 0);
+  if (name == "cori") return cori(nodes);
+  if (name == "stampede2") return stampede2(nodes);
+  if (name == "psg") return psg(nodes);
+  throw Error("unknown cluster preset: " + name);
+}
+
+MachineSpec parse_spec(const std::string& text) {
+  MachineSpec m = cori(1);
+  m.name = "custom";
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    ADAPT_CHECK(eq != std::string::npos) << "bad spec item: " << item;
+    const std::string key = item.substr(0, eq);
+    const double value = std::strtod(item.c_str() + eq + 1, nullptr);
+    if (key == "nodes") {
+      m.nodes = static_cast<int>(value);
+    } else if (key == "sockets") {
+      m.sockets_per_node = static_cast<int>(value);
+    } else if (key == "cores") {
+      m.cores_per_socket = static_cast<int>(value);
+    } else if (key == "gpus") {
+      m.gpus_per_socket = static_cast<int>(value);
+    } else if (key == "alpha_socket") {
+      m.intra_socket.alpha = static_cast<TimeNs>(value);
+    } else if (key == "bw_socket") {
+      m.intra_socket.beta_ns_per_byte = 1.0 / value;
+    } else if (key == "alpha_qpi") {
+      m.inter_socket.alpha = static_cast<TimeNs>(value);
+    } else if (key == "bw_qpi") {
+      m.inter_socket.beta_ns_per_byte = 1.0 / value;
+    } else if (key == "alpha_node") {
+      m.inter_node.alpha = static_cast<TimeNs>(value);
+    } else if (key == "bw_node") {
+      m.inter_node.beta_ns_per_byte = 1.0 / value;
+    } else if (key == "alpha_pcie") {
+      m.pcie.alpha = static_cast<TimeNs>(value);
+    } else if (key == "bw_pcie") {
+      m.pcie.beta_ns_per_byte = 1.0 / value;
+    } else if (key == "gamma") {
+      m.reduce_gamma = value;
+    } else if (key == "gpu_gamma") {
+      m.gpu_reduce_gamma = value;
+    } else {
+      throw Error("unknown machine spec key: " + key);
+    }
+  }
+  ADAPT_CHECK(m.nodes > 0 && m.sockets_per_node > 0 && m.cores_per_socket > 0);
+  return m;
+}
+
+}  // namespace adapt::topo

@@ -1,0 +1,33 @@
+// Cluster presets modelling the paper's three evaluation platforms (§5), plus
+// a small parser so examples can describe ad-hoc machines on the command line.
+//
+// Link parameters are realistic figures for each interconnect generation, not
+// the authors' measured values (which the paper does not publish): Aries and
+// Omni-Path node-to-node bandwidth/latency, QPI, dual-socket shared memory,
+// PCIe gen3 and FDR InfiniBand. EXPERIMENTS.md discusses how figure shapes
+// depend on these only through ratios, not absolutes.
+#pragma once
+
+#include <string>
+
+#include "src/topo/hardware.hpp"
+
+namespace adapt::topo {
+
+/// Cori-like: 32 ranks/node (2 × 16-core Xeon E5-2698-class), Cray Aries.
+MachineSpec cori(int nodes);
+
+/// Stampede2-like: 48 ranks/node (2 × 24-core Xeon 8160), Intel Omni-Path.
+MachineSpec stampede2(int nodes);
+
+/// NVIDIA PSG-like: 2 × 10-core IvyBridge, 2 K40 GPUs per socket, FDR IB.
+MachineSpec psg(int nodes);
+
+/// Looks up a preset by name ("cori", "stampede2", "psg").
+MachineSpec preset(const std::string& name, int nodes);
+
+/// Parses "nodes=4,sockets=2,cores=8,gpus=0,alpha_node=1200,bw_node=8" style
+/// specs; unknown keys throw. Bandwidths in GB/s, latencies in ns.
+MachineSpec parse_spec(const std::string& text);
+
+}  // namespace adapt::topo

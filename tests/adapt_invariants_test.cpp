@@ -1,0 +1,199 @@
+// Properties specific to the ADAPT event-driven implementations (§2.2):
+// the N-outstanding-sends bound, the M-pre-posted-receives rule and its
+// unexpected-message consequences, segment/child independence, and the
+// performance relations the paper's analysis predicts (asserted with
+// generous margins so they are robust to model tuning).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/coll/coll.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::coll {
+namespace {
+
+using runtime::Context;
+using runtime::SimEngine;
+
+TimeNs time_bcast(SimEngine& engine, const mpi::Comm& world, const Tree& tree,
+                  Bytes msg, Style style, const CollOpts& opts) {
+  TimeNs worst = 0;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    const TimeNs t0 = ctx.now();
+    co_await bcast(ctx, world, mpi::MutView{nullptr, msg}, tree.root, tree,
+                   style, opts);
+    worst = std::max(worst, ctx.now() - t0);
+  };
+  engine.run(program);
+  return worst;
+}
+
+TEST(AdaptInvariants, NoUnexpectedMessagesWhenMExceedsN) {
+  // With M > N, every segment finds a pre-posted receive (§2.2.1).
+  topo::Machine m(topo::cori(2), 64);
+  SimEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(64);
+  const Tree tree = build_topo_tree(m, world, 0);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    co_await bcast(ctx, world, mpi::MutView{nullptr, mib(2)}, 0, tree,
+                   Style::kAdapt,
+                   CollOpts{.segment_size = kib(64),
+                            .outstanding_sends = 2,
+                            .outstanding_recvs = 6});
+  };
+  engine.run(program);
+  for (Rank r = 0; r < 64; ++r) {
+    EXPECT_EQ(engine.context(r).endpoint().matcher().total_unexpected(), 0u)
+        << "rank " << r;
+  }
+}
+
+TEST(AdaptInvariants, MBelowNCausesUnexpectedEagerMessages) {
+  // Inverting the rule floods the receiver: in an event-driven reduce the
+  // re-post of a scratch window waits for the fold, so with M = 1 and many
+  // eager segments in flight per child, arrivals overtake the posted
+  // receives and land in the unexpected queue (the §2.2.1 cost).
+  topo::Machine m(topo::cori(1), 8);
+  SimEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(8);
+  const Tree tree = flat_tree(8, 0);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    co_await reduce(ctx, world, mpi::MutView{nullptr, kib(512)},
+                    mpi::ReduceOp::kSum, mpi::Datatype::kFloat, 0, tree,
+                    Style::kAdapt,
+                    CollOpts{.segment_size = kib(16),  // eager-sized
+                             .outstanding_sends = 8,
+                             .outstanding_recvs = 1});
+  };
+  engine.run(program);
+  EXPECT_GT(engine.context(0).endpoint().matcher().total_unexpected(), 0u);
+}
+
+TEST(AdaptInvariants, DeeperPipelineNeverSlower) {
+  // More outstanding sends/receives cannot hurt a quiet network (and helps
+  // saturate long chains).
+  topo::Machine m(topo::cori(2), 64);
+  const mpi::Comm world = mpi::Comm::world(64);
+  const Tree tree = build_topo_tree(m, world, 0);
+  SimEngine shallow(m), deep(m);
+  const TimeNs t_shallow =
+      time_bcast(shallow, world, tree, mib(4), Style::kAdapt,
+                 CollOpts{.segment_size = kib(128),
+                          .outstanding_sends = 1,
+                          .outstanding_recvs = 2});
+  const TimeNs t_deep =
+      time_bcast(deep, world, tree, mib(4), Style::kAdapt,
+                 CollOpts{.segment_size = kib(128),
+                          .outstanding_sends = 4,
+                          .outstanding_recvs = 8});
+  EXPECT_LE(t_deep, t_shallow + t_shallow / 10);
+}
+
+TEST(AdaptInvariants, AdaptAtLeastAsFastAsWaitallOnSameTree) {
+  // §3.2.2: removing the Waitall can only help; on a heterogeneous tree the
+  // gain is the point of the design.
+  topo::Machine m(topo::cori(4), 128);
+  const mpi::Comm world = mpi::Comm::world(128);
+  const Tree tree = build_topo_tree(m, world, 0);
+  const CollOpts opts{.segment_size = kib(128)};
+  SimEngine e1(m), e2(m);
+  const TimeNs adapt_t =
+      time_bcast(e1, world, tree, mib(4), Style::kAdapt, opts);
+  const TimeNs waitall_t =
+      time_bcast(e2, world, tree, mib(4), Style::kNonblocking, opts);
+  EXPECT_LE(adapt_t, waitall_t + waitall_t / 20);
+}
+
+TEST(AdaptInvariants, BlockingSlowestStyleOnFlatTree) {
+  // A flat tree maximises the per-child serialisation of Algorithm 1.
+  topo::Machine m(topo::cori(1), 16);
+  const mpi::Comm world = mpi::Comm::world(16);
+  const Tree tree = flat_tree(16, 0);
+  const CollOpts opts{.segment_size = kib(64)};
+  std::map<Style, TimeNs> times;
+  for (Style style :
+       {Style::kBlocking, Style::kNonblocking, Style::kAdapt}) {
+    SimEngine engine(m);
+    times[style] = time_bcast(engine, world, tree, mib(1), style, opts);
+  }
+  EXPECT_GT(times[Style::kBlocking], times[Style::kAdapt]);
+  EXPECT_GE(times[Style::kBlocking], times[Style::kNonblocking]);
+}
+
+TEST(AdaptInvariants, NoiseSlowdownOrdering) {
+  // The paper's Fig. 7 relation at example scale: under injected noise the
+  // event-driven style suffers least, blocking suffers most.
+  topo::Machine m(topo::cori(2), 64);
+  const mpi::Comm world = mpi::Comm::world(64);
+  const Tree tree = build_topo_tree(m, world, 0);
+  const CollOpts opts{.segment_size = kib(128)};
+  std::map<Style, double> slowdown;
+  for (Style style : {Style::kBlocking, Style::kAdapt}) {
+    TimeNs base = 0, noisy = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      runtime::SimEngineOptions options;
+      if (pass == 1) options.noise = noise::paper_noise(10, 99);
+      SimEngine engine(m, options);
+      TimeNs total = 0;
+      auto program = [&](Context& ctx) -> sim::Task<> {
+        co_await barrier(ctx, world);
+        const TimeNs t0 = ctx.now();
+        for (int i = 0; i < 8; ++i) {
+          co_await bcast(ctx, world, mpi::MutView{nullptr, mib(4)}, 0, tree,
+                         style, opts);
+        }
+        if (ctx.rank() == 0) total = ctx.now() - t0;
+      };
+      engine.run(program);
+      (pass == 0 ? base : noisy) = total;
+    }
+    slowdown[style] =
+        static_cast<double>(noisy) / static_cast<double>(base);
+  }
+  EXPECT_LT(slowdown[Style::kAdapt], slowdown[Style::kBlocking]);
+}
+
+TEST(AdaptInvariants, StrongScalingChainIsFlat) {
+  // §5.2.1: with enough segments the chain's cost is ~independent of P.
+  const CollOpts opts{.segment_size = kib(128)};
+  std::vector<TimeNs> times;
+  for (int ranks : {128, 256, 512}) {
+    topo::Machine m(topo::cori((ranks + 31) / 32), ranks);
+    const mpi::Comm world = mpi::Comm::world(ranks);
+    const Tree tree = build_topo_tree(m, world, 0);
+    SimEngine engine(m);
+    times.push_back(
+        time_bcast(engine, world, tree, mib(4), Style::kAdapt, opts));
+  }
+  // Quadrupling the ranks costs < 60% extra time.
+  EXPECT_LT(times[2], times[0] + times[0] * 6 / 10);
+}
+
+TEST(AdaptInvariants, SegmentsArriveInAnyOrderCorrectly) {
+  // Force wild reordering: tiny N with large M and non-uniform segment
+  // cost — data correctness must be unaffected (unique tags per segment).
+  topo::Machine m(topo::cori(1), 4);
+  SimEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(4);
+  const Tree tree = flat_tree(4, 0);
+  std::vector<std::vector<std::byte>> bufs(4, std::vector<std::byte>(3000));
+  for (std::size_t i = 0; i < 3000; ++i) bufs[0][i] = std::byte(i % 251);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    co_await bcast(ctx, world, mpi::MutView{mine.data(), 3000}, 0, tree,
+                   Style::kAdapt,
+                   CollOpts{.segment_size = 700,
+                            .outstanding_sends = 5,
+                            .outstanding_recvs = 7});
+  };
+  engine.run(program);
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)], bufs[0]) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace adapt::coll

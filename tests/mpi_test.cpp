@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/mpi/comm.hpp"
+#include "src/mpi/match.hpp"
+#include "src/mpi/op.hpp"
+#include "src/mpi/p2p.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::mpi {
+namespace {
+
+using runtime::Context;
+using runtime::SimEngine;
+
+// ----------------------------------------------------------------- ops ---
+
+TEST(Op, SumInt32) {
+  std::int32_t dst[3] = {1, 2, 3};
+  const std::int32_t src[3] = {10, 20, 30};
+  apply(ReduceOp::kSum, Datatype::kInt32, reinterpret_cast<std::byte*>(dst),
+        reinterpret_cast<const std::byte*>(src), sizeof dst);
+  EXPECT_EQ(dst[0], 11);
+  EXPECT_EQ(dst[1], 22);
+  EXPECT_EQ(dst[2], 33);
+}
+
+TEST(Op, MaxDouble) {
+  double dst[2] = {1.5, 9.0};
+  const double src[2] = {2.5, 3.0};
+  apply(ReduceOp::kMax, Datatype::kDouble, reinterpret_cast<std::byte*>(dst),
+        reinterpret_cast<const std::byte*>(src), sizeof dst);
+  EXPECT_DOUBLE_EQ(dst[0], 2.5);
+  EXPECT_DOUBLE_EQ(dst[1], 9.0);
+}
+
+TEST(Op, MinProdBitwise) {
+  std::int64_t dst[2] = {6, 12};
+  const std::int64_t src[2] = {4, 10};
+  apply(ReduceOp::kMin, Datatype::kInt64, reinterpret_cast<std::byte*>(dst),
+        reinterpret_cast<const std::byte*>(src), sizeof dst);
+  EXPECT_EQ(dst[0], 4);
+  apply(ReduceOp::kProd, Datatype::kInt64, reinterpret_cast<std::byte*>(dst),
+        reinterpret_cast<const std::byte*>(src), sizeof dst);
+  EXPECT_EQ(dst[0], 16);
+  apply(ReduceOp::kBand, Datatype::kInt64, reinterpret_cast<std::byte*>(dst),
+        reinterpret_cast<const std::byte*>(src), sizeof dst);
+  EXPECT_EQ(dst[0], 0);
+}
+
+TEST(Op, BitwiseRejectsFloat) {
+  float dst = 1.f, src = 2.f;
+  EXPECT_THROW(apply(ReduceOp::kBor, Datatype::kFloat,
+                     reinterpret_cast<std::byte*>(&dst),
+                     reinterpret_cast<const std::byte*>(&src), sizeof dst),
+               Error);
+}
+
+TEST(Op, RejectsMisalignedByteCount) {
+  std::int32_t dst = 0, src = 0;
+  EXPECT_THROW(apply(ReduceOp::kSum, Datatype::kInt32,
+                     reinterpret_cast<std::byte*>(&dst),
+                     reinterpret_cast<const std::byte*>(&src), 3),
+               Error);
+}
+
+// -------------------------------------------------------------- matcher ---
+
+Envelope make_env(Rank src, Tag tag, Bytes size = 0) {
+  Envelope e;
+  e.src = src;
+  e.dst = 0;
+  e.tag = tag;
+  e.size = size;
+  return e;
+}
+
+PostedRecv make_recv(Rank src, Tag tag) {
+  return PostedRecv{std::make_shared<Request>(Request::Kind::kRecv, src, tag, 64),
+                    MutView{}, src, tag};
+}
+
+TEST(Matcher, PostedThenArriveMatches) {
+  Matcher m;
+  EXPECT_FALSE(m.post(make_recv(1, 7)).has_value());
+  const auto hit = m.arrive(make_env(1, 7));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(m.posted_count(), 0u);
+}
+
+TEST(Matcher, ArriveThenPostIsUnexpected) {
+  Matcher m;
+  EXPECT_FALSE(m.arrive(make_env(2, 5)).has_value());
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  const auto env = m.post(make_recv(2, 5));
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->src, 2);
+  EXPECT_EQ(m.unexpected_count(), 0u);
+  EXPECT_EQ(m.total_unexpected(), 1u);
+}
+
+TEST(Matcher, TagMismatchDoesNotMatch) {
+  Matcher m;
+  m.post(make_recv(1, 7));
+  EXPECT_FALSE(m.arrive(make_env(1, 8)).has_value());
+  EXPECT_EQ(m.posted_count(), 1u);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+}
+
+TEST(Matcher, SourceWildcard) {
+  Matcher m;
+  m.post(make_recv(kAnyRank, 9));
+  EXPECT_TRUE(m.arrive(make_env(5, 9)).has_value());
+}
+
+TEST(Matcher, TagWildcard) {
+  Matcher m;
+  m.post(make_recv(3, kAnyTag));
+  EXPECT_TRUE(m.arrive(make_env(3, 1234)).has_value());
+}
+
+TEST(Matcher, FifoAmongEqualMatches) {
+  Matcher m;
+  auto r1 = make_recv(1, 7);
+  auto r2 = make_recv(1, 7);
+  const auto* first = r1.request.get();
+  m.post(std::move(r1));
+  m.post(std::move(r2));
+  const auto hit = m.arrive(make_env(1, 7));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->request.get(), first);
+}
+
+// --------------------------------------------------- engine-level P2P ---
+
+topo::Machine tiny_machine(int ranks = 8) {
+  static topo::Machine m(topo::cori(1), 32);
+  (void)ranks;
+  return m;
+}
+
+TEST(P2P, BlockingSendRecvMovesRealBytes) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  std::vector<std::byte> out(64), in(64);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::byte(i);
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 5, ConstView{out.data(), 64});
+    } else {
+      co_await ctx.recv(0, 5, MutView{in.data(), 64});
+    }
+  };
+  engine.run(program);
+  EXPECT_EQ(std::memcmp(out.data(), in.data(), 64), 0);
+}
+
+TEST(P2P, TransferTimeMatchesLane) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  TimeNs finish = -1;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 1, ConstView{nullptr, kib(64)});
+    } else {
+      co_await ctx.recv(0, 1, MutView{nullptr, kib(64)});
+      finish = ctx.now();
+    }
+  };
+  engine.run(program);
+  const TimeNs wire = m.spec().intra_socket.time(kib(64));
+  EXPECT_GE(finish, wire);
+  // Overheads (posting, matching) are small next to the wire time.
+  EXPECT_LE(finish, wire + microseconds(5));
+}
+
+TEST(P2P, UnexpectedMessageCostsMore) {
+  topo::Machine m(topo::cori(1), 4);
+  // Race-free way to force the unexpected path: receiver sleeps first.
+  TimeNs expected_done = -1, unexpected_done = -1;
+  {
+    SimEngine engine(m);
+    auto program = [&](Context& ctx) -> sim::Task<> {
+      if (ctx.rank() == 0) {
+        co_await ctx.send(1, 1, ConstView{nullptr, kib(256)});
+      } else if (ctx.rank() == 1) {
+        co_await ctx.recv(0, 1, MutView{nullptr, kib(256)});
+        expected_done = ctx.now();
+      }
+    };
+    engine.run(program);
+  }
+  {
+    SimEngine engine(m);
+    auto program = [&](Context& ctx) -> sim::Task<> {
+      if (ctx.rank() == 0) {
+        co_await ctx.send(1, 1, ConstView{nullptr, kib(256)});
+      } else if (ctx.rank() == 1) {
+        co_await ctx.sleep_for(milliseconds(1));  // message arrives first
+        co_await ctx.recv(0, 1, MutView{nullptr, kib(256)});
+        unexpected_done = ctx.now();
+      }
+    };
+    engine.run(program);
+  }
+  // The expected path completes around the wire time; the unexpected path
+  // completes only after the late irecv pays allocation + copy.
+  const TimeNs copy_cost =
+      m.spec().unexpected_overhead +
+      static_cast<TimeNs>(m.spec().memcpy_beta *
+                          static_cast<double>(kib(256)));
+  EXPECT_GT(expected_done, 0);
+  EXPECT_GE(unexpected_done, milliseconds(1) + copy_cost);
+}
+
+TEST(P2P, WaitAllCompletesAllRequests) {
+  topo::Machine m = tiny_machine();
+  SimEngine engine(m);
+  int received = 0;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 0) {
+      std::vector<RequestPtr> sends;
+      for (Rank r = 1; r < 8; ++r) {
+        sends.push_back(ctx.isend(r, 3, ConstView{nullptr, kib(4)}));
+      }
+      co_await wait_all(sends);
+      for (const auto& s : sends) EXPECT_TRUE(s->complete());
+    } else if (ctx.rank() < 8) {
+      co_await ctx.recv(0, 3, MutView{nullptr, kib(4)});
+      ++received;
+    }
+  };
+  engine.run(program);
+  EXPECT_EQ(received, 7);
+}
+
+TEST(P2P, WaitAnyReturnsACompletedIndex) {
+  topo::Machine m(topo::cori(2), 64);
+  SimEngine engine(m);
+  std::size_t winner = 99;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 0) {
+      // Big inter-node send vs tiny intra-socket send: the tiny one wins.
+      std::vector<RequestPtr> reqs;
+      reqs.push_back(ctx.isend(32, 1, ConstView{nullptr, mib(4)}));
+      reqs.push_back(ctx.isend(1, 1, ConstView{nullptr, 64}));
+      winner = co_await wait_any(reqs);
+      co_await wait_all(reqs);
+    } else if (ctx.rank() == 32) {
+      co_await ctx.recv(0, 1, MutView{nullptr, mib(4)});
+    } else if (ctx.rank() == 1) {
+      co_await ctx.recv(0, 1, MutView{nullptr, 64});
+    }
+  };
+  engine.run(program);
+  EXPECT_EQ(winner, 1u);
+}
+
+TEST(P2P, CompletionCallbackFires) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  bool send_cb = false, recv_cb = false;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 0) {
+      auto req = ctx.isend(1, 1, ConstView{nullptr, kib(1)});
+      req->set_completion_cb([&](Request& r) {
+        send_cb = true;
+        EXPECT_TRUE(r.complete());
+      });
+      co_await wait(req);
+    } else {
+      auto req = ctx.irecv(0, 1, MutView{nullptr, kib(1)});
+      req->set_completion_cb([&](Request& r) {
+        recv_cb = true;
+        EXPECT_EQ(r.actual_src(), 0);
+        EXPECT_EQ(r.actual_size(), kib(1));
+      });
+      co_await wait(req);
+    }
+  };
+  engine.run(program);
+  EXPECT_TRUE(send_cb);
+  EXPECT_TRUE(recv_cb);
+}
+
+TEST(P2P, WildcardRecvReportsActualSource) {
+  topo::Machine m(topo::cori(1), 4);
+  SimEngine engine(m);
+  Rank seen = -2;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 3) {
+      co_await ctx.send(0, 8, ConstView{nullptr, 16});
+    } else if (ctx.rank() == 0) {
+      auto req = ctx.irecv(kAnyRank, 8, MutView{nullptr, 16});
+      co_await wait(req);
+      seen = req->actual_src();
+    }
+  };
+  engine.run(program);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(P2P, OverflowingMessageThrows) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 1, ConstView{nullptr, 128});
+    } else {
+      co_await ctx.recv(0, 1, MutView{nullptr, 64});
+    }
+  };
+  EXPECT_THROW(engine.run(program), Error);
+}
+
+TEST(P2P, DeadlockIsDiagnosed) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() == 1) {
+      co_await ctx.recv(0, 1, MutView{nullptr, 8});  // never sent
+    }
+    co_return;
+  };
+  EXPECT_THROW(engine.run(program), Error);
+}
+
+TEST(Comm, WorldAndMembership) {
+  const Comm w = Comm::world(8);
+  EXPECT_EQ(w.size(), 8);
+  EXPECT_EQ(w.global(3), 3);
+  EXPECT_EQ(w.local_of(5), 5);
+  const Comm sub({4, 2, 7});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.global(0), 4);
+  EXPECT_EQ(sub.local_of(7), 2);
+  EXPECT_EQ(sub.local_of(3), kAnyRank);
+  EXPECT_TRUE(sub.contains(2));
+  EXPECT_FALSE(sub.contains(0));
+}
+
+TEST(Comm, RejectsDuplicates) {
+  EXPECT_THROW(Comm({1, 2, 1}), Error);
+}
+
+}  // namespace
+}  // namespace adapt::mpi

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.hpp"
+#include "src/net/routes.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/support/error.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::net {
+namespace {
+
+TEST(Fabric, SingleFlowHockneyExact) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(2.0);  // 2 B/ns
+  TimeNs done = -1;
+  fabric.transfer(Route{{l}, 2.0, 100}, 2000, [&] { done = sim.now(); });
+  sim.run();
+  // alpha 100 + 2000 B / 2 B/ns = 1100.
+  EXPECT_EQ(done, 1100);
+  EXPECT_EQ(fabric.flows_completed(), 1u);
+}
+
+TEST(Fabric, ZeroBytesCostAlphaOnly) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(1.0);
+  TimeNs done = -1;
+  fabric.transfer(Route{{l}, 1.0, 700}, 0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, 700);
+}
+
+TEST(Fabric, TwoFlowsShareOneLink) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(1.0);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 2; ++i) {
+    fabric.transfer(Route{{l}, 1.0, 0}, 1000,
+                    [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  // Fair sharing: both progress at 0.5 B/ns, both finish at 2000.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 2000);
+  EXPECT_EQ(done[1], 2000);
+}
+
+TEST(Fabric, FlowsOnDifferentLinksDoNotInteract) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId a = fabric.add_link(1.0);
+  const LinkId b = fabric.add_link(1.0);
+  std::vector<TimeNs> done(2, -1);
+  fabric.transfer(Route{{a}, 1.0, 0}, 1000, [&] { done[0] = sim.now(); });
+  fabric.transfer(Route{{b}, 1.0, 0}, 1000, [&] { done[1] = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 1000);
+}
+
+TEST(Fabric, PerFlowCapBindsBelowFairShare) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(10.0);  // plenty of capacity
+  TimeNs done = -1;
+  fabric.transfer(Route{{l}, 2.0, 0}, 2000, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, 1000);  // capped at 2 B/ns, not 10
+}
+
+TEST(Fabric, LateFlowSlowsEarlyFlow) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(1.0);
+  TimeNs done_a = -1, done_b = -1;
+  fabric.transfer(Route{{l}, 1.0, 0}, 1000, [&] { done_a = sim.now(); });
+  sim.after(500, [&] {
+    fabric.transfer(Route{{l}, 1.0, 0}, 1000, [&] { done_b = sim.now(); });
+  });
+  sim.run();
+  // A runs alone for 500 (500 B left), then shares: 500 B at 0.5 = 1000 more.
+  EXPECT_EQ(done_a, 1500);
+  // B: 500 B at 0.5 while A lives (until 1500 -> 500 B done), then 500 B at 1.
+  EXPECT_EQ(done_b, 2000);
+}
+
+TEST(Fabric, BottleneckAndCapInteraction) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(3.0);
+  // Flow 1 capped at 0.5; flows 2 and 3 uncapped share the rest (1.25 each).
+  std::vector<TimeNs> done(3, -1);
+  fabric.transfer(Route{{l}, 0.5, 0}, 500, [&] { done[0] = sim.now(); });
+  fabric.transfer(Route{{l}, 5.0, 0}, 1250, [&] { done[1] = sim.now(); });
+  fabric.transfer(Route{{l}, 5.0, 0}, 1250, [&] { done[2] = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 1000);
+  EXPECT_EQ(done[2], 1000);
+}
+
+TEST(Fabric, MultiHopLimitedByTightestLink) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId wide = fabric.add_link(10.0);
+  const LinkId narrow = fabric.add_link(1.0);
+  TimeNs done = -1;
+  fabric.transfer(Route{{wide, narrow}, 10.0, 0}, 1000,
+                  [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(Fabric, UncontendedPolicyIgnoresSharing) {
+  sim::Simulator sim;
+  Fabric fabric(sim, SharingPolicy::kUncontended);
+  const LinkId l = fabric.add_link(1.0);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 4; ++i) {
+    fabric.transfer(Route{{l}, 1.0, 0}, 1000,
+                    [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  for (TimeNs t : done) EXPECT_EQ(t, 1000);
+}
+
+TEST(Fabric, ManyFlowsConserveCapacity) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  const LinkId l = fabric.add_link(4.0);
+  const int kFlows = 16;
+  TimeNs last = 0;
+  int completed = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    fabric.transfer(Route{{l}, 10.0, 0}, 1000, [&] {
+      ++completed;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, kFlows);
+  // 16 kB over a 4 B/ns link: exactly 4000 ns if capacity is conserved.
+  EXPECT_EQ(last, 4000);
+}
+
+TEST(Fabric, RejectsBadRoutes) {
+  sim::Simulator sim;
+  Fabric fabric(sim);
+  EXPECT_THROW(fabric.transfer(Route{{}, 0.0, 0}, 10, [] {}), adapt::Error);
+  EXPECT_THROW(fabric.transfer(Route{{99}, 1.0, 0}, 10, [] {}), adapt::Error);
+}
+
+// ------------------------------------------------------------ ClusterNet ---
+
+TEST(ClusterNet, CpuRouteLevels) {
+  sim::Simulator sim;
+  topo::Machine m(topo::cori(2), 64);
+  ClusterNet net(sim, m);
+  const Route same_socket = net.route(0, 1);
+  EXPECT_EQ(same_socket.links.size(), 1u);
+  EXPECT_EQ(same_socket.alpha, m.spec().intra_socket.alpha);
+  const Route cross_socket = net.route(0, 16);
+  EXPECT_EQ(cross_socket.links, std::vector<LinkId>{net.qpi(0)});
+  const Route cross_node = net.route(0, 32);
+  EXPECT_EQ(cross_node.links,
+            (std::vector<LinkId>{net.nic_tx(0), net.nic_rx(1)}));
+  EXPECT_EQ(cross_node.alpha, m.spec().inter_node.alpha);
+}
+
+TEST(ClusterNet, RouteToSelfRejected) {
+  sim::Simulator sim;
+  topo::Machine m(topo::cori(1), 4);
+  ClusterNet net(sim, m);
+  EXPECT_THROW(net.route(2, 2), adapt::Error);
+}
+
+TEST(ClusterNet, InterNodeFlowsContendOnNic) {
+  sim::Simulator sim;
+  topo::Machine m(topo::cori(3), 96);
+  ClusterNet net(sim, m);
+  // Two flows out of node 0 to different nodes share nic_tx(0).
+  std::vector<TimeNs> done(2, -1);
+  const Bytes bytes = 1000000;
+  net.transfer(net.route(0, 32), bytes, [&] { done[0] = sim.now(); });
+  net.transfer(net.route(1, 64), bytes, [&] { done[1] = sim.now(); });
+  sim.run();
+  const TimeNs solo = m.spec().inter_node.time(bytes);
+  EXPECT_GT(done[0], solo + solo / 2);  // roughly halved bandwidth
+  EXPECT_EQ(done[0], done[1]);
+}
+
+TEST(ClusterNet, DifferentLanesOverlapPerfectly) {
+  sim::Simulator sim;
+  topo::Machine m(topo::cori(2), 64);
+  ClusterNet net(sim, m);
+  // The paper's three-Isend example (§3.2.2): intra-socket, inter-socket and
+  // inter-node transfers progress at full speed simultaneously.
+  const Bytes bytes = 1000000;
+  std::vector<TimeNs> done(3, -1);
+  net.transfer(net.route(0, 1), bytes, [&] { done[0] = sim.now(); });
+  net.transfer(net.route(0, 16), bytes, [&] { done[1] = sim.now(); });
+  net.transfer(net.route(0, 32), bytes, [&] { done[2] = sim.now(); });
+  sim.run();
+  // Within the ceil-to-nanosecond rounding of flow completion.
+  EXPECT_NEAR(done[0], m.spec().intra_socket.time(bytes), 2);
+  EXPECT_NEAR(done[1], m.spec().inter_socket.time(bytes), 2);
+  EXPECT_NEAR(done[2], m.spec().inter_node.time(bytes), 2);
+}
+
+TEST(ClusterNet, GpuPeerDmaVsRootPortBounce) {
+  sim::Simulator sim;
+  topo::Machine m(topo::psg(1), 4, topo::PlacementPolicy::kByGpu);
+  GpuConfig direct{false, true};
+  GpuConfig bounce{false, false};
+  ClusterNet net_direct(sim, m, SharingPolicy::kFairShare, direct);
+  ClusterNet net_bounce(sim, m, SharingPolicy::kFairShare, bounce);
+  const Route rd = net_direct.route_mem(0, MemSpace::kDevice, 1,
+                                        MemSpace::kDevice);
+  EXPECT_EQ(rd.links, std::vector<LinkId>{net_direct.gpu_peer(0)});
+  const Route rb = net_bounce.route_mem(0, MemSpace::kDevice, 1,
+                                        MemSpace::kDevice);
+  EXPECT_EQ(rb.links, (std::vector<LinkId>{net_bounce.pcie_up(0),
+                                           net_bounce.pcie_down(0)}));
+}
+
+TEST(ClusterNet, GpuInterNodeCrossesNicAndPcie) {
+  sim::Simulator sim;
+  topo::Machine m(topo::psg(2), 8, topo::PlacementPolicy::kByGpu);
+  ClusterNet net(sim, m, SharingPolicy::kFairShare, GpuConfig{true, true});
+  const Route r =
+      net.route_mem(0, MemSpace::kDevice, 4, MemSpace::kDevice);
+  EXPECT_EQ(r.links, (std::vector<LinkId>{net.pcie_up(0), net.nic_tx(0),
+                                          net.nic_rx(1), net.pcie_down(2)}));
+}
+
+TEST(ClusterNet, NoGpuDirectAddsStagingLatency) {
+  sim::Simulator sim;
+  topo::Machine m(topo::psg(2), 8, topo::PlacementPolicy::kByGpu);
+  ClusterNet with(sim, m, SharingPolicy::kFairShare, GpuConfig{true, false});
+  ClusterNet without(sim, m, SharingPolicy::kFairShare,
+                     GpuConfig{false, false});
+  const Route a = with.route_mem(0, MemSpace::kDevice, 4, MemSpace::kDevice);
+  const Route b =
+      without.route_mem(0, MemSpace::kDevice, 4, MemSpace::kDevice);
+  EXPECT_GT(b.alpha, a.alpha);
+}
+
+TEST(ClusterNet, HostLocalDeviceCopyUsesPcie) {
+  sim::Simulator sim;
+  topo::Machine m(topo::psg(1), 4, topo::PlacementPolicy::kByGpu);
+  ClusterNet net(sim, m);
+  const Route r = net.route_mem(2, MemSpace::kHost, 2, MemSpace::kDevice);
+  EXPECT_EQ(r.links, std::vector<LinkId>{net.pcie_down(1)});
+}
+
+}  // namespace
+}  // namespace adapt::net

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/noise/noise.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::noise {
+namespace {
+
+TEST(NoNoise, Identity) {
+  NoNoise n;
+  EXPECT_EQ(n.next_free(0, 12345), 12345);
+  EXPECT_EQ(n.next_free(99, 0), 0);
+  EXPECT_DOUBLE_EQ(n.duty(), 0.0);
+}
+
+TEST(UniformBurstNoise, Deterministic) {
+  UniformBurstNoise a(milliseconds(10), 10.0, 42);
+  UniformBurstNoise b(milliseconds(10), 10.0, 42);
+  for (Rank r = 0; r < 8; ++r) {
+    for (std::int64_t k = 0; k < 20; ++k) {
+      EXPECT_EQ(a.burst(r, k), b.burst(r, k));
+    }
+  }
+}
+
+TEST(UniformBurstNoise, SeedsDiffer) {
+  UniformBurstNoise a(milliseconds(10), 10.0, 1);
+  UniformBurstNoise b(milliseconds(10), 10.0, 2);
+  int same = 0;
+  for (std::int64_t k = 0; k < 50; ++k) same += a.burst(0, k) == b.burst(0, k);
+  EXPECT_LT(same, 5);
+}
+
+TEST(UniformBurstNoise, BurstsFitInsidePeriod) {
+  const TimeNs period = seconds(1) / 10;
+  UniformBurstNoise n(milliseconds(20), 10.0, 7, /*synchronized=*/false);
+  for (Rank r = 0; r < 16; ++r) {
+    for (std::int64_t k = 0; k < 100; ++k) {
+      const auto [start, end] = n.burst(r, k);
+      EXPECT_GE(start, k * period);
+      EXPECT_LT(end, (k + 1) * period);
+      EXPECT_LE(end - start, milliseconds(20));
+    }
+  }
+}
+
+TEST(UniformBurstNoise, NextFreeSkipsBurst) {
+  UniformBurstNoise n(milliseconds(10), 10.0, 3);
+  const auto [start, end] = n.burst(5, 2);
+  if (end > start) {
+    EXPECT_EQ(n.next_free(5, start), end);
+    EXPECT_EQ(n.next_free(5, (start + end) / 2), end);
+  }
+  EXPECT_EQ(n.next_free(5, end), end);
+  if (start > 0) {
+    EXPECT_EQ(n.next_free(5, start - 1), start - 1);
+  }
+}
+
+TEST(UniformBurstNoise, NegativeTimeClamped) {
+  UniformBurstNoise n(milliseconds(10), 10.0, 3);
+  EXPECT_GE(n.next_free(0, -5), 0);
+}
+
+TEST(UniformBurstNoise, SynchronizedSharesOnsets) {
+  UniformBurstNoise n(milliseconds(10), 10.0, 11, /*synchronized=*/true);
+  for (std::int64_t k = 0; k < 30; ++k) {
+    const auto [s0, e0] = n.burst(0, k);
+    for (Rank r = 1; r < 16; ++r) {
+      const auto [sr, er] = n.burst(r, k);
+      (void)er;
+      (void)e0;
+      EXPECT_EQ(sr, s0) << "onset differs at rank " << r << " period " << k;
+    }
+  }
+}
+
+TEST(UniformBurstNoise, IndependentPhasesVary) {
+  UniformBurstNoise n(milliseconds(10), 10.0, 11, /*synchronized=*/false);
+  int distinct = 0;
+  const auto [s0, e0] = n.burst(0, 4);
+  (void)e0;
+  for (Rank r = 1; r < 32; ++r) {
+    if (n.burst(r, 4).first != s0) ++distinct;
+  }
+  EXPECT_GT(distinct, 20);
+}
+
+TEST(UniformBurstNoise, DutyEstimate) {
+  // max 10ms at 10Hz: mean burst 5ms per 100ms = 5%.
+  UniformBurstNoise n(milliseconds(10), 10.0, 1);
+  EXPECT_NEAR(n.duty(), 0.05, 1e-9);
+  // Empirical check: fraction of sampled instants inside bursts.
+  std::int64_t busy = 0, total = 0;
+  const TimeNs step = microseconds(50);
+  for (TimeNs t = 0; t < seconds(10); t += step) {
+    for (Rank r = 0; r < 4; ++r) {
+      ++total;
+      if (n.next_free(r, t) != t) ++busy;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(busy) / static_cast<double>(total), 0.05,
+              0.01);
+}
+
+TEST(UniformBurstNoise, RejectsOversizedBursts) {
+  // A 60ms burst cannot fit in half a 100ms period.
+  EXPECT_THROW(UniformBurstNoise(milliseconds(60), 10.0, 1), Error);
+}
+
+TEST(PaperNoise, Presets) {
+  EXPECT_DOUBLE_EQ(paper_noise(0, 1)->duty(), 0.0);
+  EXPECT_NEAR(paper_noise(5, 1)->duty(), 0.05, 1e-9);
+  EXPECT_NEAR(paper_noise(10, 1)->duty(), 0.10, 1e-9);
+  EXPECT_THROW(paper_noise(-1, 1), Error);
+}
+
+}  // namespace
+}  // namespace adapt::noise

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/task.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) q.push(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.push(1, [&] { ++fired; });
+  q.push(2, [&] { ++fired; });
+  h.cancel();
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAllLeavesEmpty) {
+  EventQueue q;
+  auto a = q.push(1, [] {});
+  auto b = q.push(2, [] {});
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto a = q.push(1, [] {});
+  q.push(7, [] {});
+  a.cancel();
+  EXPECT_EQ(q.next_time(), 7);
+}
+
+TEST(Simulator, AdvancesTime) {
+  Simulator s;
+  TimeNs seen = -1;
+  s.after(100, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+  EXPECT_EQ(s.events_processed(), 1u);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<TimeNs> times;
+  s.after(10, [&] {
+    times.push_back(s.now());
+    s.after(5, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator s;
+  int fired = 0;
+  s.after(10, [&] { ++fired; });
+  s.after(100, [&] { ++fired; });
+  s.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.idle());
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsSchedulingIntoPast) {
+  Simulator s;
+  s.after(10, [] {});
+  s.run();
+  EXPECT_THROW(s.at(5, [] {}), Error);
+  EXPECT_THROW(s.after(-1, [] {}), Error);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator s;
+  int fired = 0;
+  s.after(1, [&] { ++fired; });
+  s.after(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+// ---------------------------------------------------------------- Tasks ---
+
+Task<int> make_value(int v) { co_return v; }
+
+Task<int> add_two(int v) {
+  const int a = co_await make_value(v);
+  const int b = co_await make_value(1);
+  co_return a + b + 1;
+}
+
+TEST(Task, ChainsValues) {
+  int result = 0;
+  run_detached(
+      [&]() -> Task<> { result = co_await add_two(5); }(),
+      [](std::exception_ptr ep) { EXPECT_FALSE(ep); });
+  EXPECT_EQ(result, 7);
+}
+
+TEST(Task, PropagatesExceptions) {
+  auto boom = []() -> Task<> {
+    throw Error("boom");
+    co_return;
+  };
+  bool caught = false;
+  run_detached(
+      [&]() -> Task<> {
+        try {
+          co_await boom();
+        } catch (const Error&) {
+          caught = true;
+        }
+      }(),
+      [](std::exception_ptr) {});
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, DetachedReportsException) {
+  auto boom = []() -> Task<> {
+    throw Error("boom");
+    co_return;
+  };
+  std::exception_ptr seen;
+  run_detached(boom(), [&](std::exception_ptr ep) { seen = ep; });
+  EXPECT_TRUE(seen);
+}
+
+TEST(Task, SuspendResumesThroughSimulator) {
+  Simulator s;
+  std::vector<TimeNs> trace;
+  auto prog = [&]() -> Task<> {
+    trace.push_back(s.now());
+    co_await Suspend([&](std::coroutine_handle<> h) {
+      s.after(25, [h] { h.resume(); });
+    });
+    trace.push_back(s.now());
+  };
+  bool done = false;
+  s.after(0, [&] {
+    run_detached(prog(), [&](std::exception_ptr) { done = true; });
+  });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(trace, (std::vector<TimeNs>{0, 25}));
+}
+
+TEST(Trigger, FireResumesAllWaiters) {
+  Trigger t;
+  int woke = 0;
+  auto waiter = [&]() -> Task<> {
+    co_await t;
+    ++woke;
+  };
+  run_detached(waiter(), [](std::exception_ptr) {});
+  run_detached(waiter(), [](std::exception_ptr) {});
+  EXPECT_EQ(woke, 0);
+  t.fire();
+  EXPECT_EQ(woke, 2);
+}
+
+TEST(Trigger, AwaitAfterFireDoesNotSuspend) {
+  Trigger t;
+  t.fire();
+  int woke = 0;
+  run_detached(
+      [&]() -> Task<> {
+        co_await t;
+        ++woke;
+      }(),
+      [](std::exception_ptr) {});
+  EXPECT_EQ(woke, 1);
+}
+
+TEST(Trigger, SubscribeBeforeAndAfterFire) {
+  Trigger t;
+  int calls = 0;
+  t.subscribe([&] { ++calls; });
+  t.fire();
+  EXPECT_EQ(calls, 1);
+  t.subscribe([&] { ++calls; });
+  EXPECT_EQ(calls, 2);
+  t.fire();  // idempotent
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Countdown, FiresAtZero) {
+  Countdown c(3);
+  int woke = 0;
+  run_detached(
+      [&]() -> Task<> {
+        co_await c;
+        ++woke;
+      }(),
+      [](std::exception_ptr) {});
+  c.signal();
+  c.signal();
+  EXPECT_EQ(woke, 0);
+  c.signal();
+  EXPECT_EQ(woke, 1);
+  EXPECT_THROW(c.signal(), Error);
+}
+
+TEST(Countdown, ZeroBornFired) {
+  Countdown c(0);
+  int woke = 0;
+  run_detached(
+      [&]() -> Task<> {
+        co_await c;
+        ++woke;
+      }(),
+      [](std::exception_ptr) {});
+  EXPECT_EQ(woke, 1);
+}
+
+}  // namespace
+}  // namespace adapt::sim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/support/error.hpp"
+#include "src/topo/hardware.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::topo {
+namespace {
+
+TEST(LinkParams, HockneyTime) {
+  LinkParams p{1000, 0.5};
+  EXPECT_EQ(p.time(0), 1000);
+  EXPECT_EQ(p.time(2000), 2000);
+  EXPECT_DOUBLE_EQ(p.bandwidth_gbs(), 2.0);
+}
+
+TEST(Machine, ByCorePlacement) {
+  MachineSpec spec = cori(2);  // 2 nodes x 2 sockets x 16 cores
+  Machine m(spec, 64);
+  EXPECT_EQ(m.nranks(), 64);
+  EXPECT_EQ(m.loc(0), (Loc{0, 0, 0, -1}));
+  EXPECT_EQ(m.loc(15), (Loc{0, 0, 15, -1}));
+  EXPECT_EQ(m.loc(16), (Loc{0, 1, 0, -1}));
+  EXPECT_EQ(m.loc(32), (Loc{1, 0, 0, -1}));
+  EXPECT_EQ(m.loc(63), (Loc{1, 1, 15, -1}));
+}
+
+TEST(Machine, RejectsOversubscription) {
+  EXPECT_THROW(Machine(cori(1), 33), Error);
+}
+
+TEST(Machine, LevelClassification) {
+  Machine m(cori(2), 64);
+  EXPECT_EQ(m.level_between(3, 3), Level::kSelf);
+  EXPECT_EQ(m.level_between(0, 5), Level::kIntraSocket);
+  EXPECT_EQ(m.level_between(0, 16), Level::kInterSocket);
+  EXPECT_EQ(m.level_between(0, 32), Level::kInterNode);
+  EXPECT_EQ(m.level_between(33, 35), Level::kIntraSocket);
+}
+
+TEST(Machine, SocketIds) {
+  Machine m(cori(2), 64);
+  EXPECT_EQ(m.socket_id(0), 0);
+  EXPECT_EQ(m.socket_id(16), 1);
+  EXPECT_EQ(m.socket_id(32), 2);
+  EXPECT_EQ(m.socket_id(48), 3);
+}
+
+TEST(Machine, GroupsByNodeAndSocket) {
+  Machine m(cori(2), 48);  // node 0 full (32), node 1 half (16)
+  const auto nodes = m.ranks_by_node();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].size(), 32u);
+  EXPECT_EQ(nodes[1].size(), 16u);
+  const auto sockets = m.ranks_by_socket();
+  ASSERT_EQ(sockets.size(), 3u);  // node 1 socket 1 is empty
+  EXPECT_EQ(sockets[0].size(), 16u);
+  EXPECT_EQ(sockets[2].front(), 32);
+}
+
+TEST(Machine, ByGpuPlacement) {
+  Machine m(psg(2), 8, PlacementPolicy::kByGpu);  // 4 GPUs per node
+  EXPECT_EQ(m.loc(0), (Loc{0, 0, 0, 0}));
+  EXPECT_EQ(m.loc(1), (Loc{0, 0, 1, 1}));
+  EXPECT_EQ(m.loc(2), (Loc{0, 1, 0, 0}));
+  EXPECT_EQ(m.loc(4), (Loc{1, 0, 0, 0}));
+  EXPECT_EQ(m.level_between(0, 1), Level::kIntraSocket);
+  EXPECT_EQ(m.level_between(0, 2), Level::kInterSocket);
+  EXPECT_EQ(m.level_between(0, 4), Level::kInterNode);
+}
+
+TEST(Machine, ByGpuRequiresGpus) {
+  EXPECT_THROW(Machine(cori(1), 4, PlacementPolicy::kByGpu), Error);
+}
+
+TEST(Machine, LaneSelection) {
+  Machine m(cori(1), 32);
+  EXPECT_EQ(m.lane(Level::kIntraSocket).alpha, m.spec().intra_socket.alpha);
+  EXPECT_EQ(m.lane(Level::kInterNode).alpha, m.spec().inter_node.alpha);
+}
+
+TEST(Presets, PaperScales) {
+  // The paper's configurations: 1024 ranks on Cori, 1536 on Stampede2.
+  Machine cori32(cori(32), 1024);
+  EXPECT_EQ(cori32.node_of(1023), 31);
+  Machine stampede32(stampede2(32), 1536);
+  EXPECT_EQ(stampede32.node_of(1535), 31);
+  // PSG: 8 nodes, 32 GPUs.
+  Machine psg8(psg(8), 32, PlacementPolicy::kByGpu);
+  EXPECT_EQ(psg8.node_of(31), 7);
+}
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(preset("cori", 4).name, "cori");
+  EXPECT_EQ(preset("stampede2", 4).cores_per_socket, 24);
+  EXPECT_EQ(preset("psg", 4).gpus_per_socket, 2);
+  EXPECT_THROW(preset("titan", 4), Error);
+}
+
+TEST(Presets, ParseSpec) {
+  const MachineSpec m =
+      parse_spec("nodes=4,sockets=1,cores=8,bw_node=10,alpha_node=2000");
+  EXPECT_EQ(m.nodes, 4);
+  EXPECT_EQ(m.sockets_per_node, 1);
+  EXPECT_EQ(m.cores_per_socket, 8);
+  EXPECT_EQ(m.inter_node.alpha, 2000);
+  EXPECT_DOUBLE_EQ(m.inter_node.beta_ns_per_byte, 0.1);
+}
+
+TEST(Presets, ParseSpecRejectsUnknownKey) {
+  EXPECT_THROW(parse_spec("warp=9"), Error);
+  EXPECT_THROW(parse_spec("nodes"), Error);
+}
+
+TEST(LevelName, AllNamed) {
+  EXPECT_STREQ(level_name(Level::kIntraSocket), "intra-socket");
+  EXPECT_STREQ(level_name(Level::kInterNode), "inter-node");
+}
+
+}  // namespace
+}  // namespace adapt::topo

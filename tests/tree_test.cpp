@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/coll/topo_tree.hpp"
+#include "src/coll/tree.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::coll {
+namespace {
+
+TEST(Tree, ChainShape) {
+  const Tree t = chain_tree(5, 0);
+  EXPECT_EQ(t.root, 0);
+  EXPECT_EQ(t.up(0), -1);
+  for (Rank r = 1; r < 5; ++r) EXPECT_EQ(t.up(r), r - 1);
+  EXPECT_EQ(t.height(), 4);
+  EXPECT_TRUE(t.is_leaf(4));
+}
+
+TEST(Tree, ChainNonZeroRoot) {
+  const Tree t = chain_tree(5, 2);
+  EXPECT_EQ(t.root, 2);
+  EXPECT_EQ(t.up(3), 2);
+  EXPECT_EQ(t.up(4), 3);
+  EXPECT_EQ(t.up(0), 4);  // wraps
+  EXPECT_EQ(t.up(1), 0);
+  t.validate();
+}
+
+TEST(Tree, FlatShape) {
+  const Tree t = flat_tree(6, 1);
+  EXPECT_EQ(t.kids(1).size(), 5u);
+  EXPECT_EQ(t.height(), 1);
+}
+
+TEST(Tree, BinaryShape) {
+  const Tree t = build_tree(TreeKind::kBinary, 7, 0);
+  EXPECT_EQ(t.kids(0), (std::vector<Rank>{1, 2}));
+  EXPECT_EQ(t.kids(1), (std::vector<Rank>{3, 4}));
+  EXPECT_EQ(t.kids(2), (std::vector<Rank>{5, 6}));
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(Tree, BinomialShape) {
+  const Tree t = binomial_tree(8, 0);
+  // Children of the root are 4, 2, 1 (largest subtree first).
+  EXPECT_EQ(t.kids(0), (std::vector<Rank>{4, 2, 1}));
+  EXPECT_EQ(t.kids(4), (std::vector<Rank>{6, 5}));
+  EXPECT_EQ(t.kids(6), (std::vector<Rank>{7}));
+  EXPECT_EQ(t.height(), 3);
+}
+
+TEST(Tree, KnomialRadix4) {
+  const Tree t = knomial_tree(16, 0, 4);
+  // Root reaches 4, 8, 12 at stride 4 and 1, 2, 3 at stride 1.
+  EXPECT_EQ(t.kids(0), (std::vector<Rank>{4, 8, 12, 1, 2, 3}));
+  EXPECT_EQ(t.kids(4), (std::vector<Rank>{5, 6, 7}));
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(Tree, KnomialMatchesBinomialAtRadix2) {
+  for (int n : {1, 2, 3, 7, 8, 13, 32}) {
+    const Tree a = binomial_tree(n, 0);
+    const Tree b = knomial_tree(n, 0, 2);
+    EXPECT_EQ(a.parent, b.parent) << "n=" << n;
+  }
+}
+
+TEST(Tree, AllKindsValidateAcrossSizesAndRoots) {
+  for (TreeKind kind : {TreeKind::kChain, TreeKind::kFlat, TreeKind::kBinary,
+                        TreeKind::kKAry, TreeKind::kBinomial,
+                        TreeKind::kKNomial}) {
+    for (int n : {1, 2, 3, 5, 8, 17, 64}) {
+      for (Rank root : {0, n / 2, n - 1}) {
+        const Tree t = build_tree(kind, n, root, 3);
+        EXPECT_EQ(t.root, root);
+        EXPECT_NO_THROW(t.validate()) << tree_kind_name(kind) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Tree, DepthOfRootIsZero) {
+  const Tree t = binomial_tree(16, 5);
+  EXPECT_EQ(t.depth(5), 0);
+}
+
+TEST(Tree, KindNamesRoundTrip) {
+  for (TreeKind kind : {TreeKind::kChain, TreeKind::kFlat, TreeKind::kBinary,
+                        TreeKind::kKAry, TreeKind::kBinomial,
+                        TreeKind::kKNomial}) {
+    EXPECT_EQ(tree_kind_from_name(tree_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(tree_kind_from_name("spanning"), Error);
+}
+
+// --------------------------------------------------------------- topo ---
+
+TEST(TopoTree, LeadersGlueLevels) {
+  // 2 nodes x 2 sockets x 4 cores, 16 ranks.
+  topo::MachineSpec spec = topo::cori(2);
+  spec.cores_per_socket = 4;
+  topo::Machine m(spec, 16);
+  const mpi::Comm world = mpi::Comm::world(16);
+  const Tree t = build_topo_tree(m, world, 0);
+  t.validate();
+  // Rank 0 leads its socket, its node and the node-leader group.
+  EXPECT_EQ(t.root, 0);
+  // Node 1's leader is rank 8; its parent must be a rank on node 0 or another
+  // node leader — with a chain of two nodes, it is rank 0.
+  EXPECT_EQ(t.up(8), 0);
+  // Socket leaders: rank 4 (node 0 socket 1) hangs off rank 0's socket chain
+  // at node level.
+  EXPECT_EQ(t.up(4), 0);
+  // Within a socket, a chain: 1 <- 0, 2 <- 1, 3 <- 2.
+  EXPECT_EQ(t.up(1), 0);
+  EXPECT_EQ(t.up(2), 1);
+  EXPECT_EQ(t.up(3), 2);
+  // Leader child lists put inter-node children before intra-socket ones.
+  EXPECT_EQ(t.kids(0).front(), 8);
+}
+
+TEST(TopoTree, EveryEdgeRespectsHierarchy) {
+  // A topo tree must never connect two ranks whose common ancestor group
+  // never linked them: a child is either in the parent's socket, or a socket
+  // leader in the parent's node, or a node leader.
+  topo::Machine m(topo::cori(4), 128);
+  const mpi::Comm world = mpi::Comm::world(128);
+  for (Rank root : {0, 37, 127}) {
+    const Tree t = build_topo_tree(m, world, root);
+    t.validate();
+    for (Rank r = 0; r < t.size(); ++r) {
+      const Rank p = t.up(r);
+      if (p == -1) continue;
+      const auto level = m.level_between(p, r);
+      if (level == topo::Level::kInterNode) {
+        // Both must be node leaders (they lead their own socket groups).
+        EXPECT_EQ(t.up(r), p);
+      } else if (level == topo::Level::kInterSocket) {
+        // The child must be a socket leader.
+        const int child_sock = m.socket_id(r);
+        for (Rank other = 0; other < t.size(); ++other) {
+          if (other != r && m.socket_id(other) == child_sock) {
+            EXPECT_NE(t.up(other), -1);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TopoTree, NonZeroRootBecomesGlobalRoot) {
+  topo::Machine m(topo::cori(2), 64);
+  const mpi::Comm world = mpi::Comm::world(64);
+  const Tree t = build_topo_tree(m, world, 40);
+  t.validate();
+  EXPECT_EQ(t.root, 40);
+  EXPECT_EQ(t.up(40), -1);
+}
+
+TEST(TopoTree, SingleNodeDegeneratesGracefully) {
+  topo::Machine m(topo::cori(1), 8);
+  const Tree t = build_topo_tree(m, mpi::Comm::world(8), 0);
+  t.validate();
+  EXPECT_EQ(t.root, 0);
+}
+
+TEST(TopoTree, SelectablePerLevelShapes) {
+  topo::Machine m(topo::cori(4), 128);
+  TopoTreeSpec spec;
+  spec.node_level = TreeKind::kBinomial;
+  spec.socket_level = TreeKind::kFlat;
+  spec.core_level = TreeKind::kBinary;
+  const Tree t = build_topo_tree(m, mpi::Comm::world(128), 0, spec);
+  t.validate();
+  // Binomial over 4 node leaders: root gets 2 node-leader children.
+  int inter_node_kids = 0;
+  for (Rank c : t.kids(0)) {
+    if (m.level_between(0, c) == topo::Level::kInterNode) ++inter_node_kids;
+  }
+  EXPECT_EQ(inter_node_kids, 2);
+}
+
+TEST(TopoTree, SubCommunicator) {
+  topo::Machine m(topo::cori(2), 64);
+  // Every fourth rank only.
+  std::vector<Rank> members;
+  for (Rank r = 0; r < 64; r += 4) members.push_back(r);
+  const mpi::Comm comm(std::move(members));
+  const Tree t = build_topo_tree(m, comm, 0);
+  t.validate();
+  EXPECT_EQ(t.size(), 16);
+}
+
+}  // namespace
+}  // namespace adapt::coll
