@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_noise_model"
+  "../bench/ablation_noise_model.pdb"
+  "CMakeFiles/ablation_noise_model.dir/ablation_noise_model.cpp.o"
+  "CMakeFiles/ablation_noise_model.dir/ablation_noise_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noise_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_noise"
+  "../bench/fig07_noise.pdb"
+  "CMakeFiles/fig07_noise.dir/fig07_noise.cpp.o"
+  "CMakeFiles/fig07_noise.dir/fig07_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_topo"
+  "../bench/fig08_topo.pdb"
+  "CMakeFiles/fig08_topo.dir/fig08_topo.cpp.o"
+  "CMakeFiles/fig08_topo.dir/fig08_topo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_msgsize"
+  "../bench/fig09_msgsize.pdb"
+  "CMakeFiles/fig09_msgsize.dir/fig09_msgsize.cpp.o"
+  "CMakeFiles/fig09_msgsize.dir/fig09_msgsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_scaling_cpu"
+  "../bench/fig10_scaling_cpu.pdb"
+  "CMakeFiles/fig10_scaling_cpu.dir/fig10_scaling_cpu.cpp.o"
+  "CMakeFiles/fig10_scaling_cpu.dir/fig10_scaling_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scaling_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

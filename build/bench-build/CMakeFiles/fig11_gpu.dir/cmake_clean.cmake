@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_gpu"
+  "../bench/fig11_gpu.pdb"
+  "CMakeFiles/fig11_gpu.dir/fig11_gpu.cpp.o"
+  "CMakeFiles/fig11_gpu.dir/fig11_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_framework"
+  "../bench/micro_framework.pdb"
+  "CMakeFiles/micro_framework.dir/micro_framework.cpp.o"
+  "CMakeFiles/micro_framework.dir/micro_framework.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_asp"
+  "../bench/table1_asp.pdb"
+  "CMakeFiles/table1_asp.dir/table1_asp.cpp.o"
+  "CMakeFiles/table1_asp.dir/table1_asp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_asp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptsim.dir/adaptsim.cpp.o"
+  "CMakeFiles/adaptsim.dir/adaptsim.cpp.o.d"
+  "adaptsim"
+  "adaptsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

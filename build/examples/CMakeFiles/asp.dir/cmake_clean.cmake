@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asp.dir/asp.cpp.o"
+  "CMakeFiles/asp.dir/asp.cpp.o.d"
+  "asp"
+  "asp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

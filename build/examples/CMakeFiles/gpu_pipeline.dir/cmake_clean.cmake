@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_pipeline.dir/gpu_pipeline.cpp.o"
+  "CMakeFiles/gpu_pipeline.dir/gpu_pipeline.cpp.o.d"
+  "gpu_pipeline"
+  "gpu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_explorer.dir/topo_explorer.cpp.o"
+  "CMakeFiles/topo_explorer.dir/topo_explorer.cpp.o.d"
+  "topo_explorer"
+  "topo_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench/cli.cpp" "src/CMakeFiles/adapt.dir/bench/cli.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/bench/cli.cpp.o.d"
+  "/root/repo/src/bench/imb.cpp" "src/CMakeFiles/adapt.dir/bench/imb.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/bench/imb.cpp.o.d"
+  "/root/repo/src/coll/barrier.cpp" "src/CMakeFiles/adapt.dir/coll/barrier.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/barrier.cpp.o.d"
+  "/root/repo/src/coll/bcast.cpp" "src/CMakeFiles/adapt.dir/coll/bcast.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/bcast.cpp.o.d"
+  "/root/repo/src/coll/detail.cpp" "src/CMakeFiles/adapt.dir/coll/detail.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/detail.cpp.o.d"
+  "/root/repo/src/coll/hierarchical.cpp" "src/CMakeFiles/adapt.dir/coll/hierarchical.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/hierarchical.cpp.o.d"
+  "/root/repo/src/coll/library.cpp" "src/CMakeFiles/adapt.dir/coll/library.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/library.cpp.o.d"
+  "/root/repo/src/coll/moreops.cpp" "src/CMakeFiles/adapt.dir/coll/moreops.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/moreops.cpp.o.d"
+  "/root/repo/src/coll/nonblocking.cpp" "src/CMakeFiles/adapt.dir/coll/nonblocking.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/nonblocking.cpp.o.d"
+  "/root/repo/src/coll/reduce.cpp" "src/CMakeFiles/adapt.dir/coll/reduce.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/reduce.cpp.o.d"
+  "/root/repo/src/coll/topo_tree.cpp" "src/CMakeFiles/adapt.dir/coll/topo_tree.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/topo_tree.cpp.o.d"
+  "/root/repo/src/coll/tree.cpp" "src/CMakeFiles/adapt.dir/coll/tree.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/coll/tree.cpp.o.d"
+  "/root/repo/src/gpu/device.cpp" "src/CMakeFiles/adapt.dir/gpu/device.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/gpu/device.cpp.o.d"
+  "/root/repo/src/gpu/gpu_coll.cpp" "src/CMakeFiles/adapt.dir/gpu/gpu_coll.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/gpu/gpu_coll.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/adapt.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/CMakeFiles/adapt.dir/mpi/datatype.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/mpi/datatype.cpp.o.d"
+  "/root/repo/src/mpi/endpoint.cpp" "src/CMakeFiles/adapt.dir/mpi/endpoint.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/mpi/endpoint.cpp.o.d"
+  "/root/repo/src/mpi/match.cpp" "src/CMakeFiles/adapt.dir/mpi/match.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/mpi/match.cpp.o.d"
+  "/root/repo/src/mpi/op.cpp" "src/CMakeFiles/adapt.dir/mpi/op.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/mpi/op.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/CMakeFiles/adapt.dir/mpi/p2p.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/mpi/p2p.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/adapt.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/routes.cpp" "src/CMakeFiles/adapt.dir/net/routes.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/net/routes.cpp.o.d"
+  "/root/repo/src/noise/noise.cpp" "src/CMakeFiles/adapt.dir/noise/noise.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/noise/noise.cpp.o.d"
+  "/root/repo/src/runtime/sim_engine.cpp" "src/CMakeFiles/adapt.dir/runtime/sim_engine.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/runtime/sim_engine.cpp.o.d"
+  "/root/repo/src/runtime/thread_engine.cpp" "src/CMakeFiles/adapt.dir/runtime/thread_engine.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/runtime/thread_engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/adapt.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/adapt.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/adapt.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/adapt.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/adapt.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/adapt.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/units.cpp" "src/CMakeFiles/adapt.dir/support/units.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/support/units.cpp.o.d"
+  "/root/repo/src/topo/hardware.cpp" "src/CMakeFiles/adapt.dir/topo/hardware.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/topo/hardware.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "src/CMakeFiles/adapt.dir/topo/presets.cpp.o" "gcc" "src/CMakeFiles/adapt.dir/topo/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_invariants_test.dir/adapt_invariants_test.cpp.o"
+  "CMakeFiles/adapt_invariants_test.dir/adapt_invariants_test.cpp.o.d"
+  "adapt_invariants_test"
+  "adapt_invariants_test.pdb"
+  "adapt_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moreops_test.dir/moreops_test.cpp.o"
+  "CMakeFiles/moreops_test.dir/moreops_test.cpp.o.d"
+  "moreops_test"
+  "moreops_test.pdb"
+  "moreops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moreops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_engine_test.dir/thread_engine_test.cpp.o"
+  "CMakeFiles/thread_engine_test.dir/thread_engine_test.cpp.o.d"
+  "thread_engine_test"
+  "thread_engine_test.pdb"
+  "thread_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
