@@ -159,6 +159,7 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
       net_(sim_, machine, options.sharing, options.gpu),
       noise_(options.noise ? options.noise
                            : std::make_shared<noise::NoNoise>()) {
+  if (options_.perturb) sim_.set_perturbation(options_.perturb);
   const int n = machine_.nranks();
   transport_ = std::make_unique<SimTransport>(*this);
   busy_until_.assign(static_cast<std::size_t>(n), 0);

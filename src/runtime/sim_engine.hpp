@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/mpi/endpoint.hpp"
@@ -25,6 +26,10 @@ struct SimEngineOptions {
   net::SharingPolicy sharing = net::SharingPolicy::kFairShare;
   net::GpuConfig gpu;
   std::shared_ptr<noise::NoiseModel> noise;  ///< null = no noise
+  /// Seeded schedule perturbation (conformance testing): randomizes the
+  /// delivery order of concurrently pending events. Unset = the default
+  /// bit-reproducible stable schedule.
+  std::optional<sim::PerturbConfig> perturb;
 };
 
 class SimEngine final : public Engine {

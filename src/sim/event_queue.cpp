@@ -7,8 +7,26 @@ namespace adapt::sim {
 EventHandle EventQueue::push(TimeNs time, std::function<void()> fn) {
   auto state = std::make_shared<EventHandle::State>();
   state->fn = std::move(fn);
-  heap_.push(Entry{time, seq_++, state});
+  TimeNs fire_time = time;
+  std::uint64_t tie = seq_;
+  if (perturb_) {
+    if (perturb_->max_jitter > 0) {
+      fire_time += static_cast<TimeNs>(perturb_rng_.next_below(
+          static_cast<std::uint64_t>(perturb_->max_jitter) + 1));
+    }
+    if (perturb_->shuffle_ties) tie = perturb_rng_.next_u64();
+  }
+  heap_.push(Entry{fire_time, tie, seq_++, state});
   return EventHandle(std::move(state));
+}
+
+void EventQueue::set_perturbation(std::optional<PerturbConfig> config) {
+  if (config) {
+    ADAPT_CHECK(config->max_jitter >= 0)
+        << "negative jitter bound " << config->max_jitter;
+    perturb_rng_ = Rng(config->seed);
+  }
+  perturb_ = std::move(config);
 }
 
 void EventQueue::drop_cancelled() const {

@@ -4,6 +4,14 @@
 // order they were scheduled, which makes whole-simulation traces reproducible
 // bit-for-bit — a property the determinism tests pin down.
 //
+// Schedule perturbation (verification mode): a seeded PerturbConfig replaces
+// the same-time tie-break with a random draw and may add bounded delivery
+// jitter to every event's firing time. Causality is preserved — an event
+// never fires before its scheduled time, so anything scheduled from inside a
+// callback still runs after it — but the interleaving of *concurrently
+// pending* events becomes one of the many legal schedules instead of always
+// the same one. Two queues with the same seed replay the same schedule.
+//
 // Cancellation is lazy: a cancelled entry stays in the heap until it reaches
 // the top and is then discarded, keeping push/pop at O(log n) with no
 // secondary index.
@@ -12,13 +20,26 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "src/support/rng.hpp"
 #include "src/support/units.hpp"
 
 namespace adapt::sim {
+
+/// Seeded schedule perturbation for conformance testing (off by default).
+struct PerturbConfig {
+  std::uint64_t seed = 1;
+  /// Replace FIFO ordering of same-time events with a seeded random order.
+  bool shuffle_ties = true;
+  /// Uniform random delay in [0, max_jitter] added to every event's firing
+  /// time, so events scheduled within `max_jitter` of each other may fire in
+  /// either order. 0 = tie-shuffling only.
+  TimeNs max_jitter = 0;
+};
 
 /// Cancellable handle to a scheduled event. Cheap shared ownership: the queue
 /// keeps one reference until the event fires or is skipped.
@@ -47,6 +68,11 @@ class EventQueue {
  public:
   EventHandle push(TimeNs time, std::function<void()> fn);
 
+  /// Enables (or, with nullopt, disables) schedule perturbation for all
+  /// subsequently pushed events. Typically set before any push.
+  void set_perturbation(std::optional<PerturbConfig> config);
+  bool perturbed() const { return perturb_.has_value(); }
+
   /// True when no live (non-cancelled) events remain.
   bool empty() const;
 
@@ -66,12 +92,14 @@ class EventQueue {
  private:
   struct Entry {
     TimeNs time;
+    std::uint64_t tie;  ///< seq normally; a seeded random draw when perturbed
     std::uint64_t seq;
     std::shared_ptr<EventHandle::State> state;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
@@ -80,6 +108,8 @@ class EventQueue {
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t seq_ = 0;
+  std::optional<PerturbConfig> perturb_;
+  Rng perturb_rng_{0};
 };
 
 }  // namespace adapt::sim

@@ -19,6 +19,14 @@ class Simulator {
   /// Current virtual time. Starts at 0.
   TimeNs now() const { return now_; }
 
+  /// Seeded schedule perturbation (see sim::PerturbConfig): randomizes the
+  /// order of concurrently pending events while preserving causality. Used by
+  /// the conformance harness; leave unset for bit-reproducible traces.
+  void set_perturbation(std::optional<PerturbConfig> config) {
+    queue_.set_perturbation(std::move(config));
+  }
+  bool perturbed() const { return queue_.perturbed(); }
+
   /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
   EventHandle at(TimeNs t, std::function<void()> fn);
 

@@ -1,0 +1,725 @@
+#include "src/verify/conformance.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+
+#include "src/coll/library.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/coll/tree.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/runtime/thread_engine.hpp"
+#include "src/support/error.hpp"
+#include "src/topo/presets.hpp"
+#include "src/verify/faulty.hpp"
+#include "src/verify/oracle.hpp"
+
+namespace adapt::verify {
+
+// ------------------------------------------------------------------ names ---
+
+const char* engine_name(EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kSim: return "sim";
+    case EngineKind::kThread: return "thread";
+  }
+  return "?";
+}
+
+const char* collective_name(Collective collective) {
+  switch (collective) {
+    case Collective::kBcast: return "bcast";
+    case Collective::kReduce: return "reduce";
+    case Collective::kAllreduce: return "allreduce";
+    case Collective::kScatter: return "scatter";
+    case Collective::kGather: return "gather";
+    case Collective::kAllgather: return "allgather";
+    case Collective::kBarrier: return "barrier";
+    case Collective::kLibBcast: return "lib_bcast";
+    case Collective::kLibReduce: return "lib_reduce";
+  }
+  return "?";
+}
+
+const char* comm_name(CommKind comm) {
+  switch (comm) {
+    case CommKind::kWorld: return "world";
+    case CommKind::kEven: return "even";
+    case CommKind::kSlice: return "slice";
+  }
+  return "?";
+}
+
+const char* tree_name(TreeChoice tree) {
+  switch (tree) {
+    case TreeChoice::kTopo: return "topo";
+    case TreeChoice::kBinomial: return "binomial";
+    case TreeChoice::kChain: return "chain";
+  }
+  return "?";
+}
+
+const char* fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kGatherArrivalOrder: return "gather_arrival_order";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* ag_name(coll::AllgatherAlgo algo) {
+  return algo == coll::AllgatherAlgo::kRing ? "ring" : "recdbl";
+}
+
+/// Generic reverse lookup over a small enum range via its name function.
+template <typename E, typename NameFn>
+bool enum_from_name(const std::string& name, int count, NameFn name_of,
+                    E* out) {
+  for (int i = 0; i < count; ++i) {
+    const E candidate = static_cast<E>(i);
+    if (name == name_of(candidate)) {
+      *out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- repro strings ---
+
+std::vector<Rank> comm_members(CommKind comm, int world) {
+  ADAPT_CHECK(world >= 2) << "conformance world of " << world << " ranks";
+  std::vector<Rank> members;
+  switch (comm) {
+    case CommKind::kWorld:
+      for (Rank r = 0; r < world; ++r) members.push_back(r);
+      break;
+    case CommKind::kEven:
+      for (Rank r = 0; r < world; r += 2) members.push_back(r);
+      break;
+    case CommKind::kSlice:
+      for (Rank r = 2; r < world - 2; ++r) members.push_back(r);
+      break;
+  }
+  ADAPT_CHECK(members.size() >= 2)
+      << comm_name(comm) << " communicator of world " << world
+      << " has fewer than 2 members";
+  return members;
+}
+
+std::string repro_string(const CaseConfig& config, const RunSpec& spec,
+                         Fault fault) {
+  std::ostringstream out;
+  out << "collective=" << collective_name(config.collective)
+      << " style=" << coll::style_name(config.style)
+      << " lib=" << (config.library.empty() ? "-" : config.library)
+      << " ag=" << ag_name(config.ag_algo)
+      << " dtype=" << mpi::datatype_name(config.dtype)
+      << " op=" << mpi::op_name(config.op) << " world=" << config.world
+      << " comm=" << comm_name(config.comm) << " root=" << config.root
+      << " bytes=" << config.bytes << " seg=" << config.segment
+      << " N=" << config.n_out << " M=" << config.m_out
+      << " tree=" << tree_name(config.tree)
+      << " data_seed=" << config.data_seed
+      << " engine=" << engine_name(spec.engine)
+      << " perturb_seed=" << spec.perturb_seed << " jitter=" << spec.jitter
+      << " fault=" << fault_name(fault);
+  return out.str();
+}
+
+bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
+                 Fault* fault) {
+  CaseConfig cfg;
+  RunSpec run;
+  Fault flt = Fault::kNone;
+  bool saw_collective = false;
+
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    auto as_int = [&](auto* out) {
+      try {
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(
+            std::stoll(value));
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+    auto as_u64 = [&](std::uint64_t* out) {
+      try {
+        *out = std::stoull(value);
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+    bool ok = true;
+    if (key == "collective") {
+      ok = enum_from_name(value, 9, collective_name, &cfg.collective);
+      saw_collective = ok;
+    } else if (key == "style") {
+      ok = enum_from_name(value, 3, coll::style_name, &cfg.style);
+    } else if (key == "lib") {
+      cfg.library = value == "-" ? "" : value;
+    } else if (key == "ag") {
+      if (value == "ring") {
+        cfg.ag_algo = coll::AllgatherAlgo::kRing;
+      } else if (value == "recdbl") {
+        cfg.ag_algo = coll::AllgatherAlgo::kRecursiveDoubling;
+      } else {
+        ok = false;
+      }
+    } else if (key == "dtype") {
+      ok = enum_from_name(value, 5, mpi::datatype_name, &cfg.dtype);
+    } else if (key == "op") {
+      ok = enum_from_name(value, 6, mpi::op_name, &cfg.op);
+    } else if (key == "world") {
+      ok = as_int(&cfg.world);
+    } else if (key == "comm") {
+      ok = enum_from_name(value, 3, comm_name, &cfg.comm);
+    } else if (key == "root") {
+      ok = as_int(&cfg.root);
+    } else if (key == "bytes") {
+      ok = as_int(&cfg.bytes);
+    } else if (key == "seg") {
+      ok = as_int(&cfg.segment);
+    } else if (key == "N") {
+      ok = as_int(&cfg.n_out);
+    } else if (key == "M") {
+      ok = as_int(&cfg.m_out);
+    } else if (key == "tree") {
+      ok = enum_from_name(value, 3, tree_name, &cfg.tree);
+    } else if (key == "data_seed") {
+      ok = as_u64(&cfg.data_seed);
+    } else if (key == "engine") {
+      ok = enum_from_name(value, 2, engine_name, &run.engine);
+    } else if (key == "perturb_seed") {
+      ok = as_u64(&run.perturb_seed);
+    } else if (key == "jitter") {
+      ok = as_int(&run.jitter);
+    } else if (key == "fault") {
+      ok = enum_from_name(value, 2, fault_name, &flt);
+    } else {
+      ok = false;
+    }
+    if (!ok) return false;
+  }
+  if (!saw_collective) return false;
+  *config = cfg;
+  *spec = run;
+  if (fault) *fault = flt;
+  return true;
+}
+
+// -------------------------------------------------------------- one case ----
+
+namespace {
+
+bool tree_based(Collective c) {
+  return c == Collective::kBcast || c == Collective::kReduce ||
+         c == Collective::kAllreduce;
+}
+
+coll::Tree make_tree(const CaseConfig& config, const topo::Machine& machine,
+                     const mpi::Comm& comm, Rank root) {
+  switch (config.tree) {
+    case TreeChoice::kTopo:
+      return coll::build_topo_tree(machine, comm, root);
+    case TreeChoice::kBinomial:
+      return coll::binomial_tree(comm.size(), root);
+    case TreeChoice::kChain:
+      return coll::chain_tree(comm.size(), root);
+  }
+  ADAPT_UNREACHABLE("bad tree choice");
+}
+
+std::string diff_buffers(const CaseIo& io,
+                         const std::vector<std::vector<std::byte>>& observed,
+                         const mpi::Comm& comm) {
+  for (std::size_t i = 0; i < io.expected.size(); ++i) {
+    if (!io.expected[i]) continue;
+    const auto& want = *io.expected[i];
+    const auto& got = observed[i];
+    if (got.size() != want.size()) {
+      std::ostringstream out;
+      out << "local rank " << i << " (global " << comm.global(static_cast<Rank>(i))
+          << "): buffer is " << got.size() << "B, want " << want.size() << "B";
+      return out.str();
+    }
+    for (std::size_t b = 0; b < want.size(); ++b) {
+      if (got[b] != want[b]) {
+        std::ostringstream out;
+        out << "local rank " << i << " (global "
+            << comm.global(static_cast<Rank>(i)) << ") differs at byte " << b
+            << " of " << want.size() << ": got 0x" << std::hex
+            << static_cast<int>(got[b]) << ", want 0x"
+            << static_cast<int>(want[b]);
+        return out.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<std::string> run_case(const CaseConfig& config,
+                                    const RunSpec& spec, Fault fault) {
+  const std::vector<Rank> members = comm_members(config.comm, config.world);
+  const int p = static_cast<int>(members.size());
+  ADAPT_CHECK(config.root >= 0 && config.root < p)
+      << "root " << config.root << " outside communicator of " << p;
+
+  const CaseIo io = make_io(config);
+  const topo::Machine machine(topo::cori(2), config.world);
+  const mpi::Comm comm(members);
+
+  // Working buffers: in-place collectives mutate `work`; scatter/gather
+  // deliver into `out` (poisoned so untouched bytes are visible in diffs).
+  std::vector<std::vector<std::byte>> work = io.inputs;
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  const bool uses_out = config.collective == Collective::kScatter ||
+                        config.collective == Collective::kGather;
+  if (config.collective == Collective::kScatter) {
+    for (auto& o : out)
+      o.assign(static_cast<std::size_t>(config.bytes), std::byte(0xCD));
+  } else if (config.collective == Collective::kGather) {
+    out[static_cast<std::size_t>(config.root)].assign(
+        static_cast<std::size_t>(config.bytes) * static_cast<std::size_t>(p),
+        std::byte(0xCD));
+  }
+
+  // Allreduce composes reduce-to-0 + bcast-from-0, so its trees are rooted
+  // at local rank 0 regardless of config.root.
+  const Rank tree_root =
+      config.collective == Collective::kAllreduce ? 0 : config.root;
+  coll::Tree tree;
+  if (tree_based(config.collective)) {
+    tree = make_tree(config, machine, comm, tree_root);
+  }
+  std::shared_ptr<coll::MpiLibrary> library;
+  if (config.collective == Collective::kLibBcast ||
+      config.collective == Collective::kLibReduce) {
+    ADAPT_CHECK(!config.library.empty()) << "library case without a library";
+    library = coll::make_library(config.library, machine);
+  }
+
+  coll::CollOpts opts;
+  opts.segment_size = config.segment;
+  opts.outstanding_sends = config.n_out;
+  opts.outstanding_recvs = config.m_out;
+
+  std::atomic<int> entered{0};
+  std::atomic<bool> barrier_violated{false};
+
+  const auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const Rank g = ctx.rank();
+    if (!comm.contains(g)) co_return;
+    const Rank me = comm.local_of(g);
+    const std::size_t mi = static_cast<std::size_t>(me);
+    auto view = [&](std::vector<std::byte>& buf) {
+      return mpi::MutView{buf.data(), static_cast<Bytes>(buf.size())};
+    };
+    switch (config.collective) {
+      case Collective::kBcast:
+        co_await coll::bcast(ctx, comm, view(work[mi]), config.root, tree,
+                             config.style, opts);
+        break;
+      case Collective::kReduce:
+        co_await coll::reduce(ctx, comm, view(work[mi]), config.op,
+                              config.dtype, config.root, tree, config.style,
+                              opts);
+        break;
+      case Collective::kAllreduce:
+        co_await coll::allreduce(ctx, comm, view(work[mi]), config.op,
+                                 config.dtype, tree, tree, config.style, opts);
+        break;
+      case Collective::kScatter:
+        co_await coll::scatter(ctx, comm, view(work[mi]).as_const(),
+                               view(out[mi]), config.bytes, config.root);
+        break;
+      case Collective::kGather:
+        if (fault == Fault::kGatherArrivalOrder) {
+          co_await faulty_gather_arrival_order(
+              ctx, comm, view(work[mi]).as_const(), view(out[mi]),
+              config.bytes, config.root);
+        } else {
+          co_await coll::gather(ctx, comm, view(work[mi]).as_const(),
+                                view(out[mi]), config.bytes, config.root);
+        }
+        break;
+      case Collective::kAllgather:
+        co_await coll::allgather(ctx, comm, view(work[mi]), config.bytes,
+                                 config.ag_algo);
+        break;
+      case Collective::kBarrier:
+        entered.fetch_add(1);
+        co_await coll::barrier(ctx, comm);
+        if (entered.load() < p) barrier_violated.store(true);
+        break;
+      case Collective::kLibBcast:
+        co_await library->bcast(ctx, comm, view(work[mi]), config.root);
+        break;
+      case Collective::kLibReduce:
+        co_await library->reduce(ctx, comm, view(work[mi]), config.op,
+                                 config.dtype, config.root);
+        break;
+    }
+  };
+
+  try {
+    if (spec.engine == EngineKind::kSim) {
+      runtime::SimEngineOptions engine_opts;
+      if (spec.perturb_seed != 0) {
+        engine_opts.perturb = sim::PerturbConfig{
+            spec.perturb_seed, /*shuffle_ties=*/true, spec.jitter};
+      }
+      runtime::SimEngine engine(machine, engine_opts);
+      engine.run(program);
+    } else {
+      runtime::ThreadEngine engine(machine);
+      engine.run(program);
+    }
+  } catch (const std::exception& e) {
+    return std::string("engine run failed: ") + e.what();
+  }
+
+  if (config.collective == Collective::kBarrier) {
+    if (barrier_violated.load()) {
+      return std::string("barrier: a rank exited before all ") +
+             std::to_string(p) + " members entered";
+    }
+    return std::nullopt;
+  }
+  const std::string diff =
+      diff_buffers(io, uses_out ? out : work, comm);
+  if (!diff.empty()) return diff;
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------------- shrink ---
+
+CaseConfig shrink_case(const CaseConfig& config, const RunSpec& spec,
+                       Fault fault) {
+  const auto still_fails = [&](const CaseConfig& candidate) {
+    return run_case(candidate, spec, fault).has_value();
+  };
+  const Bytes elem = mpi::size_of(config.dtype);
+  const auto min_world = [&](CommKind comm) {
+    switch (comm) {
+      case CommKind::kWorld: return 2;
+      case CommKind::kEven: return 3;   // {0, 2}
+      case CommKind::kSlice: return 6;  // [2, 4) needs world 6 for 2 members
+    }
+    return 2;
+  };
+
+  CaseConfig current = config;
+  int budget = 48;  // bounded number of verification re-runs
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    std::vector<CaseConfig> candidates;
+    if (current.bytes > elem) {
+      CaseConfig c = current;
+      c.bytes = std::max(elem, c.bytes / 2 - (c.bytes / 2) % elem);
+      candidates.push_back(c);
+    }
+    if (current.segment > elem) {
+      CaseConfig c = current;
+      c.segment = std::max(elem, c.segment / 2);
+      candidates.push_back(c);
+    }
+    if (current.world > min_world(current.comm)) {
+      CaseConfig c = current;
+      c.world = std::max(min_world(c.comm), c.world / 2);
+      const int p = static_cast<int>(comm_members(c.comm, c.world).size());
+      c.root = std::min(c.root, static_cast<Rank>(p - 1));
+      candidates.push_back(c);
+      CaseConfig d = current;
+      d.world = current.world - 1;
+      if (d.world >= min_world(d.comm)) {
+        const int dp = static_cast<int>(comm_members(d.comm, d.world).size());
+        d.root = std::min(d.root, static_cast<Rank>(dp - 1));
+        candidates.push_back(d);
+      }
+    }
+    for (const CaseConfig& candidate : candidates) {
+      if (--budget < 0) break;
+      if (still_fails(candidate)) {
+        current = candidate;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+// ----------------------------------------------------------------- matrix ---
+
+std::vector<CaseConfig> full_matrix() {
+  std::vector<CaseConfig> cases;
+  std::uint64_t seed = 1;
+  const auto add = [&](CaseConfig c) {
+    c.data_seed = seed++;
+    cases.push_back(std::move(c));
+  };
+  const coll::Style styles[] = {coll::Style::kBlocking,
+                                coll::Style::kNonblocking,
+                                coll::Style::kAdapt};
+  const CommKind comms[] = {CommKind::kWorld, CommKind::kEven,
+                            CommKind::kSlice};
+  const Rank roots[] = {1, 0, 2};  // per comm kind above
+
+  // Broadcast: style × comm on the topo tree (pipelined small payload), the
+  // rendezvous-sized payload on the world comm, and the chain/binomial tree
+  // shapes. One ADAPT variant runs M < N to exercise the unexpected path.
+  for (const auto style : styles) {
+    for (int ci = 0; ci < 3; ++ci) {
+      CaseConfig c;
+      c.collective = Collective::kBcast;
+      c.style = style;
+      c.world = 12;
+      c.comm = comms[ci];
+      c.root = roots[ci];
+      c.bytes = 3000;
+      c.segment = 256;
+      add(c);
+    }
+    CaseConfig big;
+    big.collective = Collective::kBcast;
+    big.style = style;
+    big.world = 12;
+    big.comm = CommKind::kWorld;
+    big.root = 1;
+    big.bytes = kib(192);   // two 96 KB segments: both rendezvous
+    big.segment = kib(96);
+    add(big);
+    for (const auto tree : {TreeChoice::kChain, TreeChoice::kBinomial}) {
+      CaseConfig c;
+      c.collective = Collective::kBcast;
+      c.style = style;
+      c.world = 12;
+      c.comm = CommKind::kWorld;
+      c.root = 3;
+      c.bytes = 4096;
+      c.segment = 512;
+      c.tree = tree;
+      add(c);
+    }
+  }
+  {
+    CaseConfig c;  // ADAPT with more in-flight sends than posted receives
+    c.collective = Collective::kBcast;
+    c.style = coll::Style::kAdapt;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 0;
+    c.bytes = 8192;
+    c.segment = 256;
+    c.n_out = 3;
+    c.m_out = 2;
+    add(c);
+  }
+
+  // Reduce: style × datatype/op × {world, even}, plus a rendezvous-sized
+  // case and the slice comm.
+  const std::pair<mpi::Datatype, mpi::ReduceOp> dtype_ops[] = {
+      {mpi::Datatype::kInt32, mpi::ReduceOp::kSum},
+      {mpi::Datatype::kInt64, mpi::ReduceOp::kMax},
+      {mpi::Datatype::kUint8, mpi::ReduceOp::kBor},
+      {mpi::Datatype::kDouble, mpi::ReduceOp::kSum},
+      {mpi::Datatype::kFloat, mpi::ReduceOp::kProd},
+  };
+  for (const auto style : styles) {
+    for (const auto& [dtype, op] : dtype_ops) {
+      for (int ci = 0; ci < 2; ++ci) {
+        CaseConfig c;
+        c.collective = Collective::kReduce;
+        c.style = style;
+        c.dtype = dtype;
+        c.op = op;
+        c.world = 12;
+        c.comm = comms[ci];
+        c.root = roots[ci];
+        c.bytes = 4096;
+        c.segment = 512;
+        add(c);
+      }
+    }
+    CaseConfig big;
+    big.collective = Collective::kReduce;
+    big.style = style;
+    big.dtype = mpi::Datatype::kInt32;
+    big.op = mpi::ReduceOp::kSum;
+    big.world = 12;
+    big.comm = CommKind::kWorld;
+    big.root = 1;
+    big.bytes = kib(192);
+    big.segment = kib(96);
+    add(big);
+    CaseConfig slice;
+    slice.collective = Collective::kReduce;
+    slice.style = style;
+    slice.dtype = mpi::Datatype::kInt64;
+    slice.op = mpi::ReduceOp::kMin;
+    slice.world = 12;
+    slice.comm = CommKind::kSlice;
+    slice.root = 2;
+    slice.bytes = 2048;
+    slice.segment = 256;
+    add(slice);
+  }
+
+  // Allreduce (reduce-to-0 + bcast): style × dtype × {world, slice}.
+  for (const auto style : styles) {
+    for (const auto dtype : {mpi::Datatype::kInt32, mpi::Datatype::kDouble}) {
+      for (const auto comm : {CommKind::kWorld, CommKind::kSlice}) {
+        CaseConfig c;
+        c.collective = Collective::kAllreduce;
+        c.style = style;
+        c.dtype = dtype;
+        c.op = mpi::ReduceOp::kSum;
+        c.world = 12;
+        c.comm = comm;
+        c.root = 0;
+        c.bytes = 2048;
+        c.segment = 256;
+        add(c);
+      }
+    }
+  }
+
+  // Scatter / gather / barrier over every comm shape.
+  for (int ci = 0; ci < 3; ++ci) {
+    for (const auto collective :
+         {Collective::kScatter, Collective::kGather, Collective::kBarrier}) {
+      CaseConfig c;
+      c.collective = collective;
+      c.world = 12;
+      c.comm = comms[ci];
+      c.root = roots[ci];
+      c.bytes = 1000;  // per-rank block
+      add(c);
+    }
+  }
+
+  // Allgather: ring everywhere, recursive doubling on power-of-two comms.
+  for (int ci = 0; ci < 3; ++ci) {
+    CaseConfig c;
+    c.collective = Collective::kAllgather;
+    c.world = 12;
+    c.comm = comms[ci];
+    c.root = 0;
+    c.bytes = 600;
+    c.ag_algo = coll::AllgatherAlgo::kRing;
+    add(c);
+  }
+  for (const auto& [world, comm] :
+       {std::pair<int, CommKind>{8, CommKind::kWorld},
+        std::pair<int, CommKind>{16, CommKind::kEven}}) {
+    CaseConfig c;
+    c.collective = Collective::kAllgather;
+    c.world = world;
+    c.comm = comm;
+    c.root = 0;
+    c.bytes = 600;
+    c.ag_algo = coll::AllgatherAlgo::kRecursiveDoubling;
+    add(c);
+  }
+
+  // Library personalities end to end (bcast + reduce).
+  for (const char* lib :
+       {"ompi-adapt", "ompi-default", "cray", "mvapich", "intel"}) {
+    CaseConfig b;
+    b.collective = Collective::kLibBcast;
+    b.library = lib;
+    b.world = 12;
+    b.comm = CommKind::kWorld;
+    b.root = 1;
+    b.bytes = kib(160);  // crosses the personalities' decision rules
+    add(b);
+    CaseConfig r;
+    r.collective = Collective::kLibReduce;
+    r.library = lib;
+    r.dtype = mpi::Datatype::kInt32;
+    r.op = mpi::ReduceOp::kSum;
+    r.world = 12;
+    r.comm = CommKind::kWorld;
+    r.root = 1;
+    r.bytes = 4096;
+    add(r);
+  }
+
+  return cases;
+}
+
+Report run_matrix(const std::vector<CaseConfig>& cases,
+                  const MatrixOptions& options) {
+  Report report;
+  report.cases = static_cast<int>(cases.size());
+  int done = 0;
+  for (const CaseConfig& config : cases) {
+    std::vector<RunSpec> specs;
+    specs.push_back(RunSpec{EngineKind::kSim, 0, 0});
+    for (int s = 1; s <= options.sim_seeds; ++s) {
+      specs.push_back(RunSpec{EngineKind::kSim,
+                              static_cast<std::uint64_t>(s),
+                              options.max_jitter});
+    }
+    if (options.thread_engine) {
+      specs.push_back(RunSpec{EngineKind::kThread, 0, 0});
+    }
+    for (const RunSpec& spec : specs) {
+      ++report.runs;
+      auto mismatch = run_case(config, spec, options.fault);
+      if (!mismatch) continue;
+      CaseConfig reported = config;
+      if (options.shrink) {
+        reported = shrink_case(config, spec, options.fault);
+        if (auto shrunk_detail = run_case(reported, spec, options.fault)) {
+          mismatch = shrunk_detail;
+        }
+      }
+      Failure failure;
+      failure.config = reported;
+      failure.spec = spec;
+      failure.detail = *mismatch;
+      failure.repro = repro_string(reported, spec, options.fault);
+      if (options.log) {
+        options.log("FAIL " + failure.repro + "\n     " + failure.detail);
+      }
+      report.failures.push_back(std::move(failure));
+      break;  // one schedule failure per case is enough to report
+    }
+    ++done;
+    if (options.log && done % 20 == 0) {
+      options.log("conformance: " + std::to_string(done) + "/" +
+                  std::to_string(report.cases) + " cases, " +
+                  std::to_string(report.failures.size()) + " failures");
+    }
+  }
+  return report;
+}
+
+std::string Report::summary() const {
+  std::ostringstream out;
+  out << cases << " cases, " << runs << " runs, " << failures.size()
+      << " failures";
+  for (const Failure& f : failures) {
+    out << "\n  " << f.repro << "\n    " << f.detail;
+  }
+  return out.str();
+}
+
+}  // namespace adapt::verify

@@ -1,0 +1,162 @@
+// Differential conformance harness (the correctness backstop).
+//
+// The paper's central claim is that event-driven collectives deliver
+// identical results no matter *when* their callbacks fire. This subsystem
+// tests exactly that: every collective × algorithm style × library
+// personality × datatype/op × communicator subset is run on
+//
+//   * the SimEngine under its default bit-reproducible schedule,
+//   * the SimEngine under many seeded schedule perturbations
+//     (sim::PerturbConfig: randomized tie-breaking + bounded delivery
+//     jitter — hundreds of distinct-but-legal completion orders), and
+//   * the ThreadEngine (real threads, real races),
+//
+// and every run's payload bytes are diffed against a sequential oracle.
+// A mismatch is reported as a one-line reproducer (`repro` field) that
+// parse_repro() turns back into the exact failing case + schedule, after
+// an automatic shrink pass minimised it.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/coll/coll.hpp"
+#include "src/coll/moreops.hpp"
+#include "src/mpi/datatype.hpp"
+#include "src/mpi/op.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::verify {
+
+/// Which engine executes a run.
+enum class EngineKind { kSim, kThread };
+
+/// The operations the matrix covers. kLibBcast/kLibReduce run a library
+/// personality (CaseConfig::library) end to end instead of a raw style.
+enum class Collective {
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kScatter,
+  kGather,
+  kAllgather,
+  kBarrier,
+  kLibBcast,
+  kLibReduce,
+};
+
+/// Communicator shapes, derived from the world size: the full world, the
+/// even global ranks, or the contiguous middle slice [2, world - 2).
+enum class CommKind { kWorld, kEven, kSlice };
+
+/// Tree shapes for the tree-based collectives.
+enum class TreeChoice { kTopo, kBinomial, kChain };
+
+/// Deliberately seeded bugs, used to prove the harness catches what it
+/// claims to catch (see faulty.hpp). Production runs use kNone.
+enum class Fault {
+  kNone,
+  /// Gather whose root assumes wildcard-source arrivals come in rank order —
+  /// true under the stable schedule, false under perturbation.
+  kGatherArrivalOrder,
+};
+
+const char* engine_name(EngineKind engine);
+const char* collective_name(Collective collective);
+const char* comm_name(CommKind comm);
+const char* tree_name(TreeChoice tree);
+const char* fault_name(Fault fault);
+
+/// One cell of the conformance matrix, engine-agnostic.
+struct CaseConfig {
+  Collective collective = Collective::kBcast;
+  coll::Style style = coll::Style::kAdapt;  ///< tree collectives only
+  std::string library;                      ///< kLibBcast/kLibReduce only
+  coll::AllgatherAlgo ag_algo = coll::AllgatherAlgo::kRing;
+  mpi::Datatype dtype = mpi::Datatype::kUint8;
+  mpi::ReduceOp op = mpi::ReduceOp::kSum;
+  int world = 8;                   ///< engine rank count
+  CommKind comm = CommKind::kWorld;
+  Rank root = 0;                   ///< local rank within the communicator
+  /// Message size: total bytes for bcast/reduce/allreduce, per-rank block
+  /// for scatter/gather/allgather, ignored for barrier.
+  Bytes bytes = 512;
+  Bytes segment = 128;             ///< pipeline granularity
+  int n_out = 2;                   ///< ADAPT N (outstanding sends per child)
+  int m_out = 4;                   ///< ADAPT M (posted receives per parent)
+  TreeChoice tree = TreeChoice::kTopo;
+  std::uint64_t data_seed = 1;     ///< payload-content seed
+};
+
+/// One schedule of one case. perturb_seed 0 = the default stable schedule
+/// (jitter is then ignored); any other seed enables sim::PerturbConfig with
+/// that seed. ThreadEngine runs ignore both (its nondeterminism is real).
+struct RunSpec {
+  EngineKind engine = EngineKind::kSim;
+  std::uint64_t perturb_seed = 0;
+  TimeNs jitter = 0;
+};
+
+/// Members of the case's communicator as global ranks of `world`.
+std::vector<Rank> comm_members(CommKind comm, int world);
+
+/// Self-contained one-line reproducer, parseable by parse_repro.
+std::string repro_string(const CaseConfig& config, const RunSpec& spec,
+                         Fault fault = Fault::kNone);
+
+/// Parses a repro_string line. Returns false (and leaves outputs untouched)
+/// on malformed input.
+bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
+                 Fault* fault);
+
+/// Runs one case under one schedule and diffs the result against the
+/// sequential oracle. Returns nullopt on success, a human-readable mismatch
+/// description on failure. Throws only on harness misuse (bad config).
+std::optional<std::string> run_case(const CaseConfig& config,
+                                    const RunSpec& spec,
+                                    Fault fault = Fault::kNone);
+
+/// Greedily shrinks a failing case (fewer bytes, coarser pipeline, fewer
+/// ranks) while it keeps failing under `spec`; returns the smallest failing
+/// config found within a bounded number of re-runs.
+CaseConfig shrink_case(const CaseConfig& config, const RunSpec& spec,
+                       Fault fault = Fault::kNone);
+
+struct Failure {
+  CaseConfig config;   ///< already shrunk when MatrixOptions::shrink is set
+  RunSpec spec;
+  std::string detail;  ///< first mismatching rank/byte
+  std::string repro;   ///< repro_string(config, spec, fault)
+};
+
+struct Report {
+  int cases = 0;
+  long runs = 0;
+  std::vector<Failure> failures;
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+struct MatrixOptions {
+  int sim_seeds = 20;       ///< perturbation seeds per case (plus seed-0 run)
+  TimeNs max_jitter = microseconds(5);
+  bool thread_engine = true;
+  bool shrink = true;       ///< minimise failing cases before reporting
+  Fault fault = Fault::kNone;
+  /// Progress/failure sink (e.g. stderr); null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+/// The full conformance matrix: every collective × style × personality ×
+/// datatype/op × communicator subset the harness certifies.
+std::vector<CaseConfig> full_matrix();
+
+/// Runs every case on the SimEngine (stable schedule + sim_seeds
+/// perturbations) and the ThreadEngine, diffing each run against the oracle.
+Report run_matrix(const std::vector<CaseConfig>& cases,
+                  const MatrixOptions& options);
+
+}  // namespace adapt::verify

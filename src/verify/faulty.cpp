@@ -1,0 +1,58 @@
+#include "src/verify/faulty.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/p2p.hpp"
+#include "src/mpi/payload.hpp"
+#include "src/support/error.hpp"
+
+namespace adapt::verify {
+
+sim::Task<> faulty_gather_arrival_order(runtime::Context& ctx,
+                                        const mpi::Comm& comm,
+                                        mpi::ConstView sendblock,
+                                        mpi::MutView recvbuf, Bytes block,
+                                        Rank root) {
+  const int n = comm.size();
+  const Rank me = comm.local_of(ctx.rank());
+  ADAPT_CHECK(me != kAnyRank);
+  const Tag tag = ctx.alloc_tags(1);
+
+  if (me != root) {
+    co_await ctx.send(comm.global(root), tag, sendblock);
+    co_return;
+  }
+
+  ADAPT_CHECK(recvbuf.size >= block * n) << "gather recvbuf too small";
+  if (!recvbuf.synthetic() && !sendblock.synthetic()) {
+    std::memcpy(recvbuf.data + static_cast<std::size_t>(root * block),
+                sendblock.data, static_cast<std::size_t>(block));
+  }
+
+  // Wildcard-source receives into arrival-order staging slots.
+  std::vector<mpi::Payload> stage;
+  std::vector<mpi::RequestPtr> recvs;
+  for (int k = 0; k + 1 < n; ++k) {
+    stage.push_back(recvbuf.synthetic() ? mpi::Payload::synthetic(block)
+                                        : mpi::Payload::real(block));
+    recvs.push_back(ctx.irecv(kAnyRank, tag, stage.back().view()));
+  }
+  co_await mpi::wait_all(recvs);
+
+  // THE BUG: slot k is assumed to hold the k-th non-root rank's block. The
+  // completed requests know the actual source (recvs[k]->actual_src()), but
+  // this code ignores it — correct only while arrivals land in rank order.
+  int slot = 0;
+  for (Rank r = 0; r < n; ++r) {
+    if (r == root) continue;
+    if (!recvbuf.synthetic()) {
+      std::memcpy(recvbuf.data + static_cast<std::size_t>(r * block),
+                  stage[static_cast<std::size_t>(slot)].data(),
+                  static_cast<std::size_t>(block));
+    }
+    ++slot;
+  }
+}
+
+}  // namespace adapt::verify

@@ -1,0 +1,29 @@
+// Deliberately buggy collectives, used ONLY to validate the conformance
+// harness itself: each encodes a bug class that survives the default stable
+// schedule (so a spot-check benchmark or a single deterministic test passes)
+// but breaks under legal schedule reorderings — exactly what the
+// perturbation matrix exists to expose.
+#pragma once
+
+#include "src/coll/coll.hpp"
+#include "src/mpi/comm.hpp"
+#include "src/runtime/context.hpp"
+#include "src/sim/task.hpp"
+
+namespace adapt::verify {
+
+/// Flat gather with a classic wildcard-source bug: the root posts
+/// MPI_ANY_SOURCE receives into arrival-order staging slots and then copies
+/// slot k into the block of the k-th sender *by rank order* — silently
+/// assuming arrival order equals rank order. Under the stable SimEngine
+/// schedule equal-cost same-link transfers complete in posting (= rank)
+/// order, so the bug is invisible; randomized tie-breaking or delivery
+/// jitter reorders the arrivals and scrambles the gathered blocks.
+/// Same contract as coll::gather.
+sim::Task<> faulty_gather_arrival_order(runtime::Context& ctx,
+                                        const mpi::Comm& comm,
+                                        mpi::ConstView sendblock,
+                                        mpi::MutView recvbuf, Bytes block,
+                                        Rank root);
+
+}  // namespace adapt::verify

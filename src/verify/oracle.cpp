@@ -1,0 +1,184 @@
+#include "src/verify/oracle.hpp"
+
+#include <cstring>
+
+#include "src/support/error.hpp"
+#include "src/support/rng.hpp"
+
+namespace adapt::verify {
+
+namespace {
+
+bool floating(mpi::Datatype dtype) {
+  return dtype == mpi::Datatype::kFloat || dtype == mpi::Datatype::kDouble;
+}
+
+void store_element(std::byte* dst, mpi::Datatype dtype, std::int64_t value) {
+  switch (dtype) {
+    case mpi::Datatype::kUint8: {
+      const std::uint8_t v = static_cast<std::uint8_t>(value);
+      std::memcpy(dst, &v, sizeof v);
+      return;
+    }
+    case mpi::Datatype::kInt32: {
+      const std::int32_t v = static_cast<std::int32_t>(value);
+      std::memcpy(dst, &v, sizeof v);
+      return;
+    }
+    case mpi::Datatype::kInt64: {
+      std::memcpy(dst, &value, sizeof value);
+      return;
+    }
+    case mpi::Datatype::kFloat: {
+      const float v = static_cast<float>(value);
+      std::memcpy(dst, &v, sizeof v);
+      return;
+    }
+    case mpi::Datatype::kDouble: {
+      const double v = static_cast<double>(value);
+      std::memcpy(dst, &v, sizeof v);
+      return;
+    }
+  }
+}
+
+std::vector<std::byte> random_bytes(Bytes size, Rng& rng) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(size));
+  for (auto& b : buf) b = std::byte(rng.next_below(256));
+  return buf;
+}
+
+}  // namespace
+
+void fill_reduce_operand(std::vector<std::byte>& buf, mpi::Datatype dtype,
+                         mpi::ReduceOp op, Rng& rng) {
+  const Bytes elem = mpi::size_of(dtype);
+  ADAPT_CHECK(static_cast<Bytes>(buf.size()) % elem == 0)
+      << "operand size " << buf.size() << " not a multiple of " << elem;
+  const bool bitwise =
+      op == mpi::ReduceOp::kBand || op == mpi::ReduceOp::kBor;
+  ADAPT_CHECK(!(bitwise && floating(dtype)))
+      << "bitwise reduction over a floating datatype";
+  auto draw = [&]() -> std::int64_t {
+    switch (op) {
+      case mpi::ReduceOp::kSum:
+        return rng.next_in(-100, 100);
+      case mpi::ReduceOp::kProd:
+        return rng.next_in(1, 2);
+      case mpi::ReduceOp::kMax:
+      case mpi::ReduceOp::kMin:
+        return rng.next_in(-1000, 1000);
+      case mpi::ReduceOp::kBand:
+      case mpi::ReduceOp::kBor:
+        return static_cast<std::int64_t>(rng.next_u64());
+    }
+    return 0;
+  };
+  for (std::size_t off = 0; off < buf.size();
+       off += static_cast<std::size_t>(elem)) {
+    store_element(buf.data() + off, dtype, draw());
+  }
+}
+
+CaseIo make_io(const CaseConfig& config) {
+  const std::vector<Rank> members = comm_members(config.comm, config.world);
+  const int p = static_cast<int>(members.size());
+  ADAPT_CHECK(config.root >= 0 && config.root < p)
+      << "root " << config.root << " outside communicator of size " << p;
+  const std::size_t root = static_cast<std::size_t>(config.root);
+  const Rng base(config.data_seed);
+
+  CaseIo io;
+  io.inputs.resize(static_cast<std::size_t>(p));
+  io.expected.resize(static_cast<std::size_t>(p));
+
+  switch (config.collective) {
+    case Collective::kBcast:
+    case Collective::kLibBcast: {
+      for (int i = 0; i < p; ++i) {
+        Rng rng = base.split(static_cast<std::uint64_t>(i));
+        io.inputs[static_cast<std::size_t>(i)] =
+            static_cast<std::size_t>(i) == root
+                ? random_bytes(config.bytes, rng)
+                : std::vector<std::byte>(static_cast<std::size_t>(config.bytes));
+      }
+      for (int i = 0; i < p; ++i) io.expected[static_cast<std::size_t>(i)] = io.inputs[root];
+      break;
+    }
+    case Collective::kReduce:
+    case Collective::kLibReduce:
+    case Collective::kAllreduce: {
+      const Bytes elem = mpi::size_of(config.dtype);
+      const Bytes bytes = config.bytes - config.bytes % elem;
+      ADAPT_CHECK(bytes > 0) << "reduce payload smaller than one element";
+      for (int i = 0; i < p; ++i) {
+        Rng rng = base.split(static_cast<std::uint64_t>(i));
+        auto& buf = io.inputs[static_cast<std::size_t>(i)];
+        buf.resize(static_cast<std::size_t>(bytes));
+        fill_reduce_operand(buf, config.dtype, config.op, rng);
+      }
+      // The reference fold: rank order, the exact arithmetic of mpi::apply.
+      std::vector<std::byte> fold = io.inputs[0];
+      for (int i = 1; i < p; ++i) {
+        mpi::apply(config.op, config.dtype, fold.data(),
+                   io.inputs[static_cast<std::size_t>(i)].data(), bytes);
+      }
+      if (config.collective == Collective::kAllreduce) {
+        for (int i = 0; i < p; ++i) io.expected[static_cast<std::size_t>(i)] = fold;
+      } else {
+        io.expected[root] = std::move(fold);
+      }
+      break;
+    }
+    case Collective::kScatter: {
+      Rng rng = base.split(root);
+      io.inputs[root] = random_bytes(config.bytes * p, rng);
+      for (int i = 0; i < p; ++i) {
+        const auto* src = io.inputs[root].data() +
+                          static_cast<std::size_t>(i * config.bytes);
+        io.expected[static_cast<std::size_t>(i)] = std::vector<std::byte>(
+            src, src + static_cast<std::size_t>(config.bytes));
+      }
+      break;
+    }
+    case Collective::kGather: {
+      std::vector<std::byte> all;
+      for (int i = 0; i < p; ++i) {
+        Rng rng = base.split(static_cast<std::uint64_t>(i));
+        io.inputs[static_cast<std::size_t>(i)] = random_bytes(config.bytes, rng);
+        all.insert(all.end(), io.inputs[static_cast<std::size_t>(i)].begin(),
+                   io.inputs[static_cast<std::size_t>(i)].end());
+      }
+      io.expected[root] = std::move(all);
+      break;
+    }
+    case Collective::kAllgather: {
+      std::vector<std::byte> all;
+      std::vector<std::vector<std::byte>> blocks(static_cast<std::size_t>(p));
+      for (int i = 0; i < p; ++i) {
+        Rng rng = base.split(static_cast<std::uint64_t>(i));
+        blocks[static_cast<std::size_t>(i)] = random_bytes(config.bytes, rng);
+        all.insert(all.end(), blocks[static_cast<std::size_t>(i)].begin(),
+                   blocks[static_cast<std::size_t>(i)].end());
+      }
+      for (int i = 0; i < p; ++i) {
+        // Each rank starts with only its own block in place.
+        auto& buf = io.inputs[static_cast<std::size_t>(i)];
+        buf.assign(static_cast<std::size_t>(config.bytes) *
+                       static_cast<std::size_t>(p),
+                   std::byte(0));
+        std::memcpy(buf.data() + static_cast<std::size_t>(i * config.bytes),
+                    blocks[static_cast<std::size_t>(i)].data(),
+                    static_cast<std::size_t>(config.bytes));
+        io.expected[static_cast<std::size_t>(i)] = all;
+      }
+      break;
+    }
+    case Collective::kBarrier:
+      // No payload: the runner checks the entered-before-exit invariant.
+      break;
+  }
+  return io;
+}
+
+}  // namespace adapt::verify

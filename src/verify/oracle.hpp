@@ -1,0 +1,39 @@
+// Sequential oracle for the conformance harness: computes, without any
+// engine, the byte-exact buffers every rank must end up with.
+//
+// Input payloads are derived deterministically from CaseConfig::data_seed.
+// Reduction inputs are drawn so results are exact in every datatype — sums
+// use small integers (exactly representable in float/double, so the fold is
+// associative in practice, matching ADAPT's combine-in-arrival-order), and
+// products use {1, 2} to stay far from overflow/rounding.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/verify/conformance.hpp"
+
+namespace adapt::verify {
+
+/// Initial and expected buffer contents for one case, indexed by LOCAL rank.
+struct CaseIo {
+  /// What each rank starts with (the collective's input buffer; empty when
+  /// the rank contributes nothing, e.g. non-root scatter senders).
+  std::vector<std::vector<std::byte>> inputs;
+  /// Expected final contents of each rank's observable output buffer;
+  /// nullopt where the collective leaves the buffer unspecified (e.g.
+  /// non-root buffers after a reduce are clobbered scratch).
+  std::vector<std::optional<std::vector<std::byte>>> expected;
+};
+
+/// Builds inputs and expected outputs for `config`. The fold for
+/// reduce/allreduce applies mpi::apply sequentially in rank order — the
+/// reference any schedule must reproduce bit-for-bit.
+CaseIo make_io(const CaseConfig& config);
+
+/// Fills `buf` with values valid for (dtype, op) reductions, drawn from
+/// `rng` (see file comment for the exactness rules).
+void fill_reduce_operand(std::vector<std::byte>& buf, mpi::Datatype dtype,
+                         mpi::ReduceOp op, Rng& rng);
+
+}  // namespace adapt::verify

@@ -195,6 +195,93 @@ TEST_P(CollectiveFuzz, BcastOnRandomSubCommunicators) {
   }
 }
 
+TEST_P(CollectiveFuzz, AdaptBcastUnderPerturbedSchedules) {
+  // The fuzzed configurations again, but each run on a randomly perturbed
+  // event schedule (seeded tie-shuffling + delivery jitter): payload
+  // correctness may not depend on which legal schedule the engine picks.
+  Rng rng(GetParam() ^ 0x9e57);
+  for (int iter = 0; iter < 4; ++iter) {
+    const FuzzConfig c = draw(rng);
+    const std::uint64_t perturb_seed = rng.next_u64() | 1;  // never 0
+    Rng tree_rng(c.tree_seed);
+    const Tree tree = random_tree(c.nranks, c.root, tree_rng);
+    topo::Machine m(topo::cori(2), c.nranks);
+    runtime::SimEngineOptions engine_opts;
+    engine_opts.perturb = sim::PerturbConfig{
+        .seed = perturb_seed, .max_jitter = microseconds(5)};
+    SimEngine engine(m, engine_opts);
+    const mpi::Comm world = mpi::Comm::world(c.nranks);
+
+    std::vector<std::vector<std::byte>> bufs(
+        static_cast<std::size_t>(c.nranks),
+        std::vector<std::byte>(static_cast<std::size_t>(c.bytes)));
+    for (auto& b : bufs[static_cast<std::size_t>(c.root)]) {
+      b = std::byte(rng.next_below(256));
+    }
+    CollOpts opts;
+    opts.segment_size = c.segment;
+    opts.outstanding_sends = c.n_out;
+    opts.outstanding_recvs = c.m_out;
+    auto program = [&](Context& ctx) -> sim::Task<> {
+      auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+      co_await bcast(ctx, world, mpi::MutView{mine.data(), c.bytes}, c.root,
+                     tree, Style::kAdapt, opts);
+    };
+    ASSERT_NO_THROW(engine.run(program))
+        << describe(c) << " perturb_seed=" << perturb_seed;
+    for (int r = 0; r < c.nranks; ++r) {
+      ASSERT_EQ(bufs[static_cast<std::size_t>(r)],
+                bufs[static_cast<std::size_t>(c.root)])
+          << describe(c) << " perturb_seed=" << perturb_seed << " rank " << r;
+    }
+  }
+}
+
+TEST_P(CollectiveFuzz, AdaptReduceUnderPerturbedSchedules) {
+  Rng rng(GetParam() ^ 0x7a1e);
+  for (int iter = 0; iter < 3; ++iter) {
+    const FuzzConfig c = draw(rng);
+    const std::uint64_t perturb_seed = rng.next_u64() | 1;
+    Rng tree_rng(c.tree_seed);
+    const Tree tree = random_tree(c.nranks, c.root, tree_rng);
+    topo::Machine m(topo::cori(2), c.nranks);
+    runtime::SimEngineOptions engine_opts;
+    engine_opts.perturb = sim::PerturbConfig{
+        .seed = perturb_seed, .max_jitter = microseconds(5)};
+    SimEngine engine(m, engine_opts);
+    const mpi::Comm world = mpi::Comm::world(c.nranks);
+
+    const std::size_t elems = static_cast<std::size_t>(c.bytes) / 4;
+    std::vector<std::vector<std::int32_t>> contrib(
+        static_cast<std::size_t>(c.nranks));
+    std::vector<std::int32_t> expected(elems, 0);
+    for (int r = 0; r < c.nranks; ++r) {
+      auto& v = contrib[static_cast<std::size_t>(r)];
+      v.resize(elems);
+      for (std::size_t i = 0; i < elems; ++i) {
+        v[i] = static_cast<std::int32_t>(rng.next_in(-1000, 1000));
+        expected[i] += v[i];
+      }
+    }
+    CollOpts opts;
+    opts.segment_size = c.segment;
+    opts.outstanding_sends = c.n_out;
+    opts.outstanding_recvs = c.m_out;
+    auto program = [&](Context& ctx) -> sim::Task<> {
+      auto& mine = contrib[static_cast<std::size_t>(ctx.rank())];
+      co_await reduce(ctx, world,
+                      mpi::MutView{reinterpret_cast<std::byte*>(mine.data()),
+                                   c.bytes},
+                      mpi::ReduceOp::kSum, mpi::Datatype::kInt32, c.root,
+                      tree, Style::kAdapt, opts);
+    };
+    ASSERT_NO_THROW(engine.run(program))
+        << describe(c) << " perturb_seed=" << perturb_seed;
+    EXPECT_EQ(contrib[static_cast<std::size_t>(c.root)], expected)
+        << describe(c) << " perturb_seed=" << perturb_seed;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz,
                          testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 

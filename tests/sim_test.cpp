@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <optional>
 #include <vector>
 
 #include "src/sim/event_queue.hpp"
@@ -119,9 +122,8 @@ Task<int> add_two(int v) {
 
 TEST(Task, ChainsValues) {
   int result = 0;
-  run_detached(
-      [&]() -> Task<> { result = co_await add_two(5); }(),
-      [](std::exception_ptr ep) { EXPECT_FALSE(ep); });
+  auto body = [&]() -> Task<> { result = co_await add_two(5); };
+  run_detached(body(), [](std::exception_ptr ep) { EXPECT_FALSE(ep); });
   EXPECT_EQ(result, 7);
 }
 
@@ -131,15 +133,14 @@ TEST(Task, PropagatesExceptions) {
     co_return;
   };
   bool caught = false;
-  run_detached(
-      [&]() -> Task<> {
-        try {
-          co_await boom();
-        } catch (const Error&) {
-          caught = true;
-        }
-      }(),
-      [](std::exception_ptr) {});
+  auto body = [&]() -> Task<> {
+    try {
+      co_await boom();
+    } catch (const Error&) {
+      caught = true;
+    }
+  };
+  run_detached(body(), [](std::exception_ptr) {});
   EXPECT_TRUE(caught);
 }
 
@@ -190,12 +191,11 @@ TEST(Trigger, AwaitAfterFireDoesNotSuspend) {
   Trigger t;
   t.fire();
   int woke = 0;
-  run_detached(
-      [&]() -> Task<> {
-        co_await t;
-        ++woke;
-      }(),
-      [](std::exception_ptr) {});
+  auto body = [&]() -> Task<> {
+    co_await t;
+    ++woke;
+  };
+  run_detached(body(), [](std::exception_ptr) {});
   EXPECT_EQ(woke, 1);
 }
 
@@ -214,12 +214,13 @@ TEST(Trigger, SubscribeBeforeAndAfterFire) {
 TEST(Countdown, FiresAtZero) {
   Countdown c(3);
   int woke = 0;
-  run_detached(
-      [&]() -> Task<> {
-        co_await c;
-        ++woke;
-      }(),
-      [](std::exception_ptr) {});
+  // Named closure: the coroutine frame references the closure object, which
+  // must outlive the suspension (a temporary here is a use-after-scope).
+  auto body = [&]() -> Task<> {
+    co_await c;
+    ++woke;
+  };
+  run_detached(body(), [](std::exception_ptr) {});
   c.signal();
   c.signal();
   EXPECT_EQ(woke, 0);
@@ -231,13 +232,76 @@ TEST(Countdown, FiresAtZero) {
 TEST(Countdown, ZeroBornFired) {
   Countdown c(0);
   int woke = 0;
-  run_detached(
-      [&]() -> Task<> {
-        co_await c;
-        ++woke;
-      }(),
-      [](std::exception_ptr) {});
+  auto body = [&]() -> Task<> {
+    co_await c;
+    ++woke;
+  };
+  run_detached(body(), [](std::exception_ptr) {});
   EXPECT_EQ(woke, 1);
+}
+
+// -- schedule perturbation (src/verify's engine hook) ----------------------
+
+TEST(EventQueuePerturb, ShufflesTiesButKeepsAllEvents) {
+  EventQueue q;
+  q.set_perturbation(PerturbConfig{.seed = 99, .shuffle_ties = true});
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i) q.push(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  std::vector<int> sorted = fired;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> identity(16);
+  for (int i = 0; i < 16; ++i) identity[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(sorted, identity);   // nothing lost or duplicated
+  EXPECT_NE(fired, identity);    // and the FIFO tie order is actually broken
+}
+
+TEST(EventQueuePerturb, SameSeedSameOrder) {
+  auto run = [](std::uint64_t seed) {
+    EventQueue q;
+    q.set_perturbation(PerturbConfig{.seed = seed, .max_jitter = 50});
+    std::vector<int> fired;
+    for (int i = 0; i < 12; ++i) {
+      q.push(10 * (i % 3), [&fired, i] { fired.push_back(i); });
+    }
+    while (!q.empty()) q.pop().second();
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(EventQueuePerturb, JitterIsBoundedAndNeverEarly) {
+  EventQueue q;
+  const TimeNs jitter = 100;
+  q.set_perturbation(PerturbConfig{.seed = 3, .max_jitter = jitter});
+  const TimeNs scheduled[] = {0, 10, 10, 500, 500, 500, 1000};
+  for (TimeNs t : scheduled) q.push(t, [] {});
+  // Pop times are nondecreasing and each lies in [t, t + jitter] for SOME
+  // scheduled t — never before any event's own schedule time (causality).
+  TimeNs prev = -1;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const TimeNs t = q.pop().first;
+    EXPECT_GE(t, prev);
+    prev = t;
+    bool legal = false;
+    for (TimeNs s : scheduled) legal = legal || (t >= s && t <= s + jitter);
+    EXPECT_TRUE(legal) << "pop time " << t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, std::size(scheduled));
+}
+
+TEST(EventQueuePerturb, DisablingRestoresFifo) {
+  EventQueue q;
+  q.set_perturbation(PerturbConfig{.seed = 4});
+  q.set_perturbation(std::nullopt);
+  std::vector<int> fired;
+  for (int i = 0; i < 8; ++i) q.push(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_FALSE(q.perturbed());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <utility>
 
 #include "src/coll/coll.hpp"
 #include "src/coll/library.hpp"
@@ -150,6 +151,84 @@ INSTANTIATE_TEST_SUITE_P(AllStyles, ThreadEngineColl,
                          [](const auto& param_info) {
                            return std::string(coll::style_name(param_info.param));
                          });
+
+// ADAPT's event-driven pipelines (Alg. 3) under real threads, across the N/M
+// flow-control corners: deep pipelines (many small segments), M > N (the
+// intended configuration), and M < N (sends overrun posted receives, forcing
+// the unexpected-message path on a live mailbox).
+class ThreadEngineAdaptPipeline
+    : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ThreadEngineAdaptPipeline, DeepPipelineBcast) {
+  const auto [n_out, m_out] = GetParam();
+  const int n = 12;
+  topo::Machine m = small_machine(n);
+  ThreadEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(n);
+  const coll::Tree tree = coll::build_topo_tree(m, world, 2);
+  const Bytes bytes = 16384;
+  Rng rng(31);
+  std::vector<std::vector<std::byte>> bufs(
+      static_cast<std::size_t>(n),
+      std::vector<std::byte>(static_cast<std::size_t>(bytes)));
+  for (auto& b : bufs[2]) b = std::byte(rng.next_below(256));
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    co_await coll::bcast(ctx, world, mpi::MutView{mine.data(), bytes}, 2,
+                         tree, coll::Style::kAdapt,
+                         coll::CollOpts{.segment_size = 256,  // 64 segments
+                                        .outstanding_sends = n_out,
+                                        .outstanding_recvs = m_out});
+  };
+  engine.run(program);
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(bufs[static_cast<std::size_t>(r)], bufs[2]) << "rank " << r;
+  }
+}
+
+TEST_P(ThreadEngineAdaptPipeline, DeepPipelineReduce) {
+  const auto [n_out, m_out] = GetParam();
+  const int n = 10;
+  topo::Machine m = small_machine(n);
+  ThreadEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(n);
+  const coll::Tree tree = coll::build_topo_tree(m, world, 0);
+  const std::size_t elems = 1024;  // 32 segments of 128 B
+  std::vector<std::vector<std::int32_t>> contrib(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> expected(elems, 0);
+  Rng rng(77);
+  for (int r = 0; r < n; ++r) {
+    auto& v = contrib[static_cast<std::size_t>(r)];
+    v.resize(elems);
+    for (std::size_t i = 0; i < elems; ++i) {
+      v[i] = static_cast<std::int32_t>(rng.next_in(-500, 500));
+      expected[i] += v[i];
+    }
+  }
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = contrib[static_cast<std::size_t>(ctx.rank())];
+    co_await coll::reduce(
+        ctx, world,
+        mpi::MutView{reinterpret_cast<std::byte*>(mine.data()),
+                     static_cast<Bytes>(elems * 4)},
+        mpi::ReduceOp::kSum, mpi::Datatype::kInt32, 0, tree,
+        coll::Style::kAdapt,
+        coll::CollOpts{.segment_size = 128,
+                       .outstanding_sends = n_out,
+                       .outstanding_recvs = m_out});
+  };
+  engine.run(program);
+  EXPECT_EQ(contrib[0], expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlowControl, ThreadEngineAdaptPipeline,
+    testing::Values(std::pair<int, int>{1, 2}, std::pair<int, int>{2, 4},
+                    std::pair<int, int>{4, 8}, std::pair<int, int>{3, 2}),
+    [](const auto& param_info) {
+      return "N" + std::to_string(param_info.param.first) + "M" +
+             std::to_string(param_info.param.second);
+    });
 
 TEST(ThreadEngine, LibraryPersonalityRunsForReal) {
   const int n = 8;
