@@ -95,6 +95,60 @@ void BM_SimulatedBcast(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedBcast)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
 
+// Zero-overhead guard for the fault-injection layer: the same end-to-end
+// broadcast with fault injection DISABLED (the default-constructed plan) and
+// with a lossless-but-enabled injector. Compare against BM_SimulatedBcast —
+// the disabled variant must be indistinguishable from it (the hot path is
+// one null-pointer branch in Fabric::transfer_tagged), while the enabled
+// variant bounds the price of turning chaos on.
+void BM_SimulatedBcastFaultsDisabled(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;  // options.faults stays disabled
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(engine.simulator().events_processed());
+  }
+}
+BENCHMARK(BM_SimulatedBcastFaultsDisabled)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedBcastFaultsLossless(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;
+    // Enabled injector (an outage in the far future) that never actually
+    // drops anything: measures the per-transmission decision cost alone.
+    options.faults.outages.push_back(
+        {0, 1, -1, seconds(1e6), seconds(1e6) + 1});
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(engine.simulator().events_processed());
+  }
+}
+BENCHMARK(BM_SimulatedBcastFaultsLossless)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -126,21 +126,35 @@ struct AdaptBcastState {
   bool flushes = false;          // §4.1 per-segment staging copy required
   MemSpace stage_dst = MemSpace::kDevice;  // flush direction (src is other)
   int next_recv_post = 0;        // next segment to post an irecv for
+  mpi::ErrCode error = mpi::ErrCode::kOk;  // first failure wins
   sim::Countdown done{0};
 
   mpi::MutView piece(int s) {
     return buffer.slice(segs.offset(s), segs.length(s));
   }
 
+  /// A request failed: record the first cause, stop pumping, wake the
+  /// awaiter. Late callbacks from the remaining requests land in the guards
+  /// below and do nothing.
+  void fail(mpi::ErrCode code) {
+    if (error != mpi::ErrCode::kOk) return;
+    error = code;
+    done.force();
+  }
+
   void post_next_recv(const std::shared_ptr<AdaptBcastState>& self) {
+    if (error != mpi::ErrCode::kOk) return;
     if (next_recv_post >= segs.count()) return;
     const int s = next_recv_post++;
     auto req = ctx->irecv(edges.parent_global, base_tag + s, piece(s));
-    req->set_completion_cb(
-        [self, s](mpi::Request&) { self->on_recv(self, s); });
+    req->set_completion_cb([self, s](mpi::Request& r) {
+      if (r.failed()) return self->fail(r.error());
+      self->on_recv(self, s);
+    });
   }
 
   void on_recv(const std::shared_ptr<AdaptBcastState>& self, int s) {
+    if (error != mpi::ErrCode::kOk) return;
     received[static_cast<std::size_t>(s)] = 1;
     done.signal();
     post_next_recv(self);
@@ -176,14 +190,16 @@ struct AdaptBcastState {
   // segments in order as they become locally available.
   void pump_child(const std::shared_ptr<AdaptBcastState>& self,
                   std::size_t c) {
-    while (inflight[c] < opts.outstanding_sends &&
+    while (error == mpi::ErrCode::kOk &&
+           inflight[c] < opts.outstanding_sends &&
            next_send[c] < segs.count() && sendable(c, next_send[c])) {
       const int s = next_send[c]++;
       ++inflight[c];
       auto req = ctx->isend(edges.kids_global[c], base_tag + s,
                             piece(s).as_const(),
                             opts.spaces(ctx->rank(), edges.kids_global[c]));
-      req->set_completion_cb([self, c](mpi::Request&) {
+      req->set_completion_cb([self, c](mpi::Request& r) {
+        if (r.failed()) return self->fail(r.error());
         --self->inflight[c];
         self->done.signal();
         self->pump_child(self, c);
@@ -253,6 +269,9 @@ sim::Task<> bcast_adapt(runtime::Context& ctx, const Edges& e,
   // The callback chain above ran entirely in the progress context; marking
   // the collective request complete is observed by the application thread.
   co_await ctx.compute(0);
+  if (st->error != mpi::ErrCode::kOk) {
+    throw mpi::FaultError(st->error, "adapt bcast failed");
+  }
 }
 
 }  // namespace

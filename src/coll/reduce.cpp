@@ -135,6 +135,7 @@ struct AdaptReduceState {
   std::vector<mpi::Payload> scratch;     // per (child, window) buffers
   std::deque<int> ready;                 // segments ready to send up
   int inflight_up = 0;
+  mpi::ErrCode error = mpi::ErrCode::kOk;  // first failure wins
   sim::Countdown done{0};
 
   std::size_t nkids() const { return edges.kids_global.size(); }
@@ -152,21 +153,33 @@ struct AdaptReduceState {
     return accum.slice(segs.offset(s), segs.length(s));
   }
 
+  /// A request failed: record the first cause, stop pumping, wake the
+  /// awaiter (see AdaptBcastState::fail).
+  void fail(mpi::ErrCode code) {
+    if (error != mpi::ErrCode::kOk) return;
+    error = code;
+    done.force();
+  }
+
   void post_recv(const std::shared_ptr<AdaptReduceState>& self, std::size_t c,
                  int window) {
+    if (error != mpi::ErrCode::kOk) return;
     if (next_recv[c] >= segs.count()) return;
     const int s = next_recv[c]++;
     auto req = ctx->irecv(edges.kids_global[c], base_tag + s,
                           scratch_view(c, window, segs.length(s)));
-    req->set_completion_cb([self, c, s, window](mpi::Request&) {
+    req->set_completion_cb([self, c, s, window](mpi::Request& r) {
+      if (r.failed()) return self->fail(r.error());
       self->on_recv(self, c, s, window);
     });
   }
 
   void on_recv(const std::shared_ptr<AdaptReduceState>& self, std::size_t c,
                int s, int window) {
+    if (error != mpi::ErrCode::kOk) return;
     const Bytes len = segs.length(s);
     auto fold = [self, c, s, window, len] {
+      if (self->error != mpi::ErrCode::kOk) return;
       detail::apply_if_real(self->piece(s),
                             self->scratch_view(c, window, len).as_const(),
                             self->op, self->dtype, len);
@@ -199,14 +212,16 @@ struct AdaptReduceState {
   }
 
   void pump_parent(const std::shared_ptr<AdaptReduceState>& self) {
-    while (inflight_up < opts.outstanding_sends && !ready.empty()) {
+    while (error == mpi::ErrCode::kOk &&
+           inflight_up < opts.outstanding_sends && !ready.empty()) {
       const int s = ready.front();
       ready.pop_front();
       ++inflight_up;
       auto req = ctx->isend(edges.parent_global, base_tag + s,
                             piece(s).as_const(),
                             opts.spaces(ctx->rank(), edges.parent_global));
-      req->set_completion_cb([self](mpi::Request&) {
+      req->set_completion_cb([self](mpi::Request& r) {
+        if (r.failed()) return self->fail(r.error());
         --self->inflight_up;
         self->done.signal();
         self->pump_parent(self);
@@ -257,6 +272,8 @@ sim::Task<> reduce_adapt(runtime::Context& ctx, const Edges& e,
   co_await st->done;
   // Land back on the application thread (see bcast_adapt).
   co_await ctx.compute(0);
+  if (st->error != mpi::ErrCode::kOk)
+    throw mpi::FaultError(st->error, "adapt reduce failed");
 }
 
 }  // namespace

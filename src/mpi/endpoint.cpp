@@ -6,13 +6,72 @@
 
 namespace adapt::mpi {
 
+namespace {
+
+/// MPI-style argument validation shared by isend/irecv. `wildcard_ok` admits
+/// kAnyRank as a peer (receives only).
+ErrCode validate(Rank peer, bool wildcard_ok, Rank self, int nranks,
+                 Bytes count, Datatype dtype) {
+  const bool wildcard = peer == kAnyRank && wildcard_ok;
+  if (!wildcard) {
+    if (peer < 0 || (nranks > 0 && peer >= nranks)) return ErrCode::kErrRank;
+    if (peer == self) return ErrCode::kErrRank;  // self-send unsupported
+  }
+  if (count < 0) return ErrCode::kErrCount;
+  if (count % size_of(dtype) != 0) return ErrCode::kErrType;
+  return ErrCode::kOk;
+}
+
+}  // namespace
+
+RequestPtr Endpoint::failed_request(Request::Kind kind, Rank peer, Tag tag,
+                                    ErrCode code) {
+  auto req = std::make_shared<Request>(kind, peer, tag, 0, &exec_);
+  req->mark_failed(code);
+  return req;
+}
+
+void Endpoint::track(const RequestPtr& request) {
+  if (pending_.size() >= 64 && pending_.size() % 64 == 0) {
+    std::erase_if(pending_, [](const std::weak_ptr<Request>& weak) {
+      auto req = weak.lock();
+      return !req || req->complete();
+    });
+  }
+  pending_.push_back(request);
+}
+
+void Endpoint::poison(ErrCode code) {
+  ADAPT_CHECK(code != ErrCode::kOk);
+  if (poisoned()) return;  // first cause wins
+  poisoned_ = code;
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& weak : pending) {
+    if (auto req = weak.lock(); req && !req->complete()) req->mark_failed(code);
+  }
+}
+
+bool Endpoint::has_pending() const {
+  for (const auto& weak : pending_) {
+    if (auto req = weak.lock(); req && !req->complete()) return true;
+  }
+  return false;
+}
+
 RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
-  ADAPT_CHECK(dst >= 0) << "isend to wildcard";
-  ADAPT_CHECK(dst != rank_) << "self-send not supported; copy locally";
+  if (poisoned())
+    return failed_request(Request::Kind::kSend, dst, tag, poisoned_);
+  if (const ErrCode code = validate(dst, /*wildcard_ok=*/false, rank_,
+                                    nranks_, data.size, opts.dtype);
+      code != ErrCode::kOk) {
+    return failed_request(Request::Kind::kSend, dst, tag, code);
+  }
   auto req = std::make_shared<Request>(Request::Kind::kSend, dst, tag,
                                        data.size, &exec_);
   ++sends_;
   exec_.charge(costs_.cpu_overhead);
+  track(req);
 
   Envelope env;
   env.src = rank_;
@@ -28,14 +87,23 @@ RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
         data.data, data.data + data.size);
   }
   transport_.submit(std::move(env), opts.src_space, opts.dst_space,
-                    [req] { req->mark_complete(); });
+                    [req] { req->mark_complete(); },
+                    [req](ErrCode code) { req->mark_failed(code); });
   return req;
 }
 
-RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer) {
+RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer, Datatype dtype) {
+  if (poisoned())
+    return failed_request(Request::Kind::kRecv, src, tag, poisoned_);
+  if (const ErrCode code = validate(src, /*wildcard_ok=*/true, rank_, nranks_,
+                                    buffer.size, dtype);
+      code != ErrCode::kOk) {
+    return failed_request(Request::Kind::kRecv, src, tag, code);
+  }
   auto req = std::make_shared<Request>(Request::Kind::kRecv, src, tag,
                                        buffer.size, &exec_);
   exec_.charge(costs_.cpu_overhead);
+  track(req);
 
   PostedRecv posted{req, buffer, src, tag};
   if (auto env = matcher_.post(posted)) {
@@ -62,6 +130,9 @@ RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer) {
 }
 
 void Endpoint::deliver(Envelope env) {
+  // A poisoned endpoint has abandoned its operation: late arrivals (straggler
+  // frames, retransmits that raced the abort) are dropped on the floor.
+  if (poisoned()) return;
   // Runs at arrival time WITHOUT the receiver's CPU: matching against
   // pre-posted receives is NIC-offloaded (Aries/Portals-style). Anything that
   // does need the CPU (completion callbacks, unexpected copies, software
@@ -80,6 +151,9 @@ void Endpoint::deliver(Envelope env) {
 }
 
 void Endpoint::finalize_recv(const PostedRecv& recv, const Envelope& env) {
+  // The receive may have failed (poison) while this finalisation was queued:
+  // completion is final, so neither copy into the buffer nor complete again.
+  if (recv.request->complete()) return;
   ADAPT_CHECK(env.size <= recv.buffer.size)
       << "message of " << env.size << "B overflows a " << recv.buffer.size
       << "B receive buffer (src=" << env.src << " tag=" << env.tag << ")";

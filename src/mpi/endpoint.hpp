@@ -14,7 +14,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
+#include "src/mpi/datatype.hpp"
+#include "src/mpi/errors.hpp"
 #include "src/mpi/match.hpp"
 #include "src/mpi/payload.hpp"
 #include "src/mpi/request.hpp"
@@ -51,15 +55,20 @@ class Transport {
   virtual ~Transport() = default;
   /// Ships `env` to env.dst. `on_sent` fires on the SENDER's context when the
   /// send is complete; delivery to the destination endpoint is the
-  /// transport's job. Spaces select GPU-aware paths.
+  /// transport's job. Spaces select GPU-aware paths. `on_failed` (optional)
+  /// fires instead of `on_sent` if the transport gives up on the message —
+  /// only fault-tolerant transports ever do.
   virtual void submit(Envelope env, MemSpace src_space, MemSpace dst_space,
-                      std::function<void()> on_sent) = 0;
+                      std::function<void()> on_sent,
+                      std::function<void(ErrCode)> on_failed = nullptr) = 0;
 };
 
-/// Per-P2P options; defaults describe plain host-to-host messages.
+/// Per-P2P options; defaults describe plain host-to-host messages of raw
+/// bytes (kUint8 never fails the extent check).
 struct SendOpts {
   MemSpace src_space = MemSpace::kHost;
   MemSpace dst_space = MemSpace::kHost;
+  Datatype dtype = Datatype::kUint8;
 };
 
 /// Local cost parameters (from the MachineSpec).
@@ -71,18 +80,26 @@ struct EndpointCosts {
 
 class Endpoint {
  public:
-  Endpoint(Rank rank, RankExecutor& exec, Transport& transport,
+  /// `nranks` bounds peer validation; pass 0 for "unknown" (validation of
+  /// the upper bound is skipped — unit tests of the matching layer).
+  Endpoint(Rank rank, int nranks, RankExecutor& exec, Transport& transport,
            EndpointCosts costs)
-      : rank_(rank), exec_(exec), transport_(transport), costs_(costs) {}
+      : rank_(rank), nranks_(nranks), exec_(exec), transport_(transport),
+        costs_(costs) {}
 
   Rank rank() const { return rank_; }
+  int nranks() const { return nranks_; }
 
   /// Nonblocking send. The returned request completes when the transport
   /// reports the message sent; attach callbacks via set_completion_cb.
+  /// Invalid arguments (rank out of range, negative count, size not a
+  /// multiple of the datatype extent) return an already-failed request
+  /// carrying the matching ErrCode — never UB, never a hang.
   RequestPtr isend(Rank dst, Tag tag, ConstView data, SendOpts opts = {});
 
-  /// Nonblocking receive (wildcards allowed).
-  RequestPtr irecv(Rank src, Tag tag, MutView buffer);
+  /// Nonblocking receive (wildcards allowed). Argument validation as isend.
+  RequestPtr irecv(Rank src, Tag tag, MutView buffer,
+                   Datatype dtype = Datatype::kUint8);
 
   /// Transport upcall: an envelope (eager data or rendezvous RTS) reached
   /// this rank. Invoked at arrival time; pre-posted matching is modelled as
@@ -95,16 +112,36 @@ class Endpoint {
   /// the executor after a rendezvous data transfer).
   void finalize_recv(const PostedRecv& recv, const Envelope& env);
 
+  /// Fails every pending request and every future isend/irecv with `code`.
+  /// Called when this rank's current operation is declared failed (local
+  /// retry exhaustion, a peer's abort notice, or a harness watchdog). In-
+  /// flight deliveries to a poisoned endpoint are dropped.
+  void poison(ErrCode code);
+  bool poisoned() const { return poisoned_ != ErrCode::kOk; }
+  ErrCode poison_code() const { return poisoned_; }
+
+  /// True while any issued request is incomplete (failure-detector probe).
+  bool has_pending() const;
+
   const Matcher& matcher() const { return matcher_; }
   std::uint64_t sends_started() const { return sends_; }
   std::uint64_t recvs_completed() const { return recvs_done_; }
 
  private:
+  /// Immediately-failed request for invalid arguments or a poisoned endpoint.
+  RequestPtr failed_request(Request::Kind kind, Rank peer, Tag tag,
+                            ErrCode code);
+  void track(const RequestPtr& request);
+
   Rank rank_;
+  int nranks_;
   RankExecutor& exec_;
   Transport& transport_;
   EndpointCosts costs_;
   Matcher matcher_;
+  ErrCode poisoned_ = ErrCode::kOk;
+  /// Weak so completed requests die with their owners; compacted on growth.
+  std::vector<std::weak_ptr<Request>> pending_;
   std::uint64_t sends_ = 0;
   std::uint64_t recvs_done_ = 0;
 };

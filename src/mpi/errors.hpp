@@ -1,0 +1,57 @@
+// MPI-style error codes for requests and operations.
+//
+// The seed runtime had no failure surface at all: a lost message hung the
+// simulator and a bad argument was UB. This header is the error-propagation
+// contract: every request carries an ErrCode, completion callbacks observe it,
+// and wait()-style primitives convert a failed request into a FaultError so
+// coroutine collectives unwind cleanly instead of deadlocking.
+#pragma once
+
+#include <string>
+
+#include "src/support/error.hpp"
+
+namespace adapt::mpi {
+
+enum class ErrCode : int {
+  kOk = 0,
+  // Argument validation (detected locally, never floods the job).
+  kErrRank,      ///< peer rank out of range (or self-send)
+  kErrCount,     ///< negative byte count
+  kErrType,      ///< buffer size not a multiple of the datatype extent
+  kErrTruncate,  ///< matched message overflows the posted receive buffer
+  // Fault-tolerance (detected by the reliability layer / failure detectors).
+  kErrRetryExhausted,  ///< retransmit budget spent without an ack
+  kErrProcFailed,      ///< a peer (or the whole operation) was declared failed
+  kErrWatchdog,        ///< the harness watchdog poisoned a wedged run
+};
+
+inline const char* err_name(ErrCode code) {
+  switch (code) {
+    case ErrCode::kOk: return "ok";
+    case ErrCode::kErrRank: return "err_rank";
+    case ErrCode::kErrCount: return "err_count";
+    case ErrCode::kErrType: return "err_type";
+    case ErrCode::kErrTruncate: return "err_truncate";
+    case ErrCode::kErrRetryExhausted: return "err_retry_exhausted";
+    case ErrCode::kErrProcFailed: return "err_proc_failed";
+    case ErrCode::kErrWatchdog: return "err_watchdog";
+  }
+  return "err_unknown";
+}
+
+/// Thrown by wait()/wait_all()/wait_any() (and rethrown out of collectives)
+/// when a request completes with a nonzero error code. Carrying the code lets
+/// the chaos harness assert that every surviving rank failed the *same* way.
+class FaultError : public Error {
+ public:
+  explicit FaultError(ErrCode code, const std::string& what)
+      : Error(std::string(err_name(code)) + ": " + what), code_(code) {}
+
+  ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
+};
+
+}  // namespace adapt::mpi

@@ -28,6 +28,7 @@ sim::Task<std::size_t> wait_any(std::vector<RequestPtr> requests) {
   });
   const std::size_t i = first_done();
   ADAPT_CHECK(i < requests.size()) << "wait_any woke with nothing complete";
+  detail::throw_if_failed(requests[i]);
   co_return i;
 }
 

@@ -32,14 +32,33 @@ inline void wake_on_main(const RequestPtr& request, std::coroutine_handle<> h) {
 
 }  // namespace detail
 
-/// MPI_Wait: suspends until the request completes.
+namespace detail {
+
+/// Converts a failed request into an exception at the wait boundary — the
+/// error-propagation contract: callbacks observe req.failed() themselves,
+/// coroutine code gets a FaultError unwinding the whole collective.
+inline void throw_if_failed(const RequestPtr& request) {
+  if (!request->failed()) return;
+  throw FaultError(request->error(),
+                   std::string(request->kind() == Request::Kind::kSend
+                                   ? "send to rank "
+                                   : "recv from rank ") +
+                       std::to_string(request->peer()) + " failed");
+}
+
+}  // namespace detail
+
+/// MPI_Wait: suspends until the request completes; throws FaultError if it
+/// completed with an error.
 inline sim::Task<> wait(RequestPtr request) {
   ADAPT_CHECK(request != nullptr);
-  if (request->complete()) co_return;
-  co_await sim::Suspend([&request](std::coroutine_handle<> h) {
-    request->done().subscribe(
-        [request, h] { detail::wake_on_main(request, h); });
-  });
+  if (!request->complete()) {
+    co_await sim::Suspend([&request](std::coroutine_handle<> h) {
+      request->done().subscribe(
+          [request, h] { detail::wake_on_main(request, h); });
+    });
+  }
+  detail::throw_if_failed(request);
 }
 
 /// MPI_Waitall: suspends until every request completes. (Awaiting requests in
@@ -52,7 +71,8 @@ inline sim::Task<> wait_all(std::vector<RequestPtr> requests) {
 }
 
 /// MPI_Waitany: suspends until at least one request completes; returns the
-/// index of a completed request (lowest index among the completed).
+/// index of a completed request (lowest index among the completed). Throws
+/// FaultError if the returned request completed with an error.
 sim::Task<std::size_t> wait_any(std::vector<RequestPtr> requests);
 
 }  // namespace adapt::mpi

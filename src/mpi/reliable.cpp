@@ -1,0 +1,137 @@
+#include "src/mpi/reliable.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "src/support/error.hpp"
+
+namespace adapt::mpi {
+
+std::uint64_t ReliableChannel::submit(Rank peer, Frame frame,
+                                      std::function<void()> on_acked,
+                                      std::function<void(ErrCode)> on_failed) {
+  ADAPT_CHECK(peer != self_) << "reliable channel does not loop back";
+  PeerState& state = peers_[peer];
+  const std::uint64_t seq = state.next_seq++;
+  Outstanding& entry = state.unacked[seq];
+  entry.frame = std::move(frame);
+  entry.on_acked = std::move(on_acked);
+  entry.on_failed = std::move(on_failed);
+  ++stats_.submitted;
+  if (!down_) transmit(peer, seq);
+  return seq;
+}
+
+TimeNs ReliableChannel::timeout_for(const Outstanding& entry) const {
+  // Base timeout scaled by frame size (a bulk frame's ack cannot arrive
+  // before the bytes do), then backed off exponentially per attempt.
+  double timeout = static_cast<double>(
+      config_.ack_timeout + config_.per_byte * entry.frame.wire_bytes);
+  for (int i = 0; i < entry.attempt; ++i) timeout *= config_.backoff;
+  return static_cast<TimeNs>(timeout);
+}
+
+void ReliableChannel::transmit(Rank peer, std::uint64_t seq) {
+  PeerState& state = peers_[peer];
+  auto it = state.unacked.find(seq);
+  if (it == state.unacked.end()) return;  // acked while a timer was pending
+  Outstanding& entry = it->second;
+
+  WireFrame wire;
+  wire.src = self_;
+  wire.dst = peer;
+  wire.seq = seq;
+  wire.attempt = entry.attempt;
+  wire.frame = entry.frame;
+  send_wire_(wire);
+
+  const std::uint64_t gen = ++timer_gen_counter_;
+  entry.timer_gen = gen;
+  timer_(timeout_for(entry), [this, peer, seq, gen] {
+    if (down_) return;
+    PeerState& st = peers_[peer];
+    auto entry_it = st.unacked.find(seq);
+    if (entry_it == st.unacked.end()) return;       // acked meanwhile
+    if (entry_it->second.timer_gen != gen) return;  // superseded timer
+    Outstanding& pending = entry_it->second;
+    if (pending.attempt >= config_.max_retries) {
+      ++stats_.give_ups;
+      // Detach the entry before the callbacks: they may re-enter the channel
+      // (e.g. an abort flood submitting new frames to this same peer).
+      Outstanding dead = std::move(pending);
+      st.unacked.erase(entry_it);
+      if (dead.on_failed) dead.on_failed(ErrCode::kErrRetryExhausted);
+      if (give_up_) give_up_(peer, dead.frame, ErrCode::kErrRetryExhausted);
+      return;
+    }
+    ++pending.attempt;
+    ++stats_.retransmits;
+    transmit(peer, seq);
+  });
+}
+
+void ReliableChannel::on_wire(const WireFrame& wire) {
+  if (down_) return;
+  ADAPT_CHECK(wire.dst == self_) << "wire frame for rank " << wire.dst
+                                 << " reached rank " << self_;
+
+  if (wire.is_ack) {
+    // Ack for our frame `seq` sent to `wire.src`.
+    PeerState& state = peers_[wire.src];
+    auto it = state.unacked.find(wire.seq);
+    if (it == state.unacked.end()) {
+      ++stats_.stale_acks;  // duplicate or out-of-order ack: ignored
+      return;
+    }
+    Outstanding entry = std::move(it->second);
+    state.unacked.erase(it);
+    ++stats_.acked;
+    if (entry.on_acked) entry.on_acked();
+    return;
+  }
+
+  // Data frame. A corrupted frame fails its checksum: discard without acking
+  // and let the sender's retransmit supply a clean copy.
+  if (wire.corrupted) {
+    ++stats_.corrupt_discards;
+    return;
+  }
+
+  WireFrame ack;
+  ack.src = self_;
+  ack.dst = wire.src;
+  ack.is_ack = true;
+  ack.seq = wire.seq;
+  ack.attempt = wire.attempt;
+
+  PeerState& state = peers_[wire.src];
+  const bool duplicate =
+      wire.seq <= state.delivered_floor ||
+      state.delivered_above.count(wire.seq) > 0;
+  if (duplicate) {
+    ++stats_.duplicates;
+    send_wire_(ack);  // re-ack: the original ack may have been lost
+    return;
+  }
+  state.delivered_above.insert(wire.seq);
+  while (state.delivered_above.count(state.delivered_floor + 1)) {
+    state.delivered_above.erase(++state.delivered_floor);
+  }
+  ++stats_.delivered;
+  send_wire_(ack);
+  deliver_(wire.src, wire.frame);
+}
+
+void ReliableChannel::shutdown() {
+  down_ = true;
+  for (auto& [peer, state] : peers_) state.unacked.clear();
+}
+
+int ReliableChannel::outstanding() const {
+  int count = 0;
+  for (const auto& [peer, state] : peers_)
+    count += static_cast<int>(state.unacked.size());
+  return count;
+}
+
+}  // namespace adapt::mpi

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/mpi/errors.hpp"
 #include "src/sim/task.hpp"
 #include "src/support/units.hpp"
 
@@ -43,6 +44,11 @@ class Request {
   Bytes size() const { return size_; }
   bool complete() const { return complete_; }
 
+  /// Error code set at completion; kOk for successful operations. A failed
+  /// request is complete (callbacks fire, waiters wake) but carries no data.
+  ErrCode error() const { return error_; }
+  bool failed() const { return error_ != ErrCode::kOk; }
+
   // Filled in at completion of a receive (meaningful with wildcards).
   Rank actual_src() const { return actual_src_; }
   Tag actual_tag() const { return actual_tag_; }
@@ -63,13 +69,38 @@ class Request {
   sim::Trigger& done() { return done_; }
 
   /// Runtime-internal: marks completion, fires the callback, wakes waiters.
+  /// A no-op on a request that already failed (e.g. a transport completion
+  /// racing a poison); completing the same request successfully twice is
+  /// still a hard error.
   void mark_complete(Rank actual_src = kAnyRank, Tag actual_tag = kAnyTag,
                      Bytes actual_size = -1) {
-    ADAPT_CHECK(!complete_) << "request completed twice";
+    if (complete_) {
+      ADAPT_CHECK(failed()) << "request completed twice";
+      return;
+    }
     complete_ = true;
     actual_src_ = actual_src == kAnyRank ? peer_ : actual_src;
     actual_tag_ = actual_tag == kAnyTag ? tag_ : actual_tag;
     actual_size_ = actual_size < 0 ? size_ : actual_size;
+    notify();
+  }
+
+  /// Runtime-internal: completes the request with an error. Idempotent, and a
+  /// no-op on an already-successful request — whichever outcome lands first
+  /// wins, mirroring MPI's "completion is final" rule.
+  void mark_failed(ErrCode code) {
+    ADAPT_CHECK(code != ErrCode::kOk) << "mark_failed needs a nonzero code";
+    if (complete_) return;
+    complete_ = true;
+    error_ = code;
+    actual_src_ = peer_;
+    actual_tag_ = tag_;
+    actual_size_ = 0;
+    notify();
+  }
+
+ private:
+  void notify() {
     if (on_complete_) {
       auto cb = std::move(on_complete_);
       on_complete_ = nullptr;
@@ -78,13 +109,13 @@ class Request {
     done_.fire();
   }
 
- private:
   Kind kind_;
   Rank peer_;
   Tag tag_;
   Bytes size_;
   RankExecutor* owner_exec_ = nullptr;
   bool complete_ = false;
+  ErrCode error_ = ErrCode::kOk;
   Rank actual_src_ = kAnyRank;
   Tag actual_tag_ = kAnyTag;
   Bytes actual_size_ = 0;

@@ -72,6 +72,20 @@ void Fabric::transfer(const Route& route, Bytes bytes,
   start_flow(route, bytes, route.alpha, std::move(on_complete));
 }
 
+void Fabric::transfer_tagged(const Route& route, Bytes bytes,
+                             const FaultKey& key,
+                             std::function<void(const TransferFate&)> on_complete) {
+  if (injector_ == nullptr) {
+    transfer(route, bytes,
+             [cb = std::move(on_complete)] { cb(TransferFate{}); });
+    return;
+  }
+  const TransferFate fate = injector_->decide(key, route.links, sim_.now());
+  Route shifted = route;
+  shifted.alpha += fate.delay;
+  transfer(shifted, bytes, [cb = std::move(on_complete), fate] { cb(fate); });
+}
+
 void Fabric::start_flow(const Route& route, Bytes bytes,
                         TimeNs alpha_remaining,
                         std::function<void()> on_complete) {

@@ -19,12 +19,11 @@
 #include <set>
 #include <vector>
 
+#include "src/net/fault.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/units.hpp"
 
 namespace adapt::net {
-
-using LinkId = int;
 
 /// Sharing discipline; kUncontended ignores link capacities entirely (pure
 /// Hockney, for the contention ablation).
@@ -55,6 +54,22 @@ class Fabric {
   /// byte arrives. Zero-byte messages complete after alpha alone.
   void transfer(const Route& route, Bytes bytes,
                 std::function<void()> on_complete);
+
+  /// Installs (or clears, with nullptr) the fault injector consulted by
+  /// transfer_tagged. The fabric does not own the injector.
+  void set_fault_injector(const FaultInjector* injector) {
+    injector_ = injector;
+  }
+  const FaultInjector* fault_injector() const { return injector_; }
+
+  /// Fate-reporting transfer: like transfer(), but consults the fault
+  /// injector for this transmission. Dropped/corrupted messages still occupy
+  /// the fabric for their full duration ("lost at the far end"); extra fault
+  /// delay is folded into the route's alpha. With no injector installed this
+  /// is a single branch on top of transfer() — the zero-overhead guarantee
+  /// the bench guard measures.
+  void transfer_tagged(const Route& route, Bytes bytes, const FaultKey& key,
+                       std::function<void(const TransferFate&)> on_complete);
 
   // -- introspection / stats ---------------------------------------------
   int active_flows() const { return active_count_; }
@@ -97,6 +112,7 @@ class Fabric {
 
   sim::Simulator& sim_;
   SharingPolicy policy_;
+  const FaultInjector* injector_ = nullptr;
   std::vector<double> capacity_;            // per link
   std::vector<std::vector<int>> link_flows_;  // active flows per link
   std::vector<Flow> flows_;                 // slot-reused

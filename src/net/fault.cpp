@@ -1,0 +1,89 @@
+#include "src/net/fault.hpp"
+
+#include <algorithm>
+
+#include "src/support/rng.hpp"
+
+namespace adapt::net {
+
+namespace {
+
+/// Hashes the plan seed and the transmission identity into one 64-bit state;
+/// a SplitMix64 seeded with it supplies as many independent draws as decide()
+/// needs. Stateless by construction — see the determinism contract.
+std::uint64_t mix_key(std::uint64_t seed, const FaultKey& key) {
+  SplitMix64 sm(seed);
+  std::uint64_t h = sm.next();
+  h ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(key.src) + 0x51);
+  h = SplitMix64(h).next();
+  h ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(key.dst) + 0x17);
+  h = SplitMix64(h).next();
+  h ^= key.seq;
+  h = SplitMix64(h).next();
+  h ^= 0x94d049bb133111ebULL * (static_cast<std::uint64_t>(key.attempt) + 1);
+  h ^= static_cast<std::uint64_t>(key.kind) << 56;
+  return SplitMix64(h).next();
+}
+
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultInjector::dead(Rank rank, TimeNs now) const {
+  for (const auto& death : plan_.deaths) {
+    if (death.rank == rank && now >= death.at) return true;
+  }
+  return false;
+}
+
+TransferFate FaultInjector::decide(const FaultKey& key,
+                                   const std::vector<LinkId>& links,
+                                   TimeNs now) const {
+  ++decisions_;
+  TransferFate fate;
+
+  // Hard partitions first: deaths and outage windows defeat retransmission
+  // by design (the chaos harness expects an error, not absorption, when a
+  // partition outlasts the retry budget).
+  if (dead(key.src, now) || dead(key.dst, now)) {
+    fate.delivered = false;
+    ++drops_;
+    return fate;
+  }
+  for (const auto& outage : plan_.outages) {
+    if (now < outage.from || now >= outage.until) continue;
+    const bool pair_hit =
+        outage.a >= 0 && ((outage.a == key.src && outage.b == key.dst) ||
+                          (outage.a == key.dst && outage.b == key.src));
+    const bool link_hit =
+        outage.a < 0 && outage.link >= 0 &&
+        std::find(links.begin(), links.end(), outage.link) != links.end();
+    if (pair_hit || link_hit) {
+      fate.delivered = false;
+      ++drops_;
+      return fate;
+    }
+  }
+
+  // Probabilistic faults, each from its own deterministic draw.
+  SplitMix64 draws(mix_key(plan_.seed, key));
+  if (plan_.drop > 0 && to_unit(draws.next()) < plan_.drop) {
+    fate.delivered = false;
+    ++drops_;
+    return fate;
+  }
+  if (plan_.corrupt > 0 && to_unit(draws.next()) < plan_.corrupt) {
+    fate.corrupted = true;
+    ++corruptions_;
+  }
+  if (plan_.max_delay > 0) {
+    fate.delay = static_cast<TimeNs>(
+        draws.next() % static_cast<std::uint64_t>(plan_.max_delay + 1));
+  }
+  fate.salt = draws.next();
+  return fate;
+}
+
+}  // namespace adapt::net

@@ -1,0 +1,106 @@
+// Deterministic fault injection for the network fabric.
+//
+// A FaultPlan describes a fault schedule: per-message drop / corrupt / extra
+// delay probabilities, link-down intervals, and permanent rank deaths. A
+// FaultInjector evaluates the plan for one wire transmission at a time.
+//
+// Determinism contract: the fate of a transmission is a pure function of
+// (plan seed, src, dst, seq, attempt, kind) — it does NOT depend on virtual
+// time, on event order, or on how many other decisions were made before it.
+// That makes fault schedules replayable from a single seed *and* independent
+// of PR 1's schedule perturbation: perturbing the event queue reorders
+// deliveries but never changes which transmissions are dropped, so a chaos
+// reproducer line stays a reproducer under any jitter seed. (Outages and
+// deaths are the deliberate exception — they are windows in virtual time.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/units.hpp"
+
+namespace adapt::net {
+
+using LinkId = int;
+
+/// Identity of one wire transmission; `attempt` distinguishes retransmits of
+/// the same frame, `kind` separates frame classes (data/ack/...) so an ack
+/// and its data frame roll independent dice.
+struct FaultKey {
+  Rank src = -1;
+  Rank dst = -1;
+  std::uint64_t seq = 0;
+  int attempt = 0;
+  int kind = 0;
+};
+
+/// Outcome of one transmission. Dropped and corrupted transmissions still
+/// traverse the fabric (they occupy bandwidth); the fate only tells the
+/// caller what arrives at the far end.
+struct TransferFate {
+  bool delivered = true;
+  bool corrupted = false;
+  TimeNs delay = 0;         ///< extra latency added on top of route alpha
+  std::uint64_t salt = 0;   ///< deterministic per-message entropy (corruption)
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double drop = 0.0;     ///< per-transmission loss probability
+  double corrupt = 0.0;  ///< per-transmission payload-corruption probability
+  TimeNs max_delay = 0;  ///< extra delay drawn uniformly from [0, max_delay]
+
+  /// A link-down interval: while now ∈ [from, until), every transmission
+  /// between the rank pair {a, b} (either direction), or crossing `link` if
+  /// a is negative, is dropped.
+  struct Outage {
+    Rank a = -1, b = -1;
+    LinkId link = -1;
+    TimeNs from = 0;
+    TimeNs until = 0;
+  };
+  std::vector<Outage> outages;
+
+  /// Permanent rank death: from `at` onward nothing is delivered to or from
+  /// the rank. The dead rank's program keeps running — it discovers the
+  /// partition the same way its peers do, through timeouts.
+  struct Death {
+    Rank rank = -1;
+    TimeNs at = 0;
+  };
+  std::vector<Death> deaths;
+
+  bool enabled() const {
+    return drop > 0 || corrupt > 0 || max_delay > 0 || !outages.empty() ||
+           !deaths.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Decides the fate of one transmission crossing `links` at virtual time
+  /// `now`. Pure in the key (see the determinism contract above).
+  TransferFate decide(const FaultKey& key, const std::vector<LinkId>& links,
+                      TimeNs now) const;
+
+  /// True once `rank` has permanently died by time `now`.
+  bool dead(Rank rank, TimeNs now) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // -- stats (for tests and chaos-run summaries) --------------------------
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  FaultPlan plan_;
+  mutable std::uint64_t decisions_ = 0;
+  mutable std::uint64_t drops_ = 0;
+  mutable std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace adapt::net

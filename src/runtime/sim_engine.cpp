@@ -1,6 +1,7 @@
 #include "src/runtime/sim_engine.hpp"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "src/gpu/device.hpp"
@@ -31,19 +32,43 @@ class SimEngine::SimRankExecutor final : public mpi::RankExecutor {
 
 // ---------------------------------------------------------- SimTransport ---
 
+namespace {
+
+/// Fault-key kind tags: frame kinds 0..4 (Frame::Kind order), acks distinct.
+constexpr int kWireKindAck = 100;
+
+int wire_kind(const mpi::WireFrame& wire) {
+  return wire.is_ack ? kWireKindAck : static_cast<int>(wire.frame.kind);
+}
+
+/// Deterministic in-place payload corruption (raw/unreliable mode only: with
+/// the reliability layer on, corruption is a checksum discard instead and the
+/// payload is never touched).
+void corrupt_in_place(mpi::Envelope& env, std::uint64_t salt) {
+  if (!env.data || env.data->empty()) return;
+  (*env.data)[static_cast<std::size_t>(salt % env.data->size())] ^=
+      std::byte{0x2a};
+}
+
+}  // namespace
+
 class SimEngine::SimTransport final : public mpi::Transport {
  public:
   explicit SimTransport(SimEngine& engine) : engine_(engine) {}
 
   void submit(mpi::Envelope env, MemSpace src_space, MemSpace dst_space,
-              std::function<void()> on_sent) override {
+              std::function<void()> on_sent,
+              std::function<void(mpi::ErrCode)> on_failed) override {
+    if (!engine_.channels_.empty()) {
+      submit_reliable(std::move(env), src_space, dst_space,
+                      std::move(on_sent), std::move(on_failed));
+      return;
+    }
     net::Route route =
         engine_.net_.route_mem(env.src, src_space, env.dst, dst_space);
     // FIFO per (src, dst, lane-direction): segments between one pair leave
     // back to back (NIC transmit queue), not fair-shared against each other.
-    route.serial_key =
-        static_cast<std::int64_t>(env.src) * engine_.machine_.nranks() +
-        env.dst;
+    route.serial_key = pair_key(env.src, env.dst);
     if (env.size <= engine_.machine_.spec().eager_threshold) {
       submit_eager(route, std::move(env), std::move(on_sent));
     } else {
@@ -51,22 +76,212 @@ class SimEngine::SimTransport final : public mpi::Transport {
     }
   }
 
+  /// Channel downcall: puts one wire frame (data or ack) on the fabric.
+  /// Data frames occupy bandwidth; control frames and acks are alpha-only.
+  /// The fault injector decides each transmission's fate either way.
+  void send_wire(const mpi::WireFrame& wire) {
+    const net::FaultKey key{wire.src, wire.dst, wire.seq, wire.attempt,
+                            wire_kind(wire)};
+    const bool data_frame = !wire.is_ack && wire.frame.wire_bytes > 0;
+    if (data_frame) {
+      net::Route route = engine_.net_.route_mem(
+          wire.src, wire.frame.src_space, wire.dst, wire.frame.dst_space);
+      route.serial_key = pair_key(wire.src, wire.dst);
+      engine_.net_.fabric().transfer_tagged(
+          route, wire.frame.wire_bytes, key,
+          [this, wire = wire](const net::TransferFate& fate) mutable {
+            if (!fate.delivered) return;
+            wire.corrupted = fate.corrupted;
+            engine_.channels_[static_cast<std::size_t>(wire.dst)]->on_wire(
+                wire);
+          });
+      return;
+    }
+    net::Route route = engine_.net_.route_mem(wire.src, MemSpace::kHost,
+                                              wire.dst, MemSpace::kHost);
+    net::TransferFate fate;
+    if (const net::FaultInjector* inj = engine_.injector_.get()) {
+      fate = inj->decide(key, route.links, engine_.sim_.now());
+      if (!fate.delivered) return;
+    }
+    engine_.sim_.after(
+        route.alpha + fate.delay,
+        [this, wire = wire, corrupted = fate.corrupted]() mutable {
+          wire.corrupted = corrupted;
+          engine_.channels_[static_cast<std::size_t>(wire.dst)]->on_wire(wire);
+        });
+  }
+
+  /// Channel upcall: a deduplicated frame arrived at rank `self`.
+  void on_frame(Rank self, Rank from, const mpi::Frame& frame) {
+    using Kind = mpi::Frame::Kind;
+    switch (frame.kind) {
+      case Kind::kEager:
+        endpoint(self).deliver(frame.env);
+        break;
+      case Kind::kRts: {
+        // Re-arm the grant: when a receive matches, remember it and send CTS
+        // back over the reliable channel.
+        mpi::Envelope env = frame.env;
+        const RdvzKey key{pair_key(from, self), frame.rdvz};
+        env.grant = [this, self, from, key](mpi::PostedRecv recv) {
+          rdvz_recv_[key] = recv;
+          mpi::Frame cts;
+          cts.kind = Kind::kCts;
+          cts.rdvz = key.second;
+          channel(self).submit(
+              from, std::move(cts), nullptr,
+              [this, self, key](mpi::ErrCode code) {
+                // The sender is unreachable: fail the receive on this side
+                // too — retry exhaustion must surface on both endpoints.
+                auto it = rdvz_recv_.find(key);
+                if (it == rdvz_recv_.end()) return;
+                mpi::PostedRecv pending = it->second;
+                rdvz_recv_.erase(it);
+                pending.request->mark_failed(code);
+                engine_.initiate_abort(self, mpi::ErrCode::kErrProcFailed);
+              });
+        };
+        endpoint(self).deliver(std::move(env));
+        break;
+      }
+      case Kind::kCts: {
+        const RdvzKey key{pair_key(self, from), frame.rdvz};
+        auto it = rdvz_send_.find(key);
+        if (it == rdvz_send_.end()) break;  // rendezvous already failed
+        PendingSend pending = std::move(it->second);
+        rdvz_send_.erase(it);
+        mpi::Frame bulk;
+        bulk.kind = Kind::kBulk;
+        bulk.rdvz = key.second;
+        bulk.wire_bytes = pending.env.size;
+        bulk.src_space = pending.src_space;
+        bulk.dst_space = pending.dst_space;
+        bulk.env = std::move(pending.env);
+        channel(self).submit(
+            from, std::move(bulk),
+            [this, self, on_sent = std::move(pending.on_sent)] {
+              engine_.run_progress(self, on_sent, 0);
+            },
+            [this, self, on_failed = std::move(pending.on_failed)](
+                mpi::ErrCode code) { fail_op(self, code, on_failed); });
+        break;
+      }
+      case Kind::kBulk: {
+        const RdvzKey key{pair_key(from, self), frame.rdvz};
+        auto it = rdvz_recv_.find(key);
+        if (it == rdvz_recv_.end()) break;  // receive already failed
+        const mpi::PostedRecv recv = it->second;
+        rdvz_recv_.erase(it);
+        const mpi::Envelope env = frame.env;  // shares the payload pointer
+        engine_.run_progress(
+            self, [this, self, recv, env] { endpoint(self).finalize_recv(recv, env); },
+            engine_.machine_.spec().cpu_overhead);
+        break;
+      }
+      case Kind::kAbort:
+        engine_.poison_rank(self, frame.code);
+        break;
+    }
+  }
+
  private:
+  using RdvzKey = std::pair<std::int64_t, std::uint64_t>;
+
+  struct PendingSend {
+    mpi::Envelope env;
+    MemSpace src_space = MemSpace::kHost;
+    MemSpace dst_space = MemSpace::kHost;
+    std::function<void()> on_sent;
+    std::function<void(mpi::ErrCode)> on_failed;
+  };
+
   mpi::Endpoint& endpoint(Rank r) {
     return *engine_.endpoints_[static_cast<std::size_t>(r)];
   }
+  mpi::ReliableChannel& channel(Rank r) {
+    return *engine_.channels_[static_cast<std::size_t>(r)];
+  }
+  std::int64_t pair_key(Rank src, Rank dst) const {
+    return static_cast<std::int64_t>(src) * engine_.machine_.nranks() + dst;
+  }
+  std::uint64_t next_raw_seq(Rank src, Rank dst) {
+    return ++raw_seq_[pair_key(src, dst)];
+  }
+
+  /// Local failure of one operation: fail its request with the specific
+  /// code, then escalate to a job-wide abort (every surviving rank must see
+  /// the same outcome, not a one-sided error).
+  void fail_op(Rank origin, mpi::ErrCode code,
+               const std::function<void(mpi::ErrCode)>& on_failed) {
+    if (on_failed) on_failed(code);
+    engine_.initiate_abort(origin, mpi::ErrCode::kErrProcFailed);
+  }
+
+  /// Fault-tolerant path: every protocol message is a frame on the per-rank
+  /// ReliableChannel. Eager sends complete on ack; rendezvous decomposes
+  /// into RTS → CTS → BULK frames, each independently retransmitted.
+  void submit_reliable(mpi::Envelope env, MemSpace src_space,
+                       MemSpace dst_space, std::function<void()> on_sent,
+                       std::function<void(mpi::ErrCode)> on_failed) {
+    const Rank src = env.src;
+    const Rank dst = env.dst;
+    if (env.size <= engine_.machine_.spec().eager_threshold) {
+      mpi::Frame frame;
+      frame.kind = mpi::Frame::Kind::kEager;
+      frame.wire_bytes = env.size;
+      frame.src_space = src_space;
+      frame.dst_space = dst_space;
+      frame.env = std::move(env);
+      channel(src).submit(
+          dst, std::move(frame),
+          [this, src, on_sent = std::move(on_sent)] {
+            engine_.run_progress(src, on_sent, 0);
+          },
+          [this, src, on_failed = std::move(on_failed)](mpi::ErrCode code) {
+            fail_op(src, code, on_failed);
+          });
+      return;
+    }
+    const RdvzKey key{pair_key(src, dst), ++rdvz_counter_};
+    mpi::Frame rts;
+    rts.kind = mpi::Frame::Kind::kRts;
+    rts.rdvz = key.second;
+    rts.env = env;
+    rts.env.data = nullptr;  // metadata only; the payload ships with kBulk
+    rts.env.grant = nullptr;
+    rts.src_space = src_space;
+    rts.dst_space = dst_space;
+    rdvz_send_[key] = PendingSend{std::move(env), src_space, dst_space,
+                                  std::move(on_sent), std::move(on_failed)};
+    channel(src).submit(dst, std::move(rts), nullptr,
+                        [this, src, key](mpi::ErrCode code) {
+                          auto it = rdvz_send_.find(key);
+                          if (it == rdvz_send_.end()) return;
+                          PendingSend pending = std::move(it->second);
+                          rdvz_send_.erase(it);
+                          fail_op(src, code, pending.on_failed);
+                        });
+  }
 
   /// Eager: the data travels immediately and is buffered at the receiver if
-  /// nothing matches; the sender never waits on the receiver's CPU.
+  /// nothing matches; the sender never waits on the receiver's CPU. Under an
+  /// active fault plan (raw mode, no reliability) a dropped message simply
+  /// never arrives and a corrupted one is delivered with damaged bytes —
+  /// exactly the behaviour the chaos self-test exists to catch.
   void submit_eager(const net::Route& route, mpi::Envelope env,
                     std::function<void()> on_sent) {
     const Rank src = env.src;
     const Rank dst = env.dst;
-    engine_.net_.transfer(
-        route, env.size,
+    const net::FaultKey key{src, dst, next_raw_seq(src, dst), 0,
+                            static_cast<int>(mpi::Frame::Kind::kEager)};
+    engine_.net_.fabric().transfer_tagged(
+        route, env.size, key,
         [this, src, dst, env = std::move(env),
-         on_sent = std::move(on_sent)]() mutable {
+         on_sent = std::move(on_sent)](const net::TransferFate& fate) mutable {
           engine_.run_progress(src, std::move(on_sent), 0);
+          if (!fate.delivered) return;
+          if (fate.corrupted) corrupt_in_place(env, fate.salt);
           // NIC-side matching: no receiver-CPU gate here (deliver defers any
           // CPU-bound follow-up itself).
           endpoint(dst).deliver(std::move(env));
@@ -77,33 +292,63 @@ class SimEngine::SimTransport final : public mpi::Transport {
   /// matched (instantly when pre-posted — hardware matching — or whenever
   /// the receiver gets around to posting one). This is the coupling that
   /// lets a noisy receiver stall its parent in blocking/Waitall designs.
+  /// Control legs (RTS/CTS) consult the fault injector directly: a lost
+  /// notice stalls the rendezvous forever in raw mode.
   void submit_rendezvous(const net::Route& route, mpi::Envelope env,
                          std::function<void()> on_sent) {
     const Rank dst = env.dst;
-    const TimeNs rts_latency = route.alpha;
+    const net::FaultInjector* inj = engine_.injector_.get();
+    const std::uint64_t rseq = next_raw_seq(env.src, env.dst);
     mpi::Envelope rts = env;  // shares the payload pointer
-    rts.grant = [this, route, env = std::move(env),
+    rts.grant = [this, route, inj, rseq, env = std::move(env),
                  on_sent = std::move(on_sent)](mpi::PostedRecv recv) {
       // CTS back to the sender, then the bulk transfer.
-      engine_.sim_.after(route.alpha, [this, route, env, on_sent, recv] {
+      TimeNs cts_delay = route.alpha;
+      if (inj) {
+        const net::TransferFate fate =
+            inj->decide({env.dst, env.src, rseq, 0,
+                         static_cast<int>(mpi::Frame::Kind::kCts)},
+                        route.links, engine_.sim_.now());
+        if (!fate.delivered || fate.corrupted) return;  // CTS lost
+        cts_delay += fate.delay;
+      }
+      engine_.sim_.after(cts_delay, [this, route, rseq, env, on_sent, recv] {
         const Rank src = env.src;
         const Rank rdst = env.dst;
-        engine_.net_.transfer(route, env.size, [this, src, rdst, env, on_sent,
-                                                recv] {
-          engine_.run_progress(src, on_sent, 0);
-          engine_.run_progress(
-              rdst,
-              [this, rdst, recv, env] { endpoint(rdst).finalize_recv(recv, env); },
-              engine_.machine_.spec().cpu_overhead);
-        });
+        engine_.net_.fabric().transfer_tagged(
+            route, env.size,
+            {src, rdst, rseq, 0, static_cast<int>(mpi::Frame::Kind::kBulk)},
+            [this, src, rdst, env, on_sent,
+             recv](const net::TransferFate& fate) mutable {
+              engine_.run_progress(src, on_sent, 0);
+              if (!fate.delivered) return;
+              if (fate.corrupted) corrupt_in_place(env, fate.salt);
+              engine_.run_progress(
+                  rdst,
+                  [this, rdst, recv, env] { endpoint(rdst).finalize_recv(recv, env); },
+                  engine_.machine_.spec().cpu_overhead);
+            });
       });
     };
-    engine_.sim_.after(rts_latency, [this, dst, rts = std::move(rts)]() mutable {
+    TimeNs rts_delay = route.alpha;
+    if (inj) {
+      const net::TransferFate fate =
+          inj->decide({rts.src, rts.dst, rseq, 0,
+                       static_cast<int>(mpi::Frame::Kind::kRts)},
+                      route.links, engine_.sim_.now());
+      if (!fate.delivered || fate.corrupted) return;  // RTS lost
+      rts_delay += fate.delay;
+    }
+    engine_.sim_.after(rts_delay, [this, dst, rts = std::move(rts)]() mutable {
       endpoint(dst).deliver(std::move(rts));
     });
   }
 
   SimEngine& engine_;
+  std::map<RdvzKey, PendingSend> rdvz_send_;
+  std::map<RdvzKey, mpi::PostedRecv> rdvz_recv_;
+  std::map<std::int64_t, std::uint64_t> raw_seq_;
+  std::uint64_t rdvz_counter_ = 0;
 };
 
 // ------------------------------------------------------------- SimContext ---
@@ -165,6 +410,26 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
   busy_until_.assign(static_cast<std::size_t>(n), 0);
   progress_busy_until_.assign(static_cast<std::size_t>(n), 0);
 
+  if (options_.faults.enabled()) {
+    injector_ = std::make_unique<net::FaultInjector>(options_.faults);
+    net_.fabric().set_fault_injector(injector_.get());
+  }
+  if (options_.reliability) {
+    channels_.reserve(static_cast<std::size_t>(n));
+    for (Rank r = 0; r < n; ++r) {
+      channels_.push_back(std::make_unique<mpi::ReliableChannel>(
+          r, *options_.reliability,
+          [this](const mpi::WireFrame& wire) { transport_->send_wire(wire); },
+          [this](TimeNs delay, std::function<void()> fn) {
+            sim_.after(delay, std::move(fn));
+          },
+          [this, r](Rank from, const mpi::Frame& frame) {
+            transport_->on_frame(r, from, frame);
+          },
+          /*give_up=*/nullptr));
+    }
+  }
+
   const mpi::EndpointCosts costs{machine_.spec().cpu_overhead,
                                  machine_.spec().unexpected_overhead,
                                  machine_.spec().memcpy_beta};
@@ -174,7 +439,7 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
   for (Rank r = 0; r < n; ++r) {
     executors_.push_back(std::make_unique<SimRankExecutor>(*this, r));
     endpoints_.push_back(std::make_unique<mpi::Endpoint>(
-        r, *executors_.back(), *transport_, costs));
+        r, n, *executors_.back(), *transport_, costs));
     contexts_.push_back(std::make_unique<SimContext>(*this, r));
   }
   if (machine_.spec().gpus_per_socket > 0) {
@@ -187,6 +452,40 @@ SimEngine::~SimEngine() = default;
 Context& SimEngine::context(Rank r) {
   ADAPT_CHECK(r >= 0 && r < machine_.nranks());
   return *contexts_[static_cast<std::size_t>(r)];
+}
+
+mpi::Endpoint& SimEngine::endpoint(Rank r) {
+  ADAPT_CHECK(r >= 0 && r < machine_.nranks());
+  return *endpoints_[static_cast<std::size_t>(r)];
+}
+
+mpi::ReliableChannel* SimEngine::channel(Rank r) {
+  if (channels_.empty()) return nullptr;
+  ADAPT_CHECK(r >= 0 && r < machine_.nranks());
+  return channels_[static_cast<std::size_t>(r)].get();
+}
+
+void SimEngine::poison_rank(Rank r, mpi::ErrCode code) {
+  endpoint(r).poison(code);
+}
+
+void SimEngine::initiate_abort(Rank origin, mpi::ErrCode code) {
+  if (endpoint(origin).poisoned()) return;  // the first failure cause wins
+  // Notify peers over the reliable channel *before* poisoning the origin
+  // (poison drops incoming traffic, not outgoing frames). Without channels
+  // there is no way to notify anyone — the failure stays local and the
+  // watchdog picks up the survivors.
+  if (!channels_.empty()) {
+    for (Rank r = 0; r < machine_.nranks(); ++r) {
+      if (r == origin) continue;
+      mpi::Frame abort_frame;
+      abort_frame.kind = mpi::Frame::Kind::kAbort;
+      abort_frame.code = code;
+      channels_[static_cast<std::size_t>(origin)]->submit(
+          r, std::move(abort_frame));
+    }
+  }
+  poison_rank(origin, code);
 }
 
 void SimEngine::run_on(Rank r, std::function<void()> fn, TimeNs cpu_cost) {

@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "src/mpi/endpoint.hpp"
+#include "src/mpi/errors.hpp"
+#include "src/mpi/reliable.hpp"
+#include "src/net/fault.hpp"
 #include "src/net/routes.hpp"
 #include "src/noise/noise.hpp"
 #include "src/runtime/context.hpp"
@@ -30,6 +33,13 @@ struct SimEngineOptions {
   /// delivery order of concurrently pending events. Unset = the default
   /// bit-reproducible stable schedule.
   std::optional<sim::PerturbConfig> perturb;
+  /// Deterministic fault schedule for the fabric (chaos testing). The
+  /// default-constructed plan is disabled and leaves the hot path untouched.
+  net::FaultPlan faults;
+  /// Enables the frame-level reliability protocol (sequence-numbered acks,
+  /// timeout + exponential-backoff retransmit, duplicate suppression) on
+  /// every P2P message. Unset = the seed's perfect-delivery protocols.
+  std::optional<mpi::ReliabilityConfig> reliability;
 };
 
 class SimEngine final : public Engine {
@@ -45,6 +55,20 @@ class SimEngine final : public Engine {
   const topo::Machine& machine() const { return machine_; }
   Context& context(Rank r);
   TimeNs now() const { return sim_.now(); }
+
+  mpi::Endpoint& endpoint(Rank r);
+  /// Reliability-channel introspection; null when reliability is off.
+  mpi::ReliableChannel* channel(Rank r);
+  const net::FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// Declares rank `origin`'s current operation failed: reliably floods an
+  /// abort notice to every other rank (each poisons itself on receipt), then
+  /// poisons `origin`. This is the runtime's agreement mechanism — local
+  /// failure detection (retry exhaustion, watchdog) becomes a job-wide,
+  /// uniform error instead of a hang or a one-sided error.
+  void initiate_abort(Rank origin, mpi::ErrCode code);
+  /// Fails every pending and future request on rank r (see Endpoint::poison).
+  void poison_rank(Rank r, mpi::ErrCode code);
 
   /// Main-thread scheduling: runs `fn` once rank r's application thread is
   /// free (noise applies), after occupying it for `cpu_cost`.
@@ -65,6 +89,8 @@ class SimEngine final : public Engine {
   sim::Simulator sim_;
   net::ClusterNet net_;
   std::shared_ptr<noise::NoiseModel> noise_;
+  std::unique_ptr<net::FaultInjector> injector_;
+  std::vector<std::unique_ptr<mpi::ReliableChannel>> channels_;
   std::unique_ptr<SimTransport> transport_;
   std::vector<std::unique_ptr<SimRankExecutor>> executors_;
   std::vector<std::unique_ptr<mpi::Endpoint>> endpoints_;

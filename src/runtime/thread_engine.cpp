@@ -123,7 +123,9 @@ class ThreadEngine::ThreadTransport final : public mpi::Transport {
   explicit ThreadTransport(ThreadEngine& engine) : engine_(engine) {}
 
   void submit(mpi::Envelope env, MemSpace /*src*/, MemSpace /*dst*/,
-              std::function<void()> on_sent) override {
+              std::function<void()> on_sent,
+              std::function<void(mpi::ErrCode)> /*on_failed*/) override {
+    // In-process hand-off never loses a message, so on_failed never fires.
     const Rank src = env.src;
     const Rank dst = env.dst;
     // Eager hand-off: the receiver's thread matches and copies; the sender
@@ -152,7 +154,7 @@ ThreadEngine::ThreadEngine(const topo::Machine& machine)
   for (Rank r = 0; r < n; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>(*this));
     endpoints_.push_back(std::make_unique<mpi::Endpoint>(
-        r, *mailboxes_.back(), *transport_, mpi::EndpointCosts{}));
+        r, n, *mailboxes_.back(), *transport_, mpi::EndpointCosts{}));
     contexts_.push_back(
         std::make_unique<ThreadContext>(*this, r, *mailboxes_.back()));
   }

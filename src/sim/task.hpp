@@ -226,8 +226,18 @@ class Countdown {
   }
 
   void signal() {
+    if (forced_) return;  // late completions after an error-path force()
     ADAPT_CHECK(remaining_ > 0) << "countdown signalled below zero";
     if (--remaining_ == 0) trigger_.fire();
+  }
+
+  /// Error path: fires the trigger now regardless of the remaining count and
+  /// turns later signal()s into no-ops. Used by callback state machines that
+  /// must wake their awaiter once an operation has failed.
+  void force() {
+    forced_ = true;
+    remaining_ = 0;
+    trigger_.fire();
   }
 
   int remaining() const { return remaining_; }
@@ -235,6 +245,7 @@ class Countdown {
 
  private:
   int remaining_;
+  bool forced_ = false;
   Trigger trigger_;
 };
 

@@ -1,0 +1,186 @@
+#include "src/verify/chaos.hpp"
+
+#include <sstream>
+
+#include "src/support/rng.hpp"
+
+namespace adapt::verify {
+
+net::FaultPlan make_chaos_plan(ChaosClass chaos, std::uint64_t seed,
+                               const std::vector<Rank>& members, int world) {
+  net::FaultPlan plan;
+  if (chaos == ChaosClass::kOff) return plan;
+  // Distinct streams per class so soft/kill with the same seed draw
+  // different schedules; `world` keeps plans distinct when a shrink pass
+  // changes the engine size without changing the member count.
+  Rng rng(SplitMix64(seed * 4 + static_cast<std::uint64_t>(chaos) +
+                     static_cast<std::uint64_t>(world) * 0x10001ULL)
+              .next());
+  plan.seed = rng.next_u64() | 1;
+  plan.drop = 0.05 + 0.20 * rng.next_double();
+  plan.corrupt = 0.10 * rng.next_double();
+  plan.max_delay = rng.next_time(0, microseconds(20));
+
+  const std::size_t n = members.size();
+  net::FaultPlan::Outage outage;
+  const std::size_t a = rng.next_below(n);
+  std::size_t b = rng.next_below(n - 1);
+  if (b >= a) ++b;  // distinct pair, uniform over ordered pairs
+  outage.a = members[a];
+  outage.b = members[b];
+  outage.from = rng.next_time(0, milliseconds(2));
+  outage.until =
+      outage.from + rng.next_time(microseconds(100), milliseconds(10));
+  plan.outages.push_back(outage);
+
+  if (chaos == ChaosClass::kKill) {
+    net::FaultPlan::Death death;
+    death.rank = members[rng.next_below(n)];
+    death.at = rng.next_time(0, milliseconds(1));
+    plan.deaths.push_back(death);
+  }
+  return plan;
+}
+
+mpi::ReliabilityConfig chaos_reliability() {
+  mpi::ReliabilityConfig config;
+  config.ack_timeout = microseconds(100);
+  config.per_byte = 2;
+  config.backoff = 2.0;
+  // Full backoff over 6 retries gives up after ~13ms for control frames and
+  // ~38ms for the largest rendezvous bulk — well inside the 200ms
+  // local-detection deadline, so a true partition always escalates to the
+  // job-wide abort before the watchdog has to guess.
+  config.max_retries = 6;
+  return config;
+}
+
+std::vector<CaseConfig> chaos_matrix() {
+  std::vector<CaseConfig> cases;
+  std::uint64_t seed = 1000;  // disjoint from full_matrix's payload seeds
+  const auto add = [&](CaseConfig c) {
+    c.world = 8;
+    c.data_seed = seed++;
+    cases.push_back(std::move(c));
+  };
+  const coll::Style styles[] = {coll::Style::kBlocking,
+                                coll::Style::kNonblocking,
+                                coll::Style::kAdapt};
+  for (const auto style : styles) {
+    CaseConfig b;
+    b.collective = Collective::kBcast;
+    b.style = style;
+    b.root = 1;
+    b.bytes = 3000;
+    b.segment = 256;
+    add(b);
+    CaseConfig r;
+    r.collective = Collective::kReduce;
+    r.style = style;
+    r.dtype = mpi::Datatype::kInt32;
+    r.op = mpi::ReduceOp::kSum;
+    r.root = 0;
+    r.bytes = 2048;
+    r.segment = 256;
+    add(r);
+  }
+  {
+    CaseConfig c;  // rendezvous-sized ADAPT pipeline: bulk-frame retransmits
+    c.collective = Collective::kBcast;
+    c.style = coll::Style::kAdapt;
+    c.root = 0;
+    c.bytes = kib(192);
+    c.segment = kib(96);
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kAllreduce;
+    c.style = coll::Style::kAdapt;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  for (const auto collective : {Collective::kScatter, Collective::kGather,
+                                Collective::kAllgather, Collective::kBarrier}) {
+    CaseConfig c;
+    c.collective = collective;
+    c.root = 2;
+    c.bytes = 512;
+    add(c);
+  }
+  {
+    CaseConfig c;  // a library personality end to end under faults
+    c.collective = Collective::kLibBcast;
+    c.library = "ompi-adapt";
+    c.root = 1;
+    c.bytes = kib(160);
+    add(c);
+  }
+  return cases;
+}
+
+Report run_chaos_matrix(const std::vector<CaseConfig>& cases,
+                        const ChaosOptions& options) {
+  Report report;
+  report.cases = static_cast<int>(cases.size());
+  int done = 0;
+  for (const CaseConfig& config : cases) {
+    std::vector<RunSpec> specs;
+    const auto add_specs = [&](ChaosClass cls, int count) {
+      for (int s = 1; s <= count; ++s) {
+        RunSpec spec;
+        spec.engine = EngineKind::kSim;
+        spec.chaos = cls;
+        spec.chaos_seed = static_cast<std::uint64_t>(s);
+        specs.push_back(spec);
+        if (options.perturb) {
+          // Fault fates are schedule-independent by construction, so the
+          // same plan must classify identically under event-queue jitter.
+          spec.perturb_seed = static_cast<std::uint64_t>(s);
+          spec.jitter = microseconds(2);
+          specs.push_back(spec);
+        }
+      }
+    };
+    add_specs(ChaosClass::kSoft, options.soft_seeds);
+    add_specs(ChaosClass::kKill, options.kill_seeds);
+    for (const RunSpec& spec : specs) {
+      ++report.runs;
+      if (options.on_run) {
+        options.on_run(repro_string(config, spec, options.fault));
+      }
+      auto mismatch = run_case(config, spec, options.fault);
+      if (!mismatch) continue;
+      CaseConfig reported = config;
+      if (options.shrink) {
+        reported = shrink_case(config, spec, options.fault);
+        if (auto shrunk_detail = run_case(reported, spec, options.fault)) {
+          mismatch = shrunk_detail;
+        }
+      }
+      Failure failure;
+      failure.config = reported;
+      failure.spec = spec;
+      failure.detail = *mismatch;
+      failure.repro = repro_string(reported, spec, options.fault);
+      if (options.log) {
+        options.log("FAIL " + failure.repro + "\n     " + failure.detail);
+      }
+      report.failures.push_back(std::move(failure));
+      break;  // one fault schedule per case is enough to report
+    }
+    ++done;
+    if (options.log && done % 4 == 0) {
+      options.log("chaos: " + std::to_string(done) + "/" +
+                  std::to_string(report.cases) + " cases, " +
+                  std::to_string(report.failures.size()) + " failures");
+    }
+  }
+  return report;
+}
+
+}  // namespace adapt::verify

@@ -1,0 +1,59 @@
+// Chaos conformance: the differential harness pointed at a faulty fabric.
+//
+// A chaos run injects a seeded fault schedule (drops, corruption, delay,
+// one link outage, optionally a rank death) into the SimEngine's fabric
+// and enables the fault-tolerant reliability protocol, then asserts the
+// job-wide contract: every live rank either finishes with byte-exact
+// payloads or reports ONE consistent error code — no hangs (a virtual-time
+// watchdog cascade stamps those kErrWatchdog, always a failure), no
+// one-sided errors, no partial payload passed off as success.
+//
+// Everything here is deterministic: the fault schedule is a pure function
+// of (ChaosClass, chaos_seed, communicator), so a chaos failure line from
+// run_chaos_matrix replays exactly via `verify_conformance --repro`.
+#pragma once
+
+#include "src/mpi/reliable.hpp"
+#include "src/net/fault.hpp"
+#include "src/verify/conformance.hpp"
+
+namespace adapt::verify {
+
+/// Derives the deterministic fault schedule for one chaos run: drop in
+/// [5%, 25%], corruption in [0, 10%], extra delay in [0, 20µs], one pair
+/// outage of up to 10ms among `members`, and — for kKill — one permanent
+/// death of a member within the first millisecond. kOff returns the
+/// disabled plan.
+net::FaultPlan make_chaos_plan(ChaosClass chaos, std::uint64_t seed,
+                               const std::vector<Rank>& members, int world);
+
+/// The reliability protocol settings chaos runs use: timeouts tight enough
+/// that retry exhaustion (max_retries full backoff rounds) lands well
+/// before the local-detection watchdog.
+mpi::ReliabilityConfig chaos_reliability();
+
+struct ChaosOptions {
+  int soft_seeds = 6;   ///< fault schedules per case, drop/corrupt/outage
+  int kill_seeds = 4;   ///< fault schedules per case with a rank death
+  /// Also cross every fault schedule with one perturbed event schedule —
+  /// faults are schedule-independent by construction, so the same plan must
+  /// classify identically under jitter.
+  bool perturb = true;
+  bool shrink = true;
+  Fault fault = Fault::kNone;  ///< kNoRetransmit = classifier self-test
+  std::function<void(const std::string&)> log;
+  std::function<void(const std::string&)> on_run;  ///< see MatrixOptions
+};
+
+/// The case subset chaos runs cover: every collective family, every style,
+/// eager and rendezvous sizes, on a world small enough to keep seeded
+/// fault runs fast.
+std::vector<CaseConfig> chaos_matrix();
+
+/// Runs every case under soft_seeds + kill_seeds fault schedules (plus the
+/// perturbed cross when enabled), classifying each run with run_case's
+/// chaos rules. Failures carry replayable repro lines and are shrunk.
+Report run_chaos_matrix(const std::vector<CaseConfig>& cases,
+                        const ChaosOptions& options);
+
+}  // namespace adapt::verify

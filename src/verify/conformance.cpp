@@ -7,10 +7,12 @@
 #include "src/coll/library.hpp"
 #include "src/coll/topo_tree.hpp"
 #include "src/coll/tree.hpp"
+#include "src/mpi/errors.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/runtime/thread_engine.hpp"
 #include "src/support/error.hpp"
 #include "src/topo/presets.hpp"
+#include "src/verify/chaos.hpp"
 #include "src/verify/faulty.hpp"
 #include "src/verify/oracle.hpp"
 
@@ -63,6 +65,16 @@ const char* fault_name(Fault fault) {
   switch (fault) {
     case Fault::kNone: return "none";
     case Fault::kGatherArrivalOrder: return "gather_arrival_order";
+    case Fault::kNoRetransmit: return "no_retransmit";
+  }
+  return "?";
+}
+
+const char* chaos_name(ChaosClass chaos) {
+  switch (chaos) {
+    case ChaosClass::kOff: return "off";
+    case ChaosClass::kSoft: return "soft";
+    case ChaosClass::kKill: return "kill";
   }
   return "?";
 }
@@ -127,7 +139,8 @@ std::string repro_string(const CaseConfig& config, const RunSpec& spec,
       << " data_seed=" << config.data_seed
       << " engine=" << engine_name(spec.engine)
       << " perturb_seed=" << spec.perturb_seed << " jitter=" << spec.jitter
-      << " fault=" << fault_name(fault);
+      << " chaos=" << chaos_name(spec.chaos)
+      << " chaos_seed=" << spec.chaos_seed << " fault=" << fault_name(fault);
   return out.str();
 }
 
@@ -206,8 +219,12 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
       ok = as_u64(&run.perturb_seed);
     } else if (key == "jitter") {
       ok = as_int(&run.jitter);
+    } else if (key == "chaos") {
+      ok = enum_from_name(value, 3, chaos_name, &run.chaos);
+    } else if (key == "chaos_seed") {
+      ok = as_u64(&run.chaos_seed);
     } else if (key == "fault") {
-      ok = enum_from_name(value, 2, fault_name, &flt);
+      ok = enum_from_name(value, 3, fault_name, &flt);
     } else {
       ok = false;
     }
@@ -242,11 +259,15 @@ coll::Tree make_tree(const CaseConfig& config, const topo::Machine& machine,
   ADAPT_UNREACHABLE("bad tree choice");
 }
 
+/// Diffs every local rank's observable buffer against the oracle;
+/// `skip_local` (chaos runs) marks dead ranks whose buffers are unspecified.
 std::string diff_buffers(const CaseIo& io,
                          const std::vector<std::vector<std::byte>>& observed,
-                         const mpi::Comm& comm) {
+                         const mpi::Comm& comm,
+                         const std::vector<char>* skip_local = nullptr) {
   for (std::size_t i = 0; i < io.expected.size(); ++i) {
     if (!io.expected[i]) continue;
+    if (skip_local && (*skip_local)[i]) continue;
     const auto& want = *io.expected[i];
     const auto& got = observed[i];
     if (got.size() != want.size()) {
@@ -272,12 +293,34 @@ std::string diff_buffers(const CaseIo& io,
 
 }  // namespace
 
+namespace {
+
+// Chaos watchdog timeline (virtual time). Local detection fires first: any
+// rank still holding pending requests is presumed partitioned and initiates
+// a job-wide abort. Quiesce gives late abort floods time to land before a
+// rank's outcome is judged. The bomb is the backstop: a rank still
+// unfinished then is stamped kErrWatchdog, which the classifier always
+// treats as a failure — the runtime should have detected the fault itself.
+constexpr TimeNs kChaosLocalDetect = milliseconds(200);
+constexpr TimeNs kChaosQuiesce = milliseconds(300);
+constexpr TimeNs kChaosBomb = milliseconds(400);
+
+}  // namespace
+
 std::optional<std::string> run_case(const CaseConfig& config,
                                     const RunSpec& spec, Fault fault) {
   const std::vector<Rank> members = comm_members(config.comm, config.world);
   const int p = static_cast<int>(members.size());
   ADAPT_CHECK(config.root >= 0 && config.root < p)
       << "root " << config.root << " outside communicator of " << p;
+
+  const bool chaos = spec.chaos != ChaosClass::kOff;
+  ADAPT_CHECK(!chaos || spec.engine == EngineKind::kSim)
+      << "chaos runs require the sim engine";
+  net::FaultPlan plan;
+  if (chaos) {
+    plan = make_chaos_plan(spec.chaos, spec.chaos_seed, members, config.world);
+  }
 
   const CaseIo io = make_io(config);
   const topo::Machine machine(topo::cori(2), config.world);
@@ -376,6 +419,13 @@ std::optional<std::string> run_case(const CaseConfig& config,
     }
   };
 
+  // Per-global-rank chaos outcome: the error each rank's collective call
+  // surfaced (kOk = completed clean), and whether the rank's wrapper ran to
+  // the end (unfinished at the bomb = undetected hang).
+  std::vector<mpi::ErrCode> outcome(static_cast<std::size_t>(config.world),
+                                    mpi::ErrCode::kOk);
+  std::vector<char> finished(static_cast<std::size_t>(config.world), 0);
+
   try {
     if (spec.engine == EngineKind::kSim) {
       runtime::SimEngineOptions engine_opts;
@@ -383,14 +433,110 @@ std::optional<std::string> run_case(const CaseConfig& config,
         engine_opts.perturb = sim::PerturbConfig{
             spec.perturb_seed, /*shuffle_ties=*/true, spec.jitter};
       }
+      if (chaos) {
+        engine_opts.faults = plan;
+        // kNoRetransmit is the chaos self-test: the lossy fabric meets the
+        // seed's perfect-delivery protocols and the classifier must notice.
+        if (fault != Fault::kNoRetransmit) {
+          engine_opts.reliability = chaos_reliability();
+        }
+      }
       runtime::SimEngine engine(machine, engine_opts);
-      engine.run(program);
+      if (!chaos) {
+        engine.run(program);
+      } else {
+        const auto chaos_program = [&](runtime::Context& ctx) -> sim::Task<> {
+          const Rank g = ctx.rank();
+          if (!comm.contains(g)) co_return;
+          const std::size_t gi = static_cast<std::size_t>(g);
+          try {
+            co_await program(ctx);
+          } catch (const mpi::FaultError& e) {
+            outcome[gi] = e.code();
+          }
+          // Quiesce: an abort flood may still be in flight toward a rank
+          // that finished clean; give it time to land before judging.
+          if (ctx.now() < kChaosQuiesce) {
+            co_await ctx.sleep_for(kChaosQuiesce - ctx.now());
+          }
+          if (outcome[gi] == mpi::ErrCode::kOk && ctx.endpoint().poisoned()) {
+            outcome[gi] = ctx.endpoint().poison_code();
+          }
+          finished[gi] = 1;
+        };
+        engine.simulator().at(kChaosLocalDetect, [&] {
+          for (Rank g : members) {
+            mpi::Endpoint& ep = engine.endpoint(g);
+            if (!ep.poisoned() && ep.has_pending()) {
+              engine.initiate_abort(g, mpi::ErrCode::kErrProcFailed);
+            }
+          }
+        });
+        engine.simulator().at(kChaosBomb, [&] {
+          for (Rank g : members) {
+            if (!finished[static_cast<std::size_t>(g)]) {
+              engine.poison_rank(g, mpi::ErrCode::kErrWatchdog);
+            }
+          }
+        });
+        engine.run(chaos_program);
+      }
     } else {
       runtime::ThreadEngine engine(machine);
       engine.run(program);
     }
   } catch (const std::exception& e) {
     return std::string("engine run failed: ") + e.what();
+  }
+
+  // Chaos classification: every live rank must either finish clean (then
+  // all payloads are diffed byte-for-byte below) or report the same error
+  // code. Anything else — disagreement, or a hang only the bomb caught —
+  // is a conformance failure.
+  std::vector<char> dead_local;
+  if (chaos) {
+    const auto dead_global = [&](Rank g) {
+      for (const auto& d : plan.deaths) {
+        if (d.rank == g) return true;
+      }
+      return false;
+    };
+    std::optional<mpi::ErrCode> agreed;
+    bool mixed = false;
+    std::ostringstream codes;
+    for (Rank g : members) {
+      if (dead_global(g)) continue;
+      mpi::ErrCode code = outcome[static_cast<std::size_t>(g)];
+      // Retry exhaustion is the *detection*; the job-wide verdict it
+      // escalates to is "a process failed".
+      if (code == mpi::ErrCode::kErrRetryExhausted) {
+        code = mpi::ErrCode::kErrProcFailed;
+      }
+      codes << " rank" << g << "=" << mpi::err_name(code);
+      if (!agreed) {
+        agreed = code;
+      } else if (*agreed != code) {
+        mixed = true;
+      }
+    }
+    ADAPT_CHECK(agreed.has_value()) << "chaos case with no live ranks";
+    if (mixed) {
+      return "chaos: live ranks disagree on the outcome:" + codes.str();
+    }
+    if (*agreed == mpi::ErrCode::kErrWatchdog) {
+      return "chaos: watchdog bomb fired — the runtime never detected the "
+             "failure:" +
+             codes.str();
+    }
+    if (*agreed != mpi::ErrCode::kOk) {
+      return std::nullopt;  // a uniform, clean error is an accepted outcome
+    }
+    dead_local.assign(static_cast<std::size_t>(p), 0);
+    for (Rank i = 0; i < p; ++i) {
+      if (dead_global(comm.global(i))) {
+        dead_local[static_cast<std::size_t>(i)] = 1;
+      }
+    }
   }
 
   if (config.collective == Collective::kBarrier) {
@@ -401,7 +547,8 @@ std::optional<std::string> run_case(const CaseConfig& config,
     return std::nullopt;
   }
   const std::string diff =
-      diff_buffers(io, uses_out ? out : work, comm);
+      diff_buffers(io, uses_out ? out : work, comm,
+                   dead_local.empty() ? nullptr : &dead_local);
   if (!diff.empty()) return diff;
   return std::nullopt;
 }
@@ -682,6 +829,9 @@ Report run_matrix(const std::vector<CaseConfig>& cases,
     }
     for (const RunSpec& spec : specs) {
       ++report.runs;
+      if (options.on_run) {
+        options.on_run(repro_string(config, spec, options.fault));
+      }
       auto mismatch = run_case(config, spec, options.fault);
       if (!mismatch) continue;
       CaseConfig reported = config;

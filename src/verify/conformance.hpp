@@ -62,13 +62,25 @@ enum class Fault {
   /// Gather whose root assumes wildcard-source arrivals come in rank order —
   /// true under the stable schedule, false under perturbation.
   kGatherArrivalOrder,
+  /// Runs a chaos case with the reliability protocol DISABLED: the seed's
+  /// perfect-delivery protocols meet a lossy fabric. The chaos classifier
+  /// must catch the result (corrupted payloads delivered as success, hangs,
+  /// one-sided errors) — proving it can see a protocol that does not
+  /// retransmit. Chaos runs only; ignored without a chaos class.
+  kNoRetransmit,
 };
+
+/// Fault-schedule intensity class for chaos runs. kSoft draws drop/corrupt/
+/// delay probabilities and one link outage from chaos_seed; kKill adds a
+/// permanent rank death. kOff = a plain conformance run (the default).
+enum class ChaosClass { kOff, kSoft, kKill };
 
 const char* engine_name(EngineKind engine);
 const char* collective_name(Collective collective);
 const char* comm_name(CommKind comm);
 const char* tree_name(TreeChoice tree);
 const char* fault_name(Fault fault);
+const char* chaos_name(ChaosClass chaos);
 
 /// One cell of the conformance matrix, engine-agnostic.
 struct CaseConfig {
@@ -94,10 +106,19 @@ struct CaseConfig {
 /// One schedule of one case. perturb_seed 0 = the default stable schedule
 /// (jitter is then ignored); any other seed enables sim::PerturbConfig with
 /// that seed. ThreadEngine runs ignore both (its nondeterminism is real).
+///
+/// chaos != kOff turns the run into a chaos-conformance run (SimEngine
+/// only): the fault schedule derived from (chaos, chaos_seed) is injected
+/// into the fabric, the fault-tolerant reliability protocol is enabled
+/// (unless Fault::kNoRetransmit), and the acceptance criterion widens from
+/// "byte-exact" to "byte-exact OR one consistent error code on every live
+/// rank before the watchdog" (see run_case).
 struct RunSpec {
   EngineKind engine = EngineKind::kSim;
   std::uint64_t perturb_seed = 0;
   TimeNs jitter = 0;
+  ChaosClass chaos = ChaosClass::kOff;
+  std::uint64_t chaos_seed = 0;
 };
 
 /// Members of the case's communicator as global ranks of `world`.
@@ -148,6 +169,10 @@ struct MatrixOptions {
   Fault fault = Fault::kNone;
   /// Progress/failure sink (e.g. stderr); null = silent.
   std::function<void(const std::string&)> log;
+  /// Called with the repro line of every run just before it starts — the
+  /// driver's wall-clock watchdog publishes this so a hung run can still be
+  /// reported with an exact reproducer.
+  std::function<void(const std::string&)> on_run;
 };
 
 /// The full conformance matrix: every collective × style × personality ×

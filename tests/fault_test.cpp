@@ -1,0 +1,218 @@
+// Tests of the deterministic fault-injection layer (net::FaultInjector +
+// Fabric::transfer_tagged): replayability from a single seed, independence
+// from virtual time and decision order for the probabilistic faults, outage
+// and death windows, and the disabled-plan passthrough.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.hpp"
+#include "src/net/fault.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace adapt {
+namespace {
+
+using net::FaultInjector;
+using net::FaultKey;
+using net::FaultPlan;
+using net::TransferFate;
+
+FaultPlan lossy_plan() {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop = 0.3;
+  plan.corrupt = 0.2;
+  plan.max_delay = microseconds(5);
+  return plan;
+}
+
+TEST(FaultInjector, DisabledPlanIsEnabledFalse) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  EXPECT_TRUE(lossy_plan().enabled());
+  FaultPlan death_only;
+  death_only.deaths.push_back({0, 0});
+  EXPECT_TRUE(death_only.enabled());
+}
+
+TEST(FaultInjector, FateIsPureInTheKey) {
+  const FaultInjector a(lossy_plan());
+  const FaultInjector b(lossy_plan());
+  // Same key → same fate, regardless of injector instance, query order, or
+  // the virtual time of the probabilistic decision.
+  for (std::uint64_t seq = 1; seq <= 200; ++seq) {
+    const FaultKey key{/*src=*/3, /*dst=*/5, seq, /*attempt=*/0, /*kind=*/1};
+    const TransferFate fa = a.decide(key, {}, /*now=*/0);
+    const TransferFate fb = b.decide(key, {}, /*now=*/seconds(99));
+    EXPECT_EQ(fa.delivered, fb.delivered);
+    EXPECT_EQ(fa.corrupted, fb.corrupted);
+    EXPECT_EQ(fa.delay, fb.delay);
+    EXPECT_EQ(fa.salt, fb.salt);
+  }
+  // Interleaving unrelated decisions must not shift the stream either.
+  const FaultInjector c(lossy_plan());
+  for (std::uint64_t seq = 1; seq <= 50; ++seq) {
+    c.decide(FaultKey{0, 1, seq, 0, 0}, {}, 0);
+  }
+  const FaultKey probe{3, 5, 7, 0, 1};
+  const TransferFate after_noise = c.decide(probe, {}, 0);
+  const TransferFate fresh = a.decide(probe, {}, 0);
+  EXPECT_EQ(after_noise.delivered, fresh.delivered);
+  EXPECT_EQ(after_noise.corrupted, fresh.corrupted);
+}
+
+TEST(FaultInjector, AttemptAndKindRollIndependentDice) {
+  const FaultInjector inj(lossy_plan());
+  // Across many sequence numbers, a retransmit (attempt 1) must not share
+  // the first attempt's fate wholesale — otherwise retransmitting a dropped
+  // frame could never succeed.
+  int differs = 0;
+  for (std::uint64_t seq = 1; seq <= 300; ++seq) {
+    const auto f0 = inj.decide(FaultKey{0, 1, seq, 0, 0}, {}, 0);
+    const auto f1 = inj.decide(FaultKey{0, 1, seq, 1, 0}, {}, 0);
+    if (f0.delivered != f1.delivered) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, DropAndCorruptRatesAreRoughlyHonoured) {
+  const FaultInjector inj(lossy_plan());
+  int drops = 0;
+  int corrupts = 0;
+  const int n = 4000;
+  for (int seq = 1; seq <= n; ++seq) {
+    const auto fate = inj.decide(
+        FaultKey{0, 1, static_cast<std::uint64_t>(seq), 0, 0}, {}, 0);
+    if (!fate.delivered) ++drops;
+    if (fate.corrupted) ++corrupts;
+    EXPECT_GE(fate.delay, 0);
+    EXPECT_LE(fate.delay, microseconds(5));
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.3, 0.05);
+  // Corruption is drawn only for delivered transmissions (a dropped frame
+  // has no bytes to corrupt), so its unconditional rate is corrupt × (1 −
+  // drop); compare the conditional rate instead.
+  EXPECT_NEAR(static_cast<double>(corrupts) / (n - drops), 0.2, 0.05);
+  EXPECT_EQ(inj.decisions(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(inj.drops(), static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultInjector, OutageWindowDropsThePairBothWays) {
+  FaultPlan plan;  // no probabilistic faults: isolate the window logic
+  plan.outages.push_back(
+      {/*a=*/2, /*b=*/4, /*link=*/-1, milliseconds(1), milliseconds(2)});
+  const FaultInjector inj(plan);
+  const FaultKey fwd{2, 4, 1, 0, 0};
+  const FaultKey rev{4, 2, 1, 0, 0};
+  const FaultKey other{2, 3, 1, 0, 0};
+  EXPECT_TRUE(inj.decide(fwd, {}, 0).delivered) << "before the window";
+  EXPECT_FALSE(inj.decide(fwd, {}, milliseconds(1)).delivered);
+  EXPECT_FALSE(inj.decide(rev, {}, milliseconds(1.5)).delivered);
+  EXPECT_TRUE(inj.decide(other, {}, milliseconds(1.5)).delivered);
+  EXPECT_TRUE(inj.decide(fwd, {}, milliseconds(2)).delivered)
+      << "until is exclusive";
+}
+
+TEST(FaultInjector, LinkOutageDropsOnlyRoutesCrossingTheLink) {
+  FaultPlan plan;
+  plan.outages.push_back(
+      {/*a=*/-1, /*b=*/-1, /*link=*/7, 0, milliseconds(1)});
+  const FaultInjector inj(plan);
+  const FaultKey key{0, 1, 1, 0, 0};
+  EXPECT_FALSE(inj.decide(key, {3, 7}, 0).delivered);
+  EXPECT_TRUE(inj.decide(key, {3, 8}, 0).delivered);
+  EXPECT_TRUE(inj.decide(key, {}, 0).delivered);
+  EXPECT_TRUE(inj.decide(key, {3, 7}, milliseconds(1)).delivered);
+}
+
+TEST(FaultInjector, DeathSilencesTheRankPermanently) {
+  FaultPlan plan;
+  plan.deaths.push_back({/*rank=*/3, milliseconds(1)});
+  const FaultInjector inj(plan);
+  EXPECT_FALSE(inj.dead(3, 0));
+  EXPECT_TRUE(inj.dead(3, milliseconds(1)));
+  EXPECT_TRUE(inj.dead(3, seconds(10)));
+  EXPECT_FALSE(inj.dead(2, seconds(10)));
+  // Nothing to or from the dead rank is delivered after `at`.
+  EXPECT_TRUE(inj.decide(FaultKey{3, 0, 1, 0, 0}, {}, 0).delivered);
+  EXPECT_FALSE(inj.decide(FaultKey{3, 0, 1, 0, 0}, {}, milliseconds(1)).delivered);
+  EXPECT_FALSE(inj.decide(FaultKey{0, 3, 1, 0, 0}, {}, milliseconds(2)).delivered);
+  EXPECT_TRUE(inj.decide(FaultKey{0, 2, 1, 0, 0}, {}, milliseconds(2)).delivered);
+}
+
+// ------------------------------------------------------------- the fabric ---
+
+TEST(Fabric, TransferTaggedWithoutInjectorIsPerfect) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim);
+  const net::LinkId lane = fabric.add_link(/*capacity=*/10.0);
+  net::Route route;
+  route.links = {lane};
+  route.per_flow_cap = 10.0;
+  route.alpha = 100;
+
+  TransferFate seen;
+  bool done = false;
+  fabric.transfer_tagged(route, 1000, FaultKey{0, 1, 1, 0, 0},
+                         [&](const TransferFate& fate) {
+                           seen = fate;
+                           done = true;
+                         });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(seen.delivered);
+  EXPECT_FALSE(seen.corrupted);
+  EXPECT_EQ(seen.delay, 0);
+}
+
+TEST(Fabric, TransferTaggedReportsTheInjectorFate) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim);
+  const net::LinkId lane = fabric.add_link(10.0);
+  net::Route route;
+  route.links = {lane};
+  route.per_flow_cap = 10.0;
+  route.alpha = 100;
+
+  const FaultInjector inj(lossy_plan());
+  fabric.set_fault_injector(&inj);
+
+  // Find a seq the plan drops and one it delivers with delay, then check the
+  // fabric reports exactly the injector's verdicts at arrival time.
+  std::uint64_t dropped_seq = 0;
+  std::uint64_t clean_seq = 0;
+  for (std::uint64_t seq = 1; seq < 500 && !(dropped_seq && clean_seq); ++seq) {
+    const auto fate = inj.decide(FaultKey{0, 1, seq, 0, 0}, route.links, 0);
+    if (!fate.delivered && !dropped_seq) dropped_seq = seq;
+    if (fate.delivered && !fate.corrupted && !clean_seq) clean_seq = seq;
+  }
+  ASSERT_NE(dropped_seq, 0u);
+  ASSERT_NE(clean_seq, 0u);
+
+  bool clean_done = false;
+  bool dropped_done = false;
+  TimeNs clean_at = 0;
+  fabric.transfer_tagged(route, 1000, FaultKey{0, 1, clean_seq, 0, 0},
+                         [&](const TransferFate& fate) {
+                           EXPECT_TRUE(fate.delivered);
+                           clean_done = true;
+                           clean_at = sim.now();
+                         });
+  sim.run();
+  fabric.transfer_tagged(route, 1000, FaultKey{0, 1, dropped_seq, 0, 0},
+                         [&](const TransferFate& fate) {
+                           EXPECT_FALSE(fate.delivered);
+                           dropped_done = true;
+                         });
+  sim.run();
+  ASSERT_TRUE(clean_done);
+  ASSERT_TRUE(dropped_done)
+      << "dropped transfers still complete (lost at the far end)";
+  const auto clean_fate =
+      inj.decide(FaultKey{0, 1, clean_seq, 0, 0}, route.links, 0);
+  // alpha + injected delay + 1000B / 10B-per-ns.
+  EXPECT_EQ(clean_at, 100 + clean_fate.delay + 100);
+}
+
+}  // namespace
+}  // namespace adapt

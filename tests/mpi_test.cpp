@@ -346,5 +346,117 @@ TEST(Comm, RejectsDuplicates) {
   EXPECT_THROW(Comm({1, 2, 1}), Error);
 }
 
+// --------------------------------------------- argument validation ---
+
+TEST(Validation, OutOfRangeRankFailsTheRequest) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() != 0) co_return;
+    std::byte buf[8];
+    auto too_big = ctx.isend(7, 1, ConstView{buf, 8});
+    EXPECT_TRUE(too_big->complete());
+    EXPECT_TRUE(too_big->failed());
+    EXPECT_EQ(too_big->error(), ErrCode::kErrRank);
+    auto negative = ctx.irecv(-2, 1, MutView{buf, 8});
+    EXPECT_EQ(negative->error(), ErrCode::kErrRank);
+    auto self = ctx.isend(0, 1, ConstView{buf, 8});
+    EXPECT_EQ(self->error(), ErrCode::kErrRank);
+    // Wildcard receives stay legal.
+    auto wild = ctx.irecv(kAnyRank, 1, MutView{buf, 8});
+    EXPECT_FALSE(wild->failed());
+  };
+  engine.run(program);
+}
+
+TEST(Validation, NegativeCountFailsTheRequest) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() != 0) co_return;
+    std::byte buf[8];
+    auto req = ctx.isend(1, 1, ConstView{buf, -4});
+    EXPECT_TRUE(req->complete());
+    EXPECT_EQ(req->error(), ErrCode::kErrCount);
+    co_return;
+  };
+  engine.run(program);
+}
+
+TEST(Validation, MismatchedDatatypeExtentFailsTheRequest) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() != 0) co_return;
+    std::byte buf[10];
+    SendOpts opts;
+    opts.dtype = Datatype::kInt32;
+    auto send = ctx.endpoint().isend(1, 1, ConstView{buf, 10}, opts);
+    EXPECT_EQ(send->error(), ErrCode::kErrType);  // 10 % 4 != 0
+    auto recv = ctx.endpoint().irecv(1, 1, MutView{buf, 10}, Datatype::kInt32);
+    EXPECT_EQ(recv->error(), ErrCode::kErrType);
+    // A multiple of the extent is fine.
+    auto ok = ctx.endpoint().isend(1, 1, ConstView{buf, 8}, opts);
+    EXPECT_FALSE(ok->failed());
+    co_await wait(ctx.endpoint().irecv(1, 2, MutView{buf, 8}));
+    co_return;
+  };
+  auto peer = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() != 1) co_return;
+    std::byte buf[8];
+    co_await ctx.recv(0, 1, MutView{buf, 8});
+    co_await ctx.send(0, 2, ConstView{buf, 8});
+  };
+  auto program_all = [&](Context& ctx) -> sim::Task<> {
+    co_await program(ctx);
+    co_await peer(ctx);
+  };
+  engine.run(program_all);
+}
+
+TEST(Validation, WaitOnFailedRequestThrowsWithTheCode) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  ErrCode seen = ErrCode::kOk;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() != 0) co_return;
+    std::byte buf[8];
+    try {
+      co_await wait(ctx.isend(5, 1, ConstView{buf, 8}));
+    } catch (const FaultError& e) {
+      seen = e.code();
+    }
+  };
+  engine.run(program);
+  EXPECT_EQ(seen, ErrCode::kErrRank);
+}
+
+// -------------------------------------------------------------- poison ---
+
+TEST(Poison, FailsPendingAndFutureRequests) {
+  topo::Machine m(topo::cori(1), 2);
+  SimEngine engine(m);
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (ctx.rank() != 0) co_return;
+    std::byte buf[8];
+    auto pending = ctx.irecv(1, 9, MutView{buf, 8});
+    EXPECT_FALSE(pending->complete());
+    EXPECT_TRUE(ctx.endpoint().has_pending());
+
+    ctx.endpoint().poison(ErrCode::kErrProcFailed);
+    EXPECT_TRUE(pending->complete());
+    EXPECT_EQ(pending->error(), ErrCode::kErrProcFailed);
+
+    // The first cause wins; later requests are stillborn with it.
+    ctx.endpoint().poison(ErrCode::kErrWatchdog);
+    EXPECT_EQ(ctx.endpoint().poison_code(), ErrCode::kErrProcFailed);
+    auto later = ctx.isend(1, 1, ConstView{buf, 8});
+    EXPECT_TRUE(later->complete());
+    EXPECT_EQ(later->error(), ErrCode::kErrProcFailed);
+    co_return;
+  };
+  engine.run(program);
+}
+
 }  // namespace
 }  // namespace adapt::mpi

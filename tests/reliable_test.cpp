@@ -1,0 +1,277 @@
+// Unit tests of the retransmit machinery (mpi::ReliableChannel), driven by a
+// scripted lossy wire on a bare simulator — no engine, no fabric — plus
+// engine-level checks that retry exhaustion surfaces as error codes on BOTH
+// endpoints of a partitioned send/recv.
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mpi/errors.hpp"
+#include "src/mpi/p2p.hpp"
+#include "src/mpi/reliable.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt {
+namespace {
+
+using mpi::ErrCode;
+using mpi::Frame;
+using mpi::ReliableChannel;
+using mpi::WireFrame;
+
+/// Two channels joined by a scripted wire: tests decide per wire frame
+/// whether it is dropped or corrupted en route.
+class WirePair {
+ public:
+  WirePair() {
+    config_.ack_timeout = microseconds(10);
+    config_.per_byte = 0;
+    config_.backoff = 2.0;
+    config_.max_retries = 3;
+    for (Rank r = 0; r < 2; ++r) chan_[r] = make(r);
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  ReliableChannel& chan(Rank r) {
+    return *chan_[static_cast<std::size_t>(r)];
+  }
+  const mpi::ReliabilityConfig& config() const { return config_; }
+
+  /// Scripted fault hooks, keyed on the full wire identity.
+  std::function<bool(const WireFrame&)> drop;
+  std::function<bool(const WireFrame&)> corrupt;
+
+  std::vector<std::pair<Rank, Frame>> delivered[2];
+  std::vector<ErrCode> give_ups[2];
+
+ private:
+  std::unique_ptr<ReliableChannel> make(Rank self) {
+    const std::size_t si = static_cast<std::size_t>(self);
+    return std::make_unique<ReliableChannel>(
+        self, config_,
+        [this](const WireFrame& w) { send(w); },
+        [this](TimeNs delay, std::function<void()> fn) {
+          sim_.after(delay, std::move(fn));
+        },
+        [this, si](Rank src, const Frame& frame) {
+          delivered[si].push_back({src, frame});
+        },
+        [this, si](Rank /*peer*/, const Frame&, ErrCode code) {
+          give_ups[si].push_back(code);
+        });
+  }
+
+  void send(const WireFrame& w) {
+    if (drop && drop(w)) return;
+    WireFrame copy = w;
+    if (corrupt && corrupt(w)) copy.corrupted = true;
+    sim_.after(/*latency=*/100, [this, copy] {
+      chan_[static_cast<std::size_t>(copy.dst)]->on_wire(copy);
+    });
+  }
+
+  sim::Simulator sim_;
+  mpi::ReliabilityConfig config_;
+  std::unique_ptr<ReliableChannel> chan_[2];
+};
+
+Frame eager_frame(Bytes bytes) {
+  Frame frame;
+  frame.kind = Frame::Kind::kEager;
+  frame.wire_bytes = bytes;
+  return frame;
+}
+
+TEST(ReliableChannel, DeliversAndAcksOnCleanWire) {
+  WirePair net;
+  bool acked = false;
+  net.chan(0).submit(1, eager_frame(64), [&] { acked = true; });
+  net.sim().run();
+  EXPECT_TRUE(acked);
+  ASSERT_EQ(net.delivered[1].size(), 1u);
+  EXPECT_EQ(net.delivered[1][0].first, 0);
+  EXPECT_EQ(net.chan(0).stats().retransmits, 0u);
+  EXPECT_EQ(net.chan(0).outstanding(), 0);
+}
+
+TEST(ReliableChannel, RetransmitHealsDroppedData) {
+  WirePair net;
+  net.drop = [](const WireFrame& w) { return !w.is_ack && w.attempt == 0; };
+  bool acked = false;
+  net.chan(0).submit(1, eager_frame(64), [&] { acked = true; });
+  net.sim().run();
+  EXPECT_TRUE(acked);
+  ASSERT_EQ(net.delivered[1].size(), 1u) << "delivered exactly once";
+  EXPECT_EQ(net.chan(0).stats().retransmits, 1u);
+  EXPECT_TRUE(net.give_ups[0].empty());
+}
+
+TEST(ReliableChannel, DuplicateFromLostAckSuppressed) {
+  WirePair net;
+  // The data frame arrives; its first ack is lost, so the sender
+  // retransmits and the receiver sees a duplicate. It must re-ack without
+  // re-delivering.
+  int acks_dropped = 0;
+  net.drop = [&](const WireFrame& w) {
+    if (w.is_ack && acks_dropped == 0) {
+      ++acks_dropped;
+      return true;
+    }
+    return false;
+  };
+  bool acked = false;
+  net.chan(0).submit(1, eager_frame(64), [&] { acked = true; });
+  net.sim().run();
+  EXPECT_TRUE(acked) << "the re-acked duplicate completes the sender";
+  ASSERT_EQ(net.delivered[1].size(), 1u) << "duplicate must not re-deliver";
+  EXPECT_GE(net.chan(1).stats().duplicates, 1u);
+  EXPECT_EQ(net.chan(0).stats().retransmits, 1u);
+}
+
+TEST(ReliableChannel, StaleAndUnknownAcksIgnored) {
+  WirePair net;
+  bool acked = false;
+  net.chan(0).submit(1, eager_frame(64), [&] { acked = true; });
+  net.sim().run();
+  ASSERT_TRUE(acked);
+
+  // An ack for a sequence number that was never outstanding, and a repeat
+  // of the ack that already completed seq 1: both must be counted and
+  // otherwise ignored.
+  WireFrame unknown;
+  unknown.src = 1;
+  unknown.dst = 0;
+  unknown.is_ack = true;
+  unknown.seq = 99;
+  net.chan(0).on_wire(unknown);
+  WireFrame repeat = unknown;
+  repeat.seq = 1;
+  net.chan(0).on_wire(repeat);
+  EXPECT_EQ(net.chan(0).stats().stale_acks, 2u);
+  EXPECT_EQ(net.chan(0).outstanding(), 0);
+  EXPECT_TRUE(net.give_ups[0].empty());
+}
+
+TEST(ReliableChannel, CorruptionDiscardedThenHealedByRetransmit) {
+  WirePair net;
+  net.corrupt = [](const WireFrame& w) { return !w.is_ack && w.attempt == 0; };
+  bool acked = false;
+  net.chan(0).submit(1, eager_frame(64), [&] { acked = true; });
+  net.sim().run();
+  EXPECT_TRUE(acked);
+  ASSERT_EQ(net.delivered[1].size(), 1u);
+  EXPECT_EQ(net.chan(1).stats().corrupt_discards, 1u);
+  EXPECT_EQ(net.chan(0).stats().retransmits, 1u);
+}
+
+TEST(ReliableChannel, RetryExhaustionFailsTheFrame) {
+  WirePair net;
+  net.drop = [](const WireFrame& w) { return !w.is_ack; };  // total blackout
+  bool acked = false;
+  ErrCode failed = ErrCode::kOk;
+  net.chan(0).submit(
+      1, eager_frame(64), [&] { acked = true; },
+      [&](ErrCode code) { failed = code; });
+  net.sim().run();
+  EXPECT_FALSE(acked);
+  EXPECT_EQ(failed, ErrCode::kErrRetryExhausted);
+  ASSERT_EQ(net.give_ups[0].size(), 1u);
+  EXPECT_EQ(net.give_ups[0][0], ErrCode::kErrRetryExhausted);
+  EXPECT_EQ(net.chan(0).outstanding(), 0);
+  EXPECT_TRUE(net.delivered[1].empty());
+  // max_retries transmissions beyond the first.
+  EXPECT_EQ(net.chan(0).stats().retransmits,
+            static_cast<std::uint64_t>(net.config().max_retries));
+}
+
+TEST(ReliableChannel, BackoffSpacesRetransmits) {
+  WirePair net;
+  std::vector<TimeNs> attempts;
+  net.drop = [&](const WireFrame& w) {
+    if (!w.is_ack) attempts.push_back(net.sim().now());
+    return !w.is_ack;
+  };
+  net.chan(0).submit(1, eager_frame(0), nullptr, [](ErrCode) {});
+  net.sim().run();
+  ASSERT_EQ(attempts.size(), 4u);  // original + 3 retries
+  // Exponential backoff: each gap doubles (ack_timeout * backoff^attempt).
+  const TimeNs g1 = attempts[1] - attempts[0];
+  const TimeNs g2 = attempts[2] - attempts[1];
+  const TimeNs g3 = attempts[3] - attempts[2];
+  EXPECT_EQ(g2, 2 * g1);
+  EXPECT_EQ(g3, 2 * g2);
+}
+
+// ---------------------------------------------------------- engine level ---
+
+/// An outage between ranks 0 and 1 that outlasts the data frame's whole
+/// retry budget (give-up lands at ~51ms) but not the abort flood sent right
+/// after: the failure must surface as an error code on BOTH endpoints — the
+/// sender via give-up, the receiver via the abort flood — never as a hang.
+TEST(ReliableEngine, RetryExhaustionSurfacesOnBothEndpoints) {
+  const topo::Machine machine(topo::cori(1), 2);
+  runtime::SimEngineOptions options;
+  options.faults.outages.push_back(
+      {/*a=*/0, /*b=*/1, /*link=*/-1, /*from=*/0, /*until=*/milliseconds(30)});
+  options.reliability = mpi::ReliabilityConfig{};
+  runtime::SimEngine engine(machine, options);
+
+  std::vector<ErrCode> codes(2, ErrCode::kOk);
+  const auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    std::vector<std::byte> buf(1024);
+    try {
+      if (ctx.rank() == 0) {
+        co_await ctx.send(1, /*tag=*/7,
+                          mpi::ConstView{buf.data(), (Bytes)buf.size()});
+      } else {
+        co_await ctx.recv(0, /*tag=*/7,
+                          mpi::MutView{buf.data(), (Bytes)buf.size()});
+      }
+    } catch (const mpi::FaultError& e) {
+      codes[static_cast<std::size_t>(ctx.rank())] = e.code();
+    }
+  };
+  engine.run(program);
+
+  EXPECT_EQ(codes[0], ErrCode::kErrRetryExhausted) << "sender-side give-up";
+  EXPECT_EQ(codes[1], ErrCode::kErrProcFailed)
+      << "receiver learns through the abort flood";
+  EXPECT_TRUE(engine.endpoint(1).poisoned());
+}
+
+/// Same outage, rendezvous-sized payload: the RTS never gets through, the
+/// sender's give-up escalates job-wide, and the posted receive fails too.
+TEST(ReliableEngine, RendezvousPartitionFailsBothRequests) {
+  const topo::Machine machine(topo::cori(1), 2);
+  runtime::SimEngineOptions options;
+  options.faults.outages.push_back(
+      {/*a=*/0, /*b=*/1, /*link=*/-1, /*from=*/0, /*until=*/milliseconds(30)});
+  options.reliability = mpi::ReliabilityConfig{};
+  runtime::SimEngine engine(machine, options);
+
+  const Bytes big = kib(256);  // above the eager threshold
+  std::vector<ErrCode> codes(2, ErrCode::kOk);
+  const auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    std::vector<std::byte> buf(static_cast<std::size_t>(big));
+    try {
+      if (ctx.rank() == 0) {
+        co_await ctx.send(1, /*tag=*/9, mpi::ConstView{buf.data(), big});
+      } else {
+        co_await ctx.recv(0, /*tag=*/9, mpi::MutView{buf.data(), big});
+      }
+    } catch (const mpi::FaultError& e) {
+      codes[static_cast<std::size_t>(ctx.rank())] = e.code();
+    }
+  };
+  engine.run(program);
+
+  EXPECT_EQ(codes[0], ErrCode::kErrRetryExhausted);
+  EXPECT_EQ(codes[1], ErrCode::kErrProcFailed);
+}
+
+}  // namespace
+}  // namespace adapt

@@ -1,4 +1,5 @@
-// Standalone conformance driver (registered with ctest as `verify_conformance`).
+// Standalone conformance driver (registered with ctest as
+// `verify_conformance`, chaos mode as `verify_chaos`).
 //
 // Default run, in order:
 //   1. the full matrix — every collective × style × library × datatype/op ×
@@ -10,11 +11,29 @@
 //      failure with a reproducer seed, proving the perturbation matrix
 //      catches what it claims to catch.
 //
+// --chaos appends (and --chaos-only substitutes) the chaos matrix: every
+// case re-run under seeded fault schedules (drops, corruption, delay, link
+// outages, rank deaths) with the fault-tolerant runtime enabled, classified
+// by run_case's chaos rules (byte-exact OR one consistent error code on
+// every live rank). Chaos mode carries its own self-test: the same fault
+// schedules pointed at the seed's non-retransmitting protocols MUST be
+// caught by the classifier.
+//
+// A wall-clock watchdog guards every run: if a single case hangs the
+// process longer than --watchdog seconds, the driver prints the exact repro
+// line of the stuck run and exits 3 instead of hanging CI.
+//
 // A reported failure line is replayable:  verify_conformance --repro '<line>'.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 
+#include "src/verify/chaos.hpp"
 #include "src/verify/conformance.hpp"
 
 namespace {
@@ -26,9 +45,57 @@ int usage() {
   std::cerr
       << "usage: verify_conformance [--seeds=K] [--jitter=NS] [--no-thread]\n"
          "                          [--no-shrink] [--no-selftest]\n"
+         "                          [--chaos] [--chaos-only]\n"
+         "                          [--soft-seeds=K] [--kill-seeds=K]\n"
+         "                          [--watchdog=SECONDS]  (0 disables)\n"
          "                          [--repro '<failure line>']\n";
   return 2;
 }
+
+/// Wall-clock deadman switch: every run publishes its repro line before it
+/// starts; if no run finishes for `limit` seconds the watchdog prints that
+/// line and hard-exits. This turns an engine deadlock (a bug this PR's
+/// virtual-time watchdogs are supposed to make impossible) into a failed,
+/// replayable ctest run instead of a CI timeout with no information.
+class Watchdog {
+ public:
+  explicit Watchdog(long limit_seconds) : limit_(limit_seconds) {
+    if (limit_ > 0) thread_ = std::thread([this] { loop(); });
+  }
+  ~Watchdog() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void tick(const std::string& repro) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = repro;
+    last_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  void loop() {
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto stuck = std::chrono::steady_clock::now() - last_;
+      if (stuck > std::chrono::seconds(limit_)) {
+        std::cerr << "WATCHDOG: a run exceeded " << limit_
+                  << "s of wall clock; likely deadlocked.\n  repro: "
+                  << (current_.empty() ? "<none started>" : current_) << "\n";
+        std::_Exit(3);
+      }
+    }
+  }
+
+  const long limit_;
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::string current_;
+  std::chrono::steady_clock::time_point last_ =
+      std::chrono::steady_clock::now();
+  std::thread thread_;
+};
 
 int replay(const std::string& line) {
   CaseConfig config;
@@ -49,7 +116,7 @@ int replay(const std::string& line) {
 
 /// The seeded-fault self-test: the faulty gather must slip through the stable
 /// schedule's rank-order arrivals but be caught by some perturbation seed.
-bool selftest(int seeds, TimeNs jitter) {
+bool selftest(int seeds, TimeNs jitter, Watchdog& watchdog) {
   CaseConfig config;
   config.collective = Collective::kGather;
   config.world = 12;
@@ -62,6 +129,7 @@ bool selftest(int seeds, TimeNs jitter) {
   options.max_jitter = jitter;
   options.thread_engine = false;  // keep the self-test deterministic
   options.fault = Fault::kGatherArrivalOrder;
+  options.on_run = [&](const std::string& repro) { watchdog.tick(repro); };
   Report report = run_matrix({config}, options);
   if (report.ok()) {
     std::cout << "SELF-TEST FAILED: no perturbation seed caught the seeded "
@@ -77,6 +145,45 @@ bool selftest(int seeds, TimeNs jitter) {
   return true;
 }
 
+/// The chaos self-test: the same fault schedules, but with the reliability
+/// protocol disabled (Fault::kNoRetransmit) — the seed's perfect-delivery
+/// protocols meet a lossy fabric. The chaos classifier must report at least
+/// one failure (hung ranks, one-sided errors, or corrupted payloads
+/// delivered as success); if it stays green it cannot be trusted to certify
+/// the fault-tolerant runtime either.
+bool chaos_selftest(int soft_seeds, Watchdog& watchdog) {
+  CaseConfig config;
+  config.collective = Collective::kBcast;
+  config.style = coll::Style::kAdapt;
+  config.world = 8;
+  config.comm = CommKind::kWorld;
+  config.root = 1;
+  config.bytes = 3000;
+  config.segment = 256;
+  config.data_seed = 77;
+
+  ChaosOptions options;
+  options.soft_seeds = std::max(3, soft_seeds);
+  options.kill_seeds = 0;
+  options.perturb = false;
+  options.shrink = false;
+  options.fault = Fault::kNoRetransmit;
+  options.on_run = [&](const std::string& repro) { watchdog.tick(repro); };
+  Report report = run_chaos_matrix({config}, options);
+  if (report.ok()) {
+    std::cout << "CHAOS SELF-TEST FAILED: no fault schedule caught the "
+                 "non-retransmitting protocol ("
+              << report.runs << " runs)\n";
+    return false;
+  }
+  const Failure& failure = report.failures.front();
+  std::cout << "chaos self-test: classifier caught the non-retransmitting "
+               "protocol under fault seed "
+            << failure.spec.chaos_seed << "\n  repro: " << failure.repro
+            << "\n  " << failure.detail << "\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +192,11 @@ int main(int argc, char** argv) {
   bool thread_engine = true;
   bool shrink = true;
   bool run_selftest = true;
+  bool chaos = false;
+  bool chaos_only = false;
+  int soft_seeds = 6;
+  int kill_seeds = 4;
+  long watchdog_seconds = 120;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,6 +210,16 @@ int main(int argc, char** argv) {
       shrink = false;
     } else if (arg == "--no-selftest") {
       run_selftest = false;
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--chaos-only") {
+      chaos = chaos_only = true;
+    } else if (arg.rfind("--soft-seeds=", 0) == 0) {
+      soft_seeds = std::stoi(arg.substr(13));
+    } else if (arg.rfind("--kill-seeds=", 0) == 0) {
+      kill_seeds = std::stoi(arg.substr(13));
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      watchdog_seconds = std::stol(arg.substr(11));
     } else if (arg == "--repro" && i + 1 < argc) {
       return replay(argv[++i]);
     } else {
@@ -105,30 +227,59 @@ int main(int argc, char** argv) {
     }
   }
 
-  MatrixOptions options;
-  options.sim_seeds = seeds;
-  options.max_jitter = jitter;
-  options.thread_engine = thread_engine;
-  options.shrink = shrink;
-  options.log = [](const std::string& line) { std::cerr << line << "\n"; };
+  Watchdog watchdog(watchdog_seconds);
+  const auto log = [](const std::string& line) { std::cerr << line << "\n"; };
+  const auto on_run = [&](const std::string& repro) { watchdog.tick(repro); };
 
-  const std::vector<CaseConfig> cases = full_matrix();
-  std::cout << "conformance matrix: " << cases.size() << " cases × (1 stable + "
-            << seeds << " perturbed" << (thread_engine ? " + 1 thread" : "")
-            << ") runs\n";
-  const Report report = run_matrix(cases, options);
-  std::cout << report.summary() << "\n";
-  if (!report.ok()) {
-    std::cout << "replay any line with: verify_conformance --repro '<line>'\n";
-    return 1;
+  if (!chaos_only) {
+    MatrixOptions options;
+    options.sim_seeds = seeds;
+    options.max_jitter = jitter;
+    options.thread_engine = thread_engine;
+    options.shrink = shrink;
+    options.log = log;
+    options.on_run = on_run;
+
+    const std::vector<CaseConfig> cases = full_matrix();
+    std::cout << "conformance matrix: " << cases.size()
+              << " cases × (1 stable + " << seeds << " perturbed"
+              << (thread_engine ? " + 1 thread" : "") << ") runs\n";
+    const Report report = run_matrix(cases, options);
+    std::cout << report.summary() << "\n";
+    if (!report.ok()) {
+      std::cout << "replay any line with: verify_conformance --repro '<line>'\n";
+      return 1;
+    }
+    if (run_selftest && !selftest(seeds, jitter, watchdog)) return 1;
   }
 
-  if (run_selftest && !selftest(seeds, jitter)) return 1;
+  if (chaos) {
+    ChaosOptions options;
+    options.soft_seeds = soft_seeds;
+    options.kill_seeds = kill_seeds;
+    options.shrink = shrink;
+    options.log = log;
+    options.on_run = on_run;
+
+    const std::vector<CaseConfig> cases = chaos_matrix();
+    std::cout << "chaos matrix: " << cases.size() << " cases × (" << soft_seeds
+              << " soft + " << kill_seeds << " kill) fault schedules × "
+              << "(stable + perturbed) runs\n";
+    const Report report = run_chaos_matrix(cases, options);
+    std::cout << report.summary() << "\n";
+    if (!report.ok()) {
+      std::cout << "replay any line with: verify_conformance --repro '<line>'\n";
+      return 1;
+    }
+    if (run_selftest && !chaos_selftest(soft_seeds, watchdog)) return 1;
+  }
 
   std::cout << "OK\n";
   return 0;
 }
 
-// The self-test's fault lives in src/verify/faulty.cpp; this deliberate
-// selftest wiring keeps the ctest target self-certifying: a green run proves
-// both "all collectives conform" and "the harness can actually see a bug".
+// The self-tests' faults live in src/verify/faulty.cpp (arrival order) and
+// in run_case's kNoRetransmit branch (reliability disabled under chaos);
+// this deliberate wiring keeps the ctest targets self-certifying: a green
+// run proves both "all collectives conform" and "the harness can actually
+// see a bug".
