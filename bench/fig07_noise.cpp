@@ -6,10 +6,12 @@
 // injection level — the numbers printed above the bars in Fig. 7.
 //
 //   fig07_noise [--cluster cori|stampede2|both] [--iters N] [--msg BYTES]
+//               [--json [FILE]]
 #include <iostream>
 
 #include "src/bench/cli.hpp"
 #include "src/bench/imb.hpp"
+#include "src/bench/report.hpp"
 #include "src/coll/library.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
@@ -47,7 +49,7 @@ double run_one(const topo::Machine& machine, const mpi::Comm& world,
 }
 
 void run_cluster(const std::string& cluster, int nodes, int ranks, Bytes msg,
-                 int iters) {
+                 int iters, bench::JsonReport& report) {
   const auto setup = bench::make_cluster(cluster, nodes, ranks);
   const mpi::Comm world = mpi::Comm::world(setup.ranks);
   for (const char* op : {"Broadcast", "Reduce"}) {
@@ -75,6 +77,7 @@ void run_cluster(const std::string& cluster, int nodes, int ranks, Bytes msg,
     }
     table.print(std::cout);
     std::cout << "\n";
+    report.add_table(std::string(op) + " under noise on " + cluster, table);
   }
 }
 
@@ -86,13 +89,19 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(cli.get_int("iters", 16));
   const Bytes msg = cli.get_int("msg", mib(4));
   std::cout << "== Figure 7: noise impact on broadcast/reduce ==\n\n";
+  bench::JsonReport report("fig07_noise");
+  report.set_meta("cluster", which);
+  report.set_meta("iters", iters);
+  report.set_meta("msg_bytes", msg);
   if (which == "cori" || which == "both") {
     run_cluster("cori", static_cast<int>(cli.get_int("nodes", 32)),
-                static_cast<int>(cli.get_int("ranks", 1024)), msg, iters);
+                static_cast<int>(cli.get_int("ranks", 1024)), msg, iters,
+                report);
   }
   if (which == "stampede2" || which == "both") {
     run_cluster("stampede2", static_cast<int>(cli.get_int("nodes", 32)),
-                static_cast<int>(cli.get_int("ranks", 1536)), msg, iters);
+                static_cast<int>(cli.get_int("ranks", 1536)), msg, iters,
+                report);
   }
-  return 0;
+  return bench::emit_json(cli, report) ? 0 : 1;
 }

@@ -4,11 +4,12 @@
 // ("OMPI-default-topo", which isolates the Waitall penalty: same tree, ~20%
 // slower — §5.1.2).
 //
-//   fig08_topo [--cluster cori|stampede2|both] [--iters N]
+//   fig08_topo [--cluster cori|stampede2|both] [--iters N] [--json [FILE]]
 #include <iostream>
 
 #include "src/bench/cli.hpp"
 #include "src/bench/imb.hpp"
+#include "src/bench/report.hpp"
 #include "src/coll/library.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
@@ -17,8 +18,8 @@ namespace {
 
 using namespace adapt;
 
-void run_cluster(const std::string& cluster, int nodes, int ranks,
-                 int iters) {
+void run_cluster(const std::string& cluster, int nodes, int ranks, int iters,
+                 bench::JsonReport& report) {
   const auto setup = bench::make_cluster(cluster, nodes, ranks);
   const mpi::Comm world = mpi::Comm::world(setup.ranks);
   const std::vector<Bytes> sizes = {kib(64),  kib(128), kib(256), kib(512),
@@ -59,6 +60,9 @@ void run_cluster(const std::string& cluster, int nodes, int ranks,
     }
     table.print(std::cout);
     std::cout << "\n";
+    report.add_table(std::string("Topology-aware ") + op + " time (ms) on " +
+                         cluster,
+                     table);
   }
 }
 
@@ -70,13 +74,16 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(cli.get_int("iters", 2));
   std::cout << "== Figure 8: topology-aware broadcast/reduce vs message size "
                "==\n\n";
+  bench::JsonReport report("fig08_topo");
+  report.set_meta("cluster", which);
+  report.set_meta("iters", iters);
   if (which == "cori" || which == "both") {
     run_cluster("cori", static_cast<int>(cli.get_int("nodes", 32)),
-                static_cast<int>(cli.get_int("ranks", 1024)), iters);
+                static_cast<int>(cli.get_int("ranks", 1024)), iters, report);
   }
   if (which == "stampede2" || which == "both") {
     run_cluster("stampede2", static_cast<int>(cli.get_int("nodes", 32)),
-                static_cast<int>(cli.get_int("ranks", 1536)), iters);
+                static_cast<int>(cli.get_int("ranks", 1536)), iters, report);
   }
-  return 0;
+  return bench::emit_json(cli, report) ? 0 : 1;
 }

@@ -3,11 +3,12 @@
 // library personalities relevant to each machine.
 //
 //   fig09_msgsize [--cluster cori|stampede2|both] [--iters N] [--ranks N]
-//                 [--nodes N] [--csv]
+//                 [--nodes N] [--csv] [--json [FILE]]
 #include <iostream>
 
 #include "src/bench/cli.hpp"
 #include "src/bench/imb.hpp"
+#include "src/bench/report.hpp"
 #include "src/coll/library.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
@@ -17,7 +18,7 @@ namespace {
 using namespace adapt;
 
 void run_cluster(const std::string& cluster, int nodes, int ranks, int iters,
-                 bool csv) {
+                 bool csv, bench::JsonReport& report) {
   const auto setup = bench::make_cluster(cluster, nodes, ranks);
   const mpi::Comm world = mpi::Comm::world(setup.ranks);
   const std::vector<Bytes> sizes = {kib(64),  kib(128), kib(256), kib(512),
@@ -56,6 +57,7 @@ void run_cluster(const std::string& cluster, int nodes, int ranks, int iters,
       table.print(std::cout);
     }
     std::cout << "\n";
+    report.add_table(std::string(op) + " time (ms) on " + cluster, table);
   }
 }
 
@@ -68,13 +70,18 @@ int main(int argc, char** argv) {
   const bool csv = cli.has("csv");
   std::cout << "== Figure 9: performance of broadcast/reduce vs message size "
                "==\n\n";
+  bench::JsonReport report("fig09_msgsize");
+  report.set_meta("cluster", which);
+  report.set_meta("iters", iters);
   if (which == "cori" || which == "both") {
     run_cluster("cori", static_cast<int>(cli.get_int("nodes", 32)),
-                static_cast<int>(cli.get_int("ranks", 1024)), iters, csv);
+                static_cast<int>(cli.get_int("ranks", 1024)), iters, csv,
+                report);
   }
   if (which == "stampede2" || which == "both") {
     run_cluster("stampede2", static_cast<int>(cli.get_int("nodes", 32)),
-                static_cast<int>(cli.get_int("ranks", 1536)), iters, csv);
+                static_cast<int>(cli.get_int("ranks", 1536)), iters, csv,
+                report);
   }
-  return 0;
+  return bench::emit_json(cli, report) ? 0 : 1;
 }

@@ -7,11 +7,12 @@
 // ns*(alpha+beta*m) is independent of P (§5.2.1), so its curve should be
 // flat while rank-order trees grow.
 //
-//   fig10_scaling_cpu [--iters N] [--msg BYTES]
+//   fig10_scaling_cpu [--iters N] [--msg BYTES] [--json [FILE]]
 #include <iostream>
 
 #include "src/bench/cli.hpp"
 #include "src/bench/imb.hpp"
+#include "src/bench/report.hpp"
 #include "src/coll/library.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
@@ -25,6 +26,9 @@ int main(int argc, char** argv) {
 
   std::cout << "== Figure 10: strong scalability on Cori, MSG="
             << format_bytes(msg) << " ==\n\n";
+  bench::JsonReport report("fig10_scaling_cpu");
+  report.set_meta("iters", iters);
+  report.set_meta("msg_bytes", msg);
   for (const char* op : {"Broadcast", "Reduce"}) {
     const bool is_bcast = std::string(op) == "Broadcast";
     std::cout << "Strong Scalability of " << op
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
     std::cout << "\n";
+    report.add_table(std::string(op) + " strong scaling time (ms)", table);
   }
-  return 0;
+  return bench::emit_json(cli, report) ? 0 : 1;
 }

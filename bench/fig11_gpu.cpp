@@ -3,11 +3,12 @@
 //   a) message-size sweep 1-32 MB on 8 nodes / 32 GPUs
 //   b) strong scaling at 32 MB from 1 node (4 GPUs) to 8 nodes (32 GPUs)
 //
-//   fig11_gpu [--iters N] [--nodes N]
+//   fig11_gpu [--iters N] [--nodes N] [--json [FILE]]
 #include <iostream>
 
 #include "src/bench/cli.hpp"
 #include "src/bench/imb.hpp"
+#include "src/bench/report.hpp"
 #include "src/topo/presets.hpp"
 #include "src/gpu/gpu_coll.hpp"
 #include "src/runtime/sim_engine.hpp"
@@ -46,6 +47,9 @@ int main(int argc, char** argv) {
   bench::Cli cli(argc, argv);
   const int iters = static_cast<int>(cli.get_int("iters", 3));
   const int max_nodes = static_cast<int>(cli.get_int("nodes", 8));
+  bench::JsonReport report("fig11_gpu");
+  report.set_meta("iters", iters);
+  report.set_meta("nodes", max_nodes);
 
   std::cout << "== Figure 11a: GPU broadcast/reduce vs message size on "
             << max_nodes << " nodes (" << max_nodes * 4 << " GPUs) ==\n\n";
@@ -67,6 +71,8 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
     std::cout << "\n";
+    report.add_table(std::string("GPU ") + op + " vs message size (ms)",
+                     table);
   }
 
   std::cout << "== Figure 11b: GPU strong scaling, MSG=32MB ==\n\n";
@@ -89,6 +95,8 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
     std::cout << "\n";
+    report.add_table(std::string("GPU ") + op + " strong scaling (ms)",
+                     table);
   }
-  return 0;
+  return bench::emit_json(cli, report) ? 0 : 1;
 }

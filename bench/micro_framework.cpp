@@ -8,6 +8,7 @@
 #include "src/coll/topo_tree.hpp"
 #include "src/mpi/match.hpp"
 #include "src/net/fabric.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/rng.hpp"
@@ -145,6 +146,57 @@ void BM_SimulatedBcastFaultsLossless(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedBcastFaultsLossless)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// Zero-overhead guard for the observability layer, mirroring the fault
+// guards above: with a DISABLED recorder attached the engine installs no
+// hooks at all, so the run must be indistinguishable from BM_SimulatedBcast
+// (each hot path pays exactly one null-pointer test). The enabled variant
+// bounds the full price of tracing everything.
+void BM_SimulatedBcastTraceDisabled(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;
+    options.recorder = std::make_shared<obs::Recorder>(/*enabled=*/false);
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(engine.simulator().events_processed());
+  }
+}
+BENCHMARK(BM_SimulatedBcastTraceDisabled)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedBcastTraceEnabled(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;
+    options.recorder = std::make_shared<obs::Recorder>();
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(options.recorder->event_count());
+  }
+}
+BENCHMARK(BM_SimulatedBcastTraceEnabled)
     ->Arg(64)
     ->Arg(512)
     ->Unit(benchmark::kMillisecond);

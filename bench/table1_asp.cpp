@@ -13,9 +13,11 @@
 // both of which are scale-invariant here.
 //
 //   table1_asp [--ranks 1024] [--iters 256] [--rowbytes 1048576]
+//              [--json [FILE]]
 #include <iostream>
 
 #include "src/bench/cli.hpp"
+#include "src/bench/report.hpp"
 #include "src/coll/library.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
@@ -78,5 +80,10 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper's Table 1 (256K iterations): communication 2.98 / "
                "15.26 / 1.99 / 14.18 s,\ntotal 6.20 / 18.46 / 5.21 / 17.40 s "
                "for Cray / Intel / OMPI-adapt / OMPI-tuned.\n";
-  return 0;
+  bench::JsonReport report("table1_asp");
+  report.set_meta("ranks", ranks);
+  report.set_meta("iters", iters);
+  report.set_meta("row_bytes", row_bytes);
+  report.add_table("ASP communication/total split", table);
+  return bench::emit_json(cli, report) ? 0 : 1;
 }

@@ -8,13 +8,20 @@
 //              --op bcast --min 65536 --max 4194304 --noise 5 --iters 4
 //   (single command line; wrapped here for readability)
 //   ./adaptsim --spec "nodes=4,sockets=2,cores=8,bw_node=10" --lib cray ...
+//
+// Observability: --trace=FILE writes a Chrome/Perfetto trace of the final
+// message size's run (load at ui.perfetto.dev); --metrics=FILE writes the
+// counter/histogram registry as CSV.
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/bench/cli.hpp"
 #include "src/bench/imb.hpp"
 #include "src/coll/library.hpp"
 #include "src/gpu/gpu_coll.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
 #include "src/topo/presets.hpp"
@@ -57,11 +64,20 @@ int main(int argc, char** argv) {
   std::cout << "cluster=" << spec.name << " nodes=" << spec.nodes
             << " ranks=" << ranks << " lib=" << lib_name << " op=" << op
             << " noise=" << noise_duty << "%\n\n";
+  const bool observe = cli.has("trace") || cli.has("metrics");
+  std::shared_ptr<obs::Recorder> recorder;
+  Bytes traced_msg = 0;
   Table table({"message", "avg(ms)", "min(ms)", "max(ms)"});
   for (Bytes msg = min_msg; msg <= max_msg; msg *= 2) {
+    traced_msg = msg;
     runtime::SimEngineOptions options;
     options.gpu = gpu_config;
     options.noise = noise::paper_noise(noise_duty, 0xCAFE + noise_duty);
+    if (observe) {
+      // One recorder observes one engine run; keep the final size's trace.
+      recorder = std::make_shared<obs::Recorder>();
+      options.recorder = recorder;
+    }
     runtime::SimEngine engine(machine, options);
     mpi::MutView buffer{nullptr, msg};
     auto fn = [&](runtime::Context& ctx, int) -> sim::Task<> {
@@ -84,5 +100,24 @@ int main(int argc, char** argv) {
                           {m.avg_ms(), m.min_ms(), m.max_ms()});
   }
   table.print(std::cout);
+  if (recorder) {
+    if (cli.has("trace")) {
+      const std::string path = cli.get("trace", "adaptsim.trace.json");
+      if (!obs::write_trace_file(*recorder, path)) {
+        std::cerr << "cannot write --trace file " << path << "\n";
+        return 1;
+      }
+      std::cout << "\ntrace (" << format_bytes(traced_msg)
+                << " run): " << path << "  — load at ui.perfetto.dev\n";
+    }
+    if (cli.has("metrics")) {
+      const std::string path = cli.get("metrics", "adaptsim.metrics.csv");
+      if (!obs::write_metrics_file(*recorder, path)) {
+        std::cerr << "cannot write --metrics file " << path << "\n";
+        return 1;
+      }
+      std::cout << "metrics: " << path << "\n";
+    }
+  }
   return 0;
 }

@@ -6,13 +6,22 @@
 // much each design amplifies it (§2's analysis, Fig. 7's experiment at
 // example scale).
 //
+// A second table breaks the 10%-duty injection down per style: of all the
+// CPU time the noise stole, how much was ABSORBED (fired while the main
+// thread was idle anyway, waiting on the network) versus PROPAGATED (held up
+// work the main thread wanted to run — the part that synchronisation
+// dependencies then amplify). The split comes from the obs metrics layer's
+// per-rank noise_wait_ns counter.
+//
 //   ./noise_study [--ranks 256] [--msg BYTES] [--iters 12]
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/bench/imb.hpp"
 #include "src/coll/coll.hpp"
 #include "src/coll/topo_tree.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
 #include "src/topo/presets.hpp"
@@ -41,6 +50,8 @@ int main(int argc, char** argv) {
 
   Table table({"style", "no-noise(ms)", "5%-noise(ms)", "10%-noise(ms)",
                "amplification@10%"});
+  Table absorption({"style", "injected(ms)", "propagated(ms)", "absorbed(ms)",
+                    "absorbed-share"});
   for (coll::Style style : {coll::Style::kBlocking, coll::Style::kNonblocking,
                             coll::Style::kAdapt}) {
     double results[3];
@@ -48,6 +59,13 @@ int main(int argc, char** argv) {
     for (int duty : {0, 5, 10}) {
       runtime::SimEngineOptions options;
       options.noise = noise::paper_noise(duty, 0xBEEF + duty);
+      // Observe the 10% pass: the per-rank noise_wait_ns counter separates
+      // noise that stalled pending work from noise the design absorbed.
+      std::shared_ptr<obs::Recorder> recorder;
+      if (duty == 10) {
+        recorder = std::make_shared<obs::Recorder>();
+        options.recorder = recorder;
+      }
       runtime::SimEngine engine(machine, options);
       mpi::MutView buffer{nullptr, msg};
       auto fn = [&](runtime::Context& ctx, int) -> sim::Task<> {
@@ -58,6 +76,26 @@ int main(int argc, char** argv) {
           bench::measure_throughput(engine, world, fn,
                                     {.warmup = 1, .iterations = iters})
               .avg_ms();
+      if (recorder) {
+        // Injected CPU time: duty share of every rank's virtual elapsed
+        // time (the burst model's expectation). Propagated: time the MAIN
+        // thread actually stalled behind a burst; the rest fired while the
+        // rank was waiting on the network anyway and cost nothing.
+        const double elapsed_ms = static_cast<double>(recorder->now()) * 1e-6;
+        const double injected = 0.10 * elapsed_ms * ranks;
+        double propagated = 0;
+        for (const auto& rc : recorder->metrics().ranks()) {
+          propagated += static_cast<double>(rc.noise_wait_ns) * 1e-6;
+        }
+        const double absorbed = injected - propagated;
+        char in[32], prop[32], abs_s[32], share[32];
+        std::snprintf(in, sizeof in, "%.1f", injected);
+        std::snprintf(prop, sizeof prop, "%.1f", propagated);
+        std::snprintf(abs_s, sizeof abs_s, "%.1f", absorbed);
+        std::snprintf(share, sizeof share, "%.0f%%",
+                      100.0 * absorbed / injected);
+        absorption.add_row({coll::style_name(style), in, prop, abs_s, share});
+      }
     }
     char c0[32], c1[32], c2[32], amp[32];
     std::snprintf(c0, sizeof c0, "%.3f", results[0]);
@@ -72,5 +110,16 @@ int main(int argc, char** argv) {
   std::cout << "\nAn amplification of 1x means the design only loses the CPU "
                "time the noise actually stole;\nlarger values mean "
                "synchronisation dependencies propagated the delays (§2.1).\n";
+  std::cout << "\nWhere the 10%-duty noise went (totals across all ranks):\n";
+  absorption.print(std::cout);
+  std::cout << "\nAbsorbed bursts landed while the rank's main thread had "
+               "nothing to run;\npropagated bursts delayed runnable work. "
+               "Note the inversion against the\namplification column: the "
+               "event-driven design keeps its CPU busy draining\nsmall "
+               "tasks, so more bursts hit runnable work — but each delayed "
+               "task is\ntiny and overlapped with communication, so little "
+               "of it reaches the\ncritical path. The blocking design "
+               "absorbs more locally, yet every burst\nthat does land "
+               "cascades through the synchronisation chain (§2.1).\n";
   return 0;
 }

@@ -1,0 +1,76 @@
+#include "src/bench/report.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "src/bench/cli.hpp"
+#include "src/support/json.hpp"
+
+namespace adapt::bench {
+
+void JsonReport::set_meta(const std::string& key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(key, std::move(value));
+}
+
+void JsonReport::set_meta(const std::string& key, std::int64_t value) {
+  set_meta(key, std::to_string(value));
+}
+
+void JsonReport::add_table(std::string title, const Table& table) {
+  tables_.emplace_back(std::move(title), table);
+}
+
+void JsonReport::write(std::ostream& os) const {
+  auto emit_list = [&os](const std::vector<std::string>& cells) {
+    os << '[';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << json_quote(cells[c]);
+    }
+    os << ']';
+  };
+  os << "{\"benchmark\":" << json_quote(benchmark_) << ",\"meta\":{";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if (i) os << ',';
+    os << json_quote(meta_[i].first) << ':' << json_quote(meta_[i].second);
+  }
+  os << "},\"tables\":[";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const Table& t = tables_[i].second;
+    if (i) os << ',';
+    os << "{\"title\":" << json_quote(tables_[i].first) << ",\"header\":";
+    emit_list(t.header());
+    os << ",\"rows\":[";
+    for (std::size_t r = 0; r < t.row_data().size(); ++r) {
+      if (r) os << ',';
+      emit_list(t.row_data()[r]);
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+bool emit_json(const Cli& cli, const JsonReport& report) {
+  if (!cli.has("json")) return true;
+  const std::string dest = cli.get("json", "1");
+  if (dest == "1") {
+    report.write(std::cout);
+    return true;
+  }
+  std::ofstream out(dest);
+  if (!out) {
+    std::cerr << "cannot open --json file " << dest << "\n";
+    return false;
+  }
+  report.write(out);
+  return true;
+}
+
+}  // namespace adapt::bench

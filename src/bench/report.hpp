@@ -1,0 +1,53 @@
+// Machine-readable output for the figure/table benchmarks.
+//
+// Every bench binary accepts `--json [FILE]`: it still prints its human
+// tables, then additionally dumps one JSON document (to FILE, or to stdout
+// for a bare `--json`) of the shape
+//
+//   {
+//     "benchmark": "fig09_msgsize",
+//     "meta": {"cluster": "cori", "ranks": "1024", ...},
+//     "tables": [
+//       {"title": "...", "header": [...], "rows": [[...], ...]}, ...
+//     ]
+//   }
+//
+// Cell values stay strings (exactly the cells the text table shows), so the
+// document validates against one fixed schema regardless of benchmark.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/table.hpp"
+
+namespace adapt::bench {
+
+class Cli;
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  void set_meta(const std::string& key, std::string value);
+  void set_meta(const std::string& key, std::int64_t value);
+  void add_table(std::string title, const Table& table);
+
+  void write(std::ostream& os) const;
+
+ private:
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::string>> meta_;  // insertion order
+  std::vector<std::pair<std::string, Table>> tables_;
+};
+
+/// Honors `--json [FILE]`: no-op without the flag, writes to stdout for a
+/// bare `--json`, else to FILE. Returns false (after printing an error) only
+/// when FILE cannot be opened.
+bool emit_json(const Cli& cli, const JsonReport& report);
+
+}  // namespace adapt::bench

@@ -1,6 +1,6 @@
 // Dissemination barrier (Hensgen/Finkel/Manber): ceil(log2 P) rounds of
 // zero-byte exchanges. Used by the IMB-style harness to separate iterations.
-#include "src/coll/coll.hpp"
+#include "src/coll/detail.hpp"
 #include "src/support/error.hpp"
 
 namespace adapt::coll {
@@ -14,6 +14,7 @@ sim::Task<> barrier(runtime::Context& ctx, const mpi::Comm& comm) {
   int rounds = 0;
   for (int span = 1; span < n; span *= 2) ++rounds;
   const Tag base_tag = ctx.alloc_tags(rounds);
+  detail::CollSpan coll_span(ctx, "barrier", nullptr, 0);
 
   int round = 0;
   for (int span = 1; span < n; span *= 2, ++round) {

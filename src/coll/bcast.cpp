@@ -155,6 +155,7 @@ struct AdaptBcastState {
 
   void on_recv(const std::shared_ptr<AdaptBcastState>& self, int s) {
     if (error != mpi::ErrCode::kOk) return;
+    detail::segment_event(*ctx, "seg_recv", s);
     received[static_cast<std::size_t>(s)] = 1;
     done.signal();
     post_next_recv(self);
@@ -195,6 +196,7 @@ struct AdaptBcastState {
            next_send[c] < segs.count() && sendable(c, next_send[c])) {
       const int s = next_send[c]++;
       ++inflight[c];
+      detail::segment_event(*ctx, "seg_send", s);
       auto req = ctx->isend(edges.kids_global[c], base_tag + s,
                             piece(s).as_const(),
                             opts.spaces(ctx->rank(), edges.kids_global[c]));
@@ -283,6 +285,7 @@ sim::Task<> bcast_tagged(runtime::Context& ctx, const mpi::Comm& comm,
       << "tree rooted at " << tree.root << ", bcast root " << root;
   const Edges e = detail::resolve(ctx, comm, tree);
   const Segmenter segs(buffer.size, opts.segment_size);
+  detail::CollSpan span(ctx, "bcast", style_name(style), buffer.size);
   switch (style) {
     case Style::kBlocking:
       co_await bcast_blocking(ctx, e, buffer, segs, opts, base_tag);

@@ -31,4 +31,24 @@ void apply_if_real(mpi::MutView dst, mpi::ConstView src, mpi::ReduceOp op,
   mpi::apply(op, dtype, dst.data, src.data, len);
 }
 
+CollSpan::CollSpan(runtime::Context& ctx, const char* op, const char* style,
+                   Bytes bytes)
+    : rec_(ctx.recorder()) {
+  if (!rec_) return;
+  pid_ = obs::rank_pid(ctx.rank());
+  name_ = op;
+  if (style) {
+    name_ += '/';
+    name_ += style;
+  }
+  t0_ = rec_->now();
+  bytes_ = bytes;
+}
+
+CollSpan::~CollSpan() {
+  if (!rec_) return;
+  rec_->span(pid_, obs::kTidMain, obs::Cat::kColl, std::move(name_), t0_,
+             rec_->now(), bytes_);
+}
+
 }  // namespace adapt::coll::detail

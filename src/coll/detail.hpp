@@ -1,7 +1,10 @@
 // Internal helpers shared by the collective implementations.
 #pragma once
 
+#include <string>
+
 #include "src/coll/coll.hpp"
+#include "src/obs/trace.hpp"
 
 namespace adapt::coll::detail {
 
@@ -25,5 +28,34 @@ TimeNs reduce_cost(const runtime::Context& ctx, const CollOpts& opts,
 /// synthetic payloads (the cost model is charged by the caller either way).
 void apply_if_real(mpi::MutView dst, mpi::ConstView src, mpi::ReduceOp op,
                    mpi::Datatype dtype, Bytes len);
+
+/// RAII whole-collective span on this rank's MAIN track: records
+/// "op/style" from construction to destruction (coroutine frame scope, so
+/// the span closes when the collective returns OR throws). Free when no
+/// recorder is attached.
+class CollSpan {
+ public:
+  CollSpan(runtime::Context& ctx, const char* op, const char* style,
+           Bytes bytes);
+  CollSpan(const CollSpan&) = delete;
+  CollSpan& operator=(const CollSpan&) = delete;
+  ~CollSpan();
+
+ private:
+  obs::Recorder* rec_;
+  int pid_ = 0;
+  std::string name_;
+  TimeNs t0_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// ADAPT task-segment instant ("seg_recv"/"seg_send"/"seg_ready" with the
+/// segment index) on the rank's PROGRESS track — one null test when off.
+inline void segment_event(runtime::Context& ctx, const char* what, int s) {
+  if (obs::Recorder* rec = ctx.recorder()) {
+    rec->instant(obs::rank_pid(ctx.rank()), obs::kTidProgress, obs::Cat::kTask,
+                 what, rec->now(), s);
+  }
+}
 
 }  // namespace adapt::coll::detail

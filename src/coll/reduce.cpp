@@ -177,6 +177,7 @@ struct AdaptReduceState {
   void on_recv(const std::shared_ptr<AdaptReduceState>& self, std::size_t c,
                int s, int window) {
     if (error != mpi::ErrCode::kOk) return;
+    detail::segment_event(*ctx, "seg_recv", s);
     const Bytes len = segs.length(s);
     auto fold = [self, c, s, window, len] {
       if (self->error != mpi::ErrCode::kOk) return;
@@ -203,6 +204,7 @@ struct AdaptReduceState {
   }
 
   void segment_ready(const std::shared_ptr<AdaptReduceState>& self, int s) {
+    detail::segment_event(*ctx, "seg_ready", s);
     if (edges.is_root) {
       done.signal();
       return;
@@ -217,6 +219,7 @@ struct AdaptReduceState {
       const int s = ready.front();
       ready.pop_front();
       ++inflight_up;
+      detail::segment_event(*ctx, "seg_send", s);
       auto req = ctx->isend(edges.parent_global, base_tag + s,
                             piece(s).as_const(),
                             opts.spaces(ctx->rank(), edges.parent_global));
@@ -286,6 +289,7 @@ sim::Task<> reduce_tagged(runtime::Context& ctx, const mpi::Comm& comm,
       << "tree rooted at " << tree.root << ", reduce root " << root;
   const Edges e = detail::resolve(ctx, comm, tree);
   const Segmenter segs(accum.size, opts.segment_size);
+  detail::CollSpan span(ctx, "reduce", style_name(style), accum.size);
   switch (style) {
     case Style::kBlocking:
       co_await reduce_blocking(ctx, e, accum, op, dtype, segs, opts, base_tag);

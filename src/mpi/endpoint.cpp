@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 
 namespace adapt::mpi {
@@ -70,6 +71,11 @@ RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
   auto req = std::make_shared<Request>(Request::Kind::kSend, dst, tag,
                                        data.size, &exec_);
   ++sends_;
+  if (rec_) {
+    auto& rc = rec_->metrics().rank(rank_);
+    ++rc.sends;
+    rc.send_bytes += data.size;
+  }
   exec_.charge(costs_.cpu_overhead);
   track(req);
 
@@ -107,6 +113,11 @@ RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer, Datatype dtype) {
 
   PostedRecv posted{req, buffer, src, tag};
   if (auto env = matcher_.post(posted)) {
+    if (rec_) {
+      ++rec_->metrics().counter("unexpected_hits");
+      rec_->instant(obs::rank_pid(rank_), obs::kTidProgress, obs::Cat::kP2p,
+                    "unexpected_hit", rec_->now(), env->size);
+    }
     if (env->rendezvous()) {
       // Late software match of a queued RTS: hand the receive back to the
       // transport, which runs CTS + data. No extra copy — rendezvous's point.
@@ -125,6 +136,10 @@ RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer, Datatype dtype) {
           [this, recv, captured] { finalize_recv(recv, captured); },
           copy_cost);
     }
+  } else if (rec_) {
+    rec_->metrics()
+        .histogram("posted_queue_depth")
+        .record(static_cast<std::int64_t>(matcher_.posted_count()));
   }
   return req;
 }
@@ -145,9 +160,13 @@ void Endpoint::deliver(Envelope env) {
           [this, recv = *recv, env] { finalize_recv(recv, env); },
           costs_.cpu_overhead);
     }
+  } else if (rec_) {
+    // Queued as unexpected (an eager payload or an RTS); a later irecv picks
+    // it up. Sample the queue's depth at its high-water moments.
+    rec_->metrics()
+        .histogram("unexpected_queue_depth")
+        .record(static_cast<std::int64_t>(matcher_.unexpected_count()));
   }
-  // Otherwise queued as unexpected (an eager payload or an RTS); a later
-  // irecv picks it up.
 }
 
 void Endpoint::finalize_recv(const PostedRecv& recv, const Envelope& env) {
@@ -162,6 +181,11 @@ void Endpoint::finalize_recv(const PostedRecv& recv, const Envelope& env) {
                 static_cast<std::size_t>(env.size));
   }
   ++recvs_done_;
+  if (rec_) {
+    auto& rc = rec_->metrics().rank(rank_);
+    ++rc.recvs;
+    rc.recv_bytes += env.size;
+  }
   recv.request->mark_complete(env.src, env.tag, env.size);
 }
 

@@ -24,6 +24,10 @@
 #include "src/mpi/request.hpp"
 #include "src/support/units.hpp"
 
+namespace adapt::obs {
+class Recorder;  // src/obs/trace.hpp; hooks fire only when installed
+}
+
 namespace adapt::mpi {
 
 /// Engine service: CPU scheduling for one rank, on two execution contexts.
@@ -127,6 +131,10 @@ class Endpoint {
   std::uint64_t sends_started() const { return sends_; }
   std::uint64_t recvs_completed() const { return recvs_done_; }
 
+  /// Installs (or clears) the trace/metrics recorder: per-rank send/recv
+  /// counters, match-queue depth histograms, unexpected-hit instants.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
  private:
   /// Immediately-failed request for invalid arguments or a poisoned endpoint.
   RequestPtr failed_request(Request::Kind kind, Rank peer, Tag tag,
@@ -139,6 +147,7 @@ class Endpoint {
   Transport& transport_;
   EndpointCosts costs_;
   Matcher matcher_;
+  obs::Recorder* rec_ = nullptr;
   ErrCode poisoned_ = ErrCode::kOk;
   /// Weak so completed requests die with their owners; compacted on growth.
   std::vector<std::weak_ptr<Request>> pending_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 
 namespace adapt::mpi {
@@ -56,6 +57,12 @@ void ReliableChannel::transmit(Rank peer, std::uint64_t seq) {
     Outstanding& pending = entry_it->second;
     if (pending.attempt >= config_.max_retries) {
       ++stats_.give_ups;
+      if (rec_) {
+        ++rec_->metrics().counter("give_ups");
+        rec_->instant(obs::rank_pid(self_), obs::kTidProgress,
+                      obs::Cat::kProto, "give_up", rec_->now(),
+                      static_cast<std::int64_t>(seq));
+      }
       // Detach the entry before the callbacks: they may re-enter the channel
       // (e.g. an abort flood submitting new frames to this same peer).
       Outstanding dead = std::move(pending);
@@ -66,6 +73,12 @@ void ReliableChannel::transmit(Rank peer, std::uint64_t seq) {
     }
     ++pending.attempt;
     ++stats_.retransmits;
+    if (rec_) {
+      ++rec_->metrics().counter("retransmits");
+      rec_->instant(obs::rank_pid(self_), obs::kTidProgress, obs::Cat::kProto,
+                    "retransmit", rec_->now(),
+                    static_cast<std::int64_t>(seq));
+    }
     transmit(peer, seq);
   });
 }
@@ -94,6 +107,12 @@ void ReliableChannel::on_wire(const WireFrame& wire) {
   // and let the sender's retransmit supply a clean copy.
   if (wire.corrupted) {
     ++stats_.corrupt_discards;
+    if (rec_) {
+      ++rec_->metrics().counter("corrupt_discards");
+      rec_->instant(obs::rank_pid(self_), obs::kTidProgress, obs::Cat::kProto,
+                    "corrupt_discard", rec_->now(),
+                    static_cast<std::int64_t>(wire.seq));
+    }
     return;
   }
 
@@ -110,6 +129,7 @@ void ReliableChannel::on_wire(const WireFrame& wire) {
       state.delivered_above.count(wire.seq) > 0;
   if (duplicate) {
     ++stats_.duplicates;
+    if (rec_) ++rec_->metrics().counter("duplicates");
     send_wire_(ack);  // re-ack: the original ack may have been lost
     return;
   }

@@ -29,6 +29,10 @@
 #include "src/mpi/match.hpp"
 #include "src/support/units.hpp"
 
+namespace adapt::obs {
+class Recorder;  // src/obs/trace.hpp; hooks fire only when installed
+}
+
 namespace adapt::mpi {
 
 struct ReliabilityConfig {
@@ -122,6 +126,10 @@ class ReliableChannel {
   int outstanding() const;
   const Stats& stats() const { return stats_; }
 
+  /// Installs (or clears) the trace/metrics recorder: protocol instants
+  /// (retransmits, give-ups, corrupt discards, duplicates) + counters.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
  private:
   struct Outstanding {
     Frame frame;
@@ -154,6 +162,7 @@ class ReliableChannel {
   std::uint64_t timer_gen_counter_ = 0;
   bool down_ = false;
   Stats stats_;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace adapt::mpi

@@ -52,12 +52,17 @@ void Fabric::transfer(const Route& route, Bytes bytes,
   // Fast paths that never enter bandwidth sharing.
   if (bytes == 0 || route.links.empty() ||
       policy_ == SharingPolicy::kUncontended) {
-    const TimeNs total =
-        route.alpha +
-        (bytes > 0
-             ? duration_of(static_cast<double>(bytes), route.per_flow_cap)
-             : 0);
-    sim_.after(total, std::move(on_complete));
+    const TimeNs stream =
+        bytes > 0 ? duration_of(static_cast<double>(bytes), route.per_flow_cap)
+                  : 0;
+    if (recorder_ && route.trace) {
+      recorder_->transfer_active(route.trace, sim_.now() + route.alpha,
+                                 stream);
+      recorder_->transfer_end(route.trace, sim_.now() + route.alpha + stream);
+      for (LinkId l : route.links)
+        recorder_->metrics().link_bytes(l) += bytes;
+    }
+    sim_.after(route.alpha + stream, std::move(on_complete));
     return;
   }
 
@@ -96,6 +101,9 @@ void Fabric::start_flow(const Route& route, Bytes bytes,
   f.remaining = static_cast<double>(bytes);
   f.rate = 0.0;
   f.serial_key = route.serial_key;
+  f.trace = route.trace;
+  f.bytes_total = bytes;
+  f.ideal = duration_of(static_cast<double>(bytes), route.per_flow_cap);
   f.on_complete = std::move(on_complete);
   f.active = false;
   sim_.after(alpha_remaining, [this, slot] { activate(slot); });
@@ -110,6 +118,15 @@ void Fabric::activate(int flow_index) {
   ++active_count_;
   peak_active_ = std::max<std::uint64_t>(
       peak_active_, static_cast<std::uint64_t>(active_count_));
+  if (recorder_) {
+    if (f.trace) recorder_->transfer_active(f.trace, sim_.now(), f.ideal);
+    for (LinkId l : f.links) {
+      recorder_->link_sample(
+          l, sim_.now(),
+          static_cast<std::int64_t>(
+              link_flows_[static_cast<std::size_t>(l)].size()));
+    }
+  }
   rebalance_component(f.links);
 }
 
@@ -129,6 +146,19 @@ void Fabric::finish(int flow_index) {
   f.serial_key = -1;
   const std::vector<LinkId> links = std::move(f.links);
   f.links.clear();
+  if (recorder_) {
+    if (f.trace) recorder_->transfer_end(f.trace, sim_.now());
+    for (LinkId l : links) {
+      recorder_->metrics().link_bytes(l) += f.bytes_total;
+      recorder_->link_sample(
+          l, sim_.now(),
+          static_cast<std::int64_t>(
+              link_flows_[static_cast<std::size_t>(l)].size()));
+    }
+  }
+  f.trace = 0;
+  f.bytes_total = 0;
+  f.ideal = 0;
   free_slots_.push_back(flow_index);
 
   // Hand the pair's transmit queue to the next waiting message.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/net/fault.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/units.hpp"
 
@@ -40,6 +41,9 @@ struct Route {
   /// keeping per-segment latency flat while the pipe stays busy. Queueing
   /// time counts against alpha.
   std::int64_t serial_key = -1;
+  /// Trace-record id from obs::Recorder::transfer_begin (0 = untraced). The
+  /// fabric fills in activation and completion times.
+  std::uint64_t trace = 0;
 };
 
 class Fabric {
@@ -61,6 +65,13 @@ class Fabric {
     injector_ = injector;
   }
   const FaultInjector* fault_injector() const { return injector_; }
+
+  /// Installs (or clears) the trace/metrics recorder: traced routes get
+  /// their activation/completion times filled in, per-link byte counters
+  /// accumulate, and link occupancy samples record contention shares. The
+  /// fabric does not own the recorder. Disabled cost: one null test per
+  /// flow activation/finish.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
   /// Fate-reporting transfer: like transfer(), but consults the fault
   /// injector for this transmission. Dropped/corrupted messages still occupy
@@ -85,6 +96,9 @@ class Fabric {
     double rate = 0.0;             // bytes/ns
     TimeNs settled_at = 0;         // virtual time `remaining` refers to
     std::int64_t serial_key = -1;
+    std::uint64_t trace = 0;       // obs record id (0 = untraced)
+    Bytes bytes_total = 0;         // original size, for link byte counters
+    TimeNs ideal = 0;              // uncontended duration at `cap`
     std::function<void()> on_complete;
     sim::EventHandle completion;
     bool active = false;
@@ -113,6 +127,7 @@ class Fabric {
   sim::Simulator& sim_;
   SharingPolicy policy_;
   const FaultInjector* injector_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
   std::vector<double> capacity_;            // per link
   std::vector<std::vector<int>> link_flows_;  // active flows per link
   std::vector<Flow> flows_;                 // slot-reused

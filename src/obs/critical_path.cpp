@@ -1,0 +1,124 @@
+#include "src/obs/critical_path.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/support/error.hpp"
+
+namespace adapt::obs {
+
+namespace {
+
+/// One candidate explanation: a record that ends at `t_end` on some rank.
+struct Candidate {
+  TimeNs t_end = 0;
+  bool is_cpu = false;
+  std::size_t index = 0;  ///< into cpu_tasks() or transfers()
+};
+
+}  // namespace
+
+Attribution critical_path(const Recorder& recorder, Rank final_rank,
+                          TimeNs end_time) {
+  const auto& cpu = recorder.cpu_tasks();
+  const auto& xfers = recorder.transfers();
+
+  // Per-rank candidate lists, sorted by t_end so the walk can binary-search
+  // "latest record ending at or before t". CPU records sort after transfers
+  // at equal times: the downstream effect (a completion callback, a recv
+  // finalisation) is explained before the transfer that caused it.
+  Rank max_rank = final_rank;
+  for (const CpuRec& c : cpu) max_rank = std::max(max_rank, c.rank);
+  for (const TransferRec& x : xfers) max_rank = std::max(max_rank, x.dst);
+  ADAPT_CHECK(final_rank >= 0);
+
+  std::vector<std::vector<Candidate>> by_rank(
+      static_cast<std::size_t>(max_rank) + 1);
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    by_rank[static_cast<std::size_t>(cpu[i].rank)].push_back(
+        Candidate{cpu[i].t_end, true, i});
+  }
+  for (std::size_t i = 0; i < xfers.size(); ++i) {
+    const TransferRec& x = xfers[i];
+    if (!x.done || !x.delivered || x.dst < 0) continue;
+    by_rank[static_cast<std::size_t>(x.dst)].push_back(
+        Candidate{x.t_end, false, i});
+  }
+  for (auto& lst : by_rank) {
+    std::stable_sort(lst.begin(), lst.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.t_end != b.t_end) return a.t_end < b.t_end;
+                       return !a.is_cpu && b.is_cpu;
+                     });
+  }
+  // Each record explains at most one slice of the path; consuming from the
+  // back of the sorted list guarantees the walk terminates.
+  std::vector<std::size_t> next_from(by_rank.size());
+  for (std::size_t r = 0; r < by_rank.size(); ++r)
+    next_from[r] = by_rank[r].size();
+  std::vector<char> cpu_used(cpu.size(), 0);
+  std::vector<char> xfer_used(xfers.size(), 0);
+
+  Attribution attr;
+  attr.end = end_time;
+  attr.end_rank = final_rank;
+
+  Rank rank = final_rank;
+  TimeNs t = end_time;
+  const std::size_t step_limit = cpu.size() + xfers.size() + 1;
+  for (std::size_t step = 0; step < step_limit && t > 0; ++step) {
+    auto& lst = by_rank[static_cast<std::size_t>(rank)];
+    auto& cursor = next_from[static_cast<std::size_t>(rank)];
+    // Latest unused candidate with t_end <= t.
+    const Candidate* best = nullptr;
+    std::size_t pos = std::min(
+        cursor, static_cast<std::size_t>(
+                    std::upper_bound(lst.begin(), lst.end(), t,
+                                     [](TimeNs v, const Candidate& c) {
+                                       return v < c.t_end;
+                                     }) -
+                    lst.begin()));
+    while (pos > 0) {
+      const Candidate& c = lst[pos - 1];
+      const bool used =
+          c.is_cpu ? cpu_used[c.index] != 0 : xfer_used[c.index] != 0;
+      if (!used) {
+        best = &c;
+        break;
+      }
+      --pos;
+    }
+    if (best == nullptr) {
+      attr.other += t;  // nothing left to explain: program start
+      t = 0;
+      break;
+    }
+    cursor = pos - 1;
+    if (best->t_end < t) {
+      attr.other += t - best->t_end;
+      t = best->t_end;
+    }
+    if (best->is_cpu) {
+      const CpuRec& c = cpu[best->index];
+      cpu_used[best->index] = 1;
+      attr.compute += c.t_end - c.t_start;
+      attr.noise += c.t_start - c.t_ready;
+      t = c.t_ready;
+    } else {
+      const TransferRec& x = xfers[best->index];
+      xfer_used[best->index] = 1;
+      const TimeNs stream = x.t_end - x.t_active;
+      const TimeNs ideal = std::min(x.ideal, stream);
+      attr.beta += ideal;
+      attr.contention += stream - ideal;
+      attr.alpha += x.t_active - x.t_post;
+      ++attr.hops;
+      rank = x.src;
+      t = x.t_post;
+    }
+  }
+  attr.other += t;  // walk exhausted with time left (shouldn't happen)
+  return attr;
+}
+
+}  // namespace adapt::obs

@@ -1,0 +1,43 @@
+// Post-run critical-path analysis over a recorded trace.
+//
+// Walks backward from (rank, completion time) through the typed records:
+// a CpuRec explains [t_ready, t_end] on its rank (compute + noise stall)
+// and continues at t_ready; a TransferRec ending on the rank explains
+// [t_post, t_end] (α = post→active incl. serial queueing, β = the ideal
+// uncontended bytes phase, contention = the stretch beyond ideal) and jumps
+// to (src, t_post). Gaps no record explains are attributed to `other`
+// (program start, zero-cost scheduling hops).
+//
+// This turns the paper's Fig. 7–10 narratives — "noise stretched the
+// critical path", "contention on the shared lane", "the pipeline hid the
+// β term" — into checkable numbers: the attribution terms sum exactly to
+// the completion time being explained.
+#pragma once
+
+#include "src/obs/trace.hpp"
+
+namespace adapt::obs {
+
+struct Attribution {
+  TimeNs alpha = 0;       ///< startup latency + serial transmit queueing
+  TimeNs beta = 0;        ///< ideal (uncontended) byte-transfer time
+  TimeNs compute = 0;     ///< CPU busy time on the path
+  TimeNs contention = 0;  ///< transfer stretch beyond the ideal rate
+  TimeNs noise = 0;       ///< main-thread stalls waiting out noise bursts
+  TimeNs other = 0;       ///< unexplained gaps (program start, 0-cost hops)
+  TimeNs end = 0;         ///< the completion time being explained
+  Rank end_rank = -1;
+  int hops = 0;  ///< transfers on the path
+
+  /// Invariant: total() == end (the walk explains every nanosecond once).
+  TimeNs total() const {
+    return alpha + beta + compute + contention + noise + other;
+  }
+};
+
+/// Attributes `end_time` on `final_rank` (typically the slowest rank of a
+/// collective and its finish time) to the path segments above.
+Attribution critical_path(const Recorder& recorder, Rank final_rank,
+                          TimeNs end_time);
+
+}  // namespace adapt::obs

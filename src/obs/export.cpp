@@ -1,0 +1,158 @@
+#include "src/obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "src/support/json.hpp"
+
+namespace adapt::obs {
+
+namespace {
+
+/// Exact µs decimal from integer ns: no floating point, no locale — the
+/// determinism contract depends on this formatting.
+std::string fmt_us(TimeNs t) {
+  const TimeNs us = t / 1000;
+  const TimeNs frac = t % 1000;
+  std::ostringstream ss;
+  ss << us << '.';
+  ss << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+  return ss.str();
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {
+    os_ << "{\"traceEvents\":[";
+  }
+  ~EventWriter() { os_ << "\n],\"displayTimeUnit\":\"ms\"}\n"; }
+
+  std::ostream& next() {
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    return os_;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_trace_json(const Recorder& rec, std::ostream& os) {
+  EventWriter w(os);
+
+  // Track metadata: which rank pids appear anywhere in the trace.
+  std::set<int> rank_pids;
+  const int nranks = static_cast<int>(rec.metrics().ranks().size());
+  for (int r = 0; r < nranks; ++r) rank_pids.insert(rank_pid(r));
+  for (const SpanRec& s : rec.spans())
+    if (s.pid != kNetPid) rank_pids.insert(s.pid);
+  for (const InstantRec& i : rec.instants())
+    if (i.pid != kNetPid) rank_pids.insert(i.pid);
+  for (const CpuRec& c : rec.cpu_tasks()) rank_pids.insert(rank_pid(c.rank));
+
+  w.next() << "{\"ph\":\"M\",\"pid\":" << kNetPid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\"net\"}}";
+  for (const int pid : rank_pids) {
+    w.next() << "{\"ph\":\"M\",\"pid\":" << pid
+             << ",\"name\":\"process_name\",\"args\":{\"name\":\"rank "
+             << (pid - 1) << "\"}}";
+    w.next() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << kTidMain
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\"main\"}}";
+    w.next() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << kTidProgress
+             << ",\"name\":\"thread_name\",\"args\":{\"name\":\"progress\"}}";
+  }
+
+  for (const SpanRec& s : rec.spans()) {
+    w.next() << "{\"ph\":\"X\",\"pid\":" << s.pid << ",\"tid\":" << s.tid
+             << ",\"cat\":\"" << cat_name(s.cat)
+             << "\",\"name\":" << json_quote(s.name) << ",\"ts\":"
+             << fmt_us(s.t0) << ",\"dur\":" << fmt_us(s.t1 - s.t0)
+             << ",\"args\":{\"arg\":" << s.arg << "}}";
+  }
+
+  for (const CpuRec& c : rec.cpu_tasks()) {
+    const int pid = rank_pid(c.rank);
+    const int tid = c.progress ? kTidProgress : kTidMain;
+    if (c.t_start > c.t_ready) {
+      w.next() << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+               << ",\"cat\":\"noise\",\"name\":\"noise-stall\",\"ts\":"
+               << fmt_us(c.t_ready) << ",\"dur\":"
+               << fmt_us(c.t_start - c.t_ready) << "}";
+    }
+    if (c.t_end > c.t_start) {
+      w.next() << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+               << ",\"cat\":\"cpu\",\"name\":\""
+               << (c.progress ? "progress" : "cpu") << "\",\"ts\":"
+               << fmt_us(c.t_start) << ",\"dur\":" << fmt_us(c.t_end - c.t_start)
+               << ",\"args\":{\"queued_ns\":" << (c.t_ready - c.t_request)
+               << "}}";
+    }
+  }
+
+  for (const InstantRec& i : rec.instants()) {
+    w.next() << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << i.pid
+             << ",\"tid\":" << i.tid << ",\"cat\":\"" << cat_name(i.cat)
+             << "\",\"name\":" << json_quote(i.name) << ",\"ts\":"
+             << fmt_us(i.t) << ",\"args\":{\"arg\":" << i.arg << "}}";
+  }
+
+  // Transfers: legacy async begin/end pairs on the "net" process, one track
+  // per message, so overlapping flows render without fake nesting.
+  const auto& xfers = rec.transfers();
+  for (std::size_t idx = 0; idx < xfers.size(); ++idx) {
+    const TransferRec& x = xfers[idx];
+    if (!x.done) continue;
+    const std::uint64_t id = idx + 1;
+    std::ostringstream name;
+    name << transfer_kind_name(x.kind) << ' ' << x.src << "->" << x.dst;
+    const TimeNs stream = x.t_end - x.t_active;
+    w.next() << "{\"ph\":\"b\",\"cat\":\"p2p\",\"id\":" << id
+             << ",\"pid\":" << kNetPid << ",\"tid\":0,\"name\":"
+             << json_quote(name.str()) << ",\"ts\":" << fmt_us(x.t_post)
+             << ",\"args\":{\"bytes\":" << x.bytes
+             << ",\"alpha_ns\":" << (x.t_active - x.t_post)
+             << ",\"ideal_ns\":" << x.ideal
+             << ",\"stretch_ns\":" << std::max<TimeNs>(0, stream - x.ideal)
+             << ",\"delivered\":" << (x.delivered ? "true" : "false") << "}}";
+    w.next() << "{\"ph\":\"e\",\"cat\":\"p2p\",\"id\":" << id
+             << ",\"pid\":" << kNetPid << ",\"tid\":0,\"name\":"
+             << json_quote(name.str()) << ",\"ts\":" << fmt_us(x.t_end)
+             << "}";
+  }
+
+  for (const LinkSampleRec& s : rec.link_samples()) {
+    w.next() << "{\"ph\":\"C\",\"pid\":" << kNetPid
+             << ",\"name\":\"link" << s.link << " flows\",\"ts\":"
+             << fmt_us(s.t) << ",\"args\":{\"flows\":" << s.flows << "}}";
+  }
+}
+
+void write_metrics_csv(const Recorder& rec, std::ostream& os) {
+  rec.metrics().write_csv(os);
+  os << "queue,events_scheduled," << rec.queue_stats().scheduled << ",\n";
+  os << "queue,max_depth," << rec.queue_stats().max_depth << ",\n";
+}
+
+bool write_trace_file(const Recorder& rec, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_trace_json(rec, os);
+  return static_cast<bool>(os);
+}
+
+bool write_metrics_file(const Recorder& rec, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_metrics_csv(rec, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace adapt::obs

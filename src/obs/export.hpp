@@ -1,0 +1,29 @@
+// Trace and metrics exporters.
+//
+// write_trace_json emits Chrome/Perfetto trace-event JSON (the legacy
+// "traceEvents" array format, loadable at ui.perfetto.dev or
+// chrome://tracing). Timestamps are virtual nanoseconds printed as exact
+// microsecond decimals (ts/dur are µs in the format), so no floating-point
+// formatting nondeterminism exists: same-seed runs export byte-identical
+// files.
+//
+// write_metrics_csv emits the MetricsRegistry plus queue stats as a compact
+// deterministic CSV (kind,name,value rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/trace.hpp"
+
+namespace adapt::obs {
+
+void write_trace_json(const Recorder& recorder, std::ostream& os);
+void write_metrics_csv(const Recorder& recorder, std::ostream& os);
+
+/// File variants; return false (and write nothing) when the path cannot be
+/// opened.
+bool write_trace_file(const Recorder& recorder, const std::string& path);
+bool write_metrics_file(const Recorder& recorder, const std::string& path);
+
+}  // namespace adapt::obs

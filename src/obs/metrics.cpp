@@ -1,0 +1,100 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "src/support/error.hpp"
+
+namespace adapt::obs {
+
+void Histogram::record(std::int64_t v) {
+  ADAPT_CHECK(v >= 0) << "histogram samples are non-negative";
+  const auto bucket = std::bit_width(static_cast<std::uint64_t>(v));
+  ++buckets[static_cast<std::size_t>(bucket)];
+  ++count;
+  sum += v;
+  max = std::max(max, v);
+}
+
+void MetricsRegistry::init_ranks(int nranks) {
+  ADAPT_CHECK(nranks >= 0);
+  if (static_cast<std::size_t>(nranks) > ranks_.size()) {
+    ranks_.resize(static_cast<std::size_t>(nranks));
+  }
+}
+
+RankCounters& MetricsRegistry::rank(Rank r) {
+  ADAPT_CHECK(r >= 0);
+  if (static_cast<std::size_t>(r) >= ranks_.size()) {
+    ranks_.resize(static_cast<std::size_t>(r) + 1);
+  }
+  return ranks_[static_cast<std::size_t>(r)];
+}
+
+std::int64_t& MetricsRegistry::link_bytes(int link) {
+  ADAPT_CHECK(link >= 0);
+  if (static_cast<std::size_t>(link) >= link_bytes_.size()) {
+    link_bytes_.resize(static_cast<std::size_t>(link) + 1, 0);
+  }
+  return link_bytes_[static_cast<std::size_t>(link)];
+}
+
+std::int64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+bool MetricsRegistry::empty() const {
+  for (const RankCounters& rc : ranks_) {
+    if (rc.cpu_busy_ns || rc.progress_busy_ns || rc.noise_wait_ns ||
+        rc.sends || rc.send_bytes || rc.recvs || rc.recv_bytes) {
+      return false;
+    }
+  }
+  for (const std::int64_t b : link_bytes_) {
+    if (b != 0) return false;
+  }
+  for (const auto& [name, value] : counters_) {
+    if (value != 0) return false;
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h.count != 0) return false;
+  }
+  return true;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "kind,name,value,extra\n";
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    const RankCounters& rc = ranks_[r];
+    os << "rank," << r << ".cpu_busy_ns," << rc.cpu_busy_ns << ",\n";
+    os << "rank," << r << ".progress_busy_ns," << rc.progress_busy_ns
+       << ",\n";
+    os << "rank," << r << ".noise_wait_ns," << rc.noise_wait_ns << ",\n";
+    os << "rank," << r << ".sends," << rc.sends << ",\n";
+    os << "rank," << r << ".send_bytes," << rc.send_bytes << ",\n";
+    os << "rank," << r << ".recvs," << rc.recvs << ",\n";
+    os << "rank," << r << ".recv_bytes," << rc.recv_bytes << ",\n";
+  }
+  for (std::size_t l = 0; l < link_bytes_.size(); ++l) {
+    os << "link," << l << ".bytes," << link_bytes_[l] << ",\n";
+  }
+  for (const auto& [name, value] : counters_) {
+    os << "counter," << name << "," << value << ",\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram," << name << "," << h.count << ",max=" << h.max
+       << ";sum=" << h.sum << "\n";
+  }
+}
+
+}  // namespace adapt::obs

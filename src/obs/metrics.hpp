@@ -1,0 +1,87 @@
+// Cheap always-on-when-enabled metrics: counters and log2 histograms.
+//
+// The registry is the numeric half of the observability layer (the trace
+// half lives in obs/trace.hpp). Hot-path hooks cache raw pointers to the
+// counters they touch, so a metrics update is one pointer increment; name
+// lookup happens only once, at hook installation. Per-rank and per-link
+// counters are typed vectors (no string lookup at all); everything else is
+// a name -> value map with stable addresses.
+//
+// Deterministic by construction: maps are ordered, vectors are indexed, and
+// write_csv emits rows in a fixed order — two same-seed runs produce
+// byte-identical dumps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/units.hpp"
+
+namespace adapt::obs {
+
+/// Log2-bucketed histogram of non-negative integer samples (queue depths,
+/// match-list lengths). Bucket i counts samples with bit_width(v) == i.
+struct Histogram {
+  std::array<std::uint64_t, 64> buckets{};
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+
+  void record(std::int64_t v);
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Per-rank activity counters, split by execution context (the paper's MAIN
+/// vs PROGRESS distinction): how long each CPU was busy, how long noise held
+/// the main thread, and the P2P volume this rank sourced/sank.
+struct RankCounters {
+  std::int64_t cpu_busy_ns = 0;       ///< main-thread busy time
+  std::int64_t progress_busy_ns = 0;  ///< progress-context busy time
+  std::int64_t noise_wait_ns = 0;     ///< main-thread time lost to noise
+  std::int64_t sends = 0;
+  std::int64_t send_bytes = 0;
+  std::int64_t recvs = 0;
+  std::int64_t recv_bytes = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Sizes the per-rank table (idempotent; grows only).
+  void init_ranks(int nranks);
+
+  RankCounters& rank(Rank r);
+  const std::vector<RankCounters>& ranks() const { return ranks_; }
+
+  /// Bytes moved over each fabric link (grows on demand).
+  std::int64_t& link_bytes(int link);
+  const std::vector<std::int64_t>& links() const { return link_bytes_; }
+
+  /// Named scalar counter; the returned reference is stable for the life of
+  /// the registry, so hooks cache it.
+  std::int64_t& counter(const std::string& name);
+  /// Read-only lookup; 0 when the counter was never touched.
+  std::int64_t counter_value(const std::string& name) const;
+
+  /// Named histogram; address stable, cacheable like counter().
+  Histogram& histogram(const std::string& name);
+
+  bool empty() const;
+
+  /// Deterministic CSV dump: `kind,name,value...` rows, fixed order.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<RankCounters> ranks_;
+  std::vector<std::int64_t> link_bytes_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace adapt::obs

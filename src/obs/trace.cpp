@@ -1,0 +1,87 @@
+#include "src/obs/trace.hpp"
+
+#include "src/support/error.hpp"
+
+namespace adapt::obs {
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kColl: return "coll";
+    case Cat::kTask: return "task";
+    case Cat::kP2p: return "p2p";
+    case Cat::kProto: return "proto";
+    case Cat::kCpu: return "cpu";
+    case Cat::kNoise: return "noise";
+  }
+  return "?";
+}
+
+const char* transfer_kind_name(int kind) {
+  switch (kind) {
+    case 0: return "eager";
+    case 1: return "rts";
+    case 2: return "cts";
+    case 3: return "bulk";
+    case 4: return "abort";
+    case kXferAck: return "ack";
+  }
+  return "?";
+}
+
+TransferRec& Recorder::xfer(std::uint64_t id) {
+  ADAPT_CHECK(id >= 1 && id <= transfers_.size()) << "bad transfer id " << id;
+  return transfers_[static_cast<std::size_t>(id - 1)];
+}
+
+std::uint64_t Recorder::transfer_begin(Rank src, Rank dst, Bytes bytes,
+                                       int kind, TimeNs t_post) {
+  TransferRec rec;
+  rec.src = src;
+  rec.dst = dst;
+  rec.bytes = bytes;
+  rec.kind = kind;
+  rec.t_post = t_post;
+  transfers_.push_back(std::move(rec));
+  return transfers_.size();  // ids are 1-based; 0 means "untraced"
+}
+
+void Recorder::transfer_active(std::uint64_t id, TimeNs t_active,
+                               TimeNs ideal) {
+  TransferRec& rec = xfer(id);
+  rec.t_active = t_active;
+  rec.ideal = ideal;
+}
+
+void Recorder::transfer_end(std::uint64_t id, TimeNs t_end) {
+  TransferRec& rec = xfer(id);
+  rec.t_end = t_end;
+  rec.done = true;
+}
+
+void Recorder::transfer_undelivered(std::uint64_t id) {
+  xfer(id).delivered = false;
+}
+
+void Recorder::transfer_alpha_only(Rank src, Rank dst, int kind, TimeNs t_post,
+                                   TimeNs t_end) {
+  const std::uint64_t id = transfer_begin(src, dst, 0, kind, t_post);
+  transfer_active(id, t_end, 0);
+  transfer_end(id, t_end);
+}
+
+void Recorder::cpu_task(Rank r, bool progress, TimeNs t_request,
+                        TimeNs t_ready, TimeNs t_start, TimeNs t_end) {
+  RankCounters& rc = metrics_.rank(r);
+  if (progress) {
+    rc.progress_busy_ns += t_end - t_start;
+  } else {
+    rc.cpu_busy_ns += t_end - t_start;
+    rc.noise_wait_ns += t_start - t_ready;
+  }
+  // A record that neither waited nor ran carries no information: skipping it
+  // keeps traces sparse and the critical-path walk free of zero-length hops.
+  if (t_end == t_request) return;
+  cpu_.push_back(CpuRec{r, progress, t_request, t_ready, t_start, t_end});
+}
+
+}  // namespace adapt::obs

@@ -1,0 +1,192 @@
+// Deterministic virtual-time trace recorder.
+//
+// One Recorder instance observes one SimEngine run. It captures four kinds
+// of typed records:
+//
+//   * SpanRec / InstantRec — human-oriented timeline events (collective
+//     begin/end per rank, ADAPT task segments, protocol instants such as
+//     retransmits, unexpected-queue hits, aborts);
+//   * TransferRec — the P2P data-movement lifecycle: post time (the instant
+//     the message entered the fabric, or its serial transmit queue), active
+//     time (first byte moving — everything before it is Hockney α plus
+//     queueing, which the fabric charges against α), end time (last byte
+//     arrived), and the *ideal* uncontended bytes phase at the route's
+//     per-flow cap. The gap (end - active) - ideal is pure contention.
+//   * CpuRec — one occupation of a rank CPU: request time, ready time (CPU
+//     free), start time (noise gone; only the MAIN context is preemptible),
+//     end time. Zero-information records (nothing waited, nothing ran) are
+//     skipped so traces stay proportional to actual work.
+//
+// Determinism contract: all record content derives from virtual time and
+// the engine's deterministic schedule, and records are appended in schedule
+// order — two runs with identical seeds produce byte-identical exports.
+// The Recorder is single-threaded by design and must only be attached to a
+// SimEngine (the ThreadEngine ignores it).
+//
+// Zero overhead when disabled: the engine installs hook pointers only when
+// `enabled()`; a disabled or absent recorder costs each hot path exactly one
+// null-pointer test (guarded by bench/micro_framework).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::obs {
+
+/// Trace-track addressing: process 0 is the fabric ("net"), process r+1 is
+/// rank r. Each rank owns two threads, matching the paper's execution model.
+constexpr int kNetPid = 0;
+inline int rank_pid(Rank r) { return static_cast<int>(r) + 1; }
+enum Tid : int { kTidMain = 0, kTidProgress = 1 };
+
+/// Span/instant taxonomy (exported as the Chrome trace "cat" field).
+enum class Cat : std::uint8_t {
+  kColl,   ///< whole-collective spans per rank
+  kTask,   ///< ADAPT task-segment events (recv/send/reduce of one segment)
+  kP2p,    ///< message lifecycle
+  kProto,  ///< reliability protocol: retransmits, give-ups, aborts
+  kCpu,    ///< CPU occupation
+  kNoise,  ///< noise-induced stalls
+};
+const char* cat_name(Cat cat);
+
+/// Transfer kinds: mpi::Frame::Kind values 0..4; acks are distinct.
+constexpr int kXferAck = 100;
+const char* transfer_kind_name(int kind);
+
+struct SpanRec {
+  int pid = 0;
+  int tid = 0;
+  Cat cat = Cat::kColl;
+  std::string name;
+  TimeNs t0 = 0;
+  TimeNs t1 = 0;
+  std::int64_t arg = 0;
+};
+
+struct InstantRec {
+  int pid = 0;
+  int tid = 0;
+  Cat cat = Cat::kP2p;
+  std::string name;
+  TimeNs t = 0;
+  std::int64_t arg = 0;
+};
+
+/// One fabric-link occupancy sample (flow count after a change).
+struct LinkSampleRec {
+  int link = 0;
+  TimeNs t = 0;
+  std::int64_t flows = 0;
+};
+
+struct TransferRec {
+  Rank src = -1;
+  Rank dst = -1;
+  Bytes bytes = 0;
+  int kind = 0;  ///< mpi::Frame::Kind value, or kXferAck
+  TimeNs t_post = -1;
+  TimeNs t_active = -1;
+  TimeNs t_end = -1;
+  TimeNs ideal = 0;  ///< uncontended bytes-phase duration at the flow cap
+  bool delivered = true;
+  bool done = false;
+};
+
+struct CpuRec {
+  Rank rank = -1;
+  bool progress = false;
+  TimeNs t_request = 0;  ///< when the work was posted
+  TimeNs t_ready = 0;    ///< when the CPU came free (queueing before this)
+  TimeNs t_start = 0;    ///< when noise released the CPU (main context only)
+  TimeNs t_end = 0;
+};
+
+/// Event-queue pressure, sampled by sim::EventQueue when installed.
+struct QueueStats {
+  std::uint64_t scheduled = 0;
+  std::uint64_t max_depth = 0;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(bool enabled = true) : enabled_(enabled) {}
+
+  /// When false the engine never installs hooks: a run records nothing.
+  bool enabled() const { return enabled_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  QueueStats& queue_stats() { return queue_stats_; }
+  const QueueStats& queue_stats() const { return queue_stats_; }
+
+  /// Virtual-time source, installed by the engine; hooks that do not carry
+  /// an explicit timestamp (endpoint/channel instants) read it from here.
+  void set_clock(std::function<TimeNs()> clock) { clock_ = std::move(clock); }
+  TimeNs now() const { return clock_ ? clock_() : 0; }
+
+  // -- timeline events ----------------------------------------------------
+  void span(int pid, int tid, Cat cat, std::string name, TimeNs t0, TimeNs t1,
+            std::int64_t arg = 0) {
+    spans_.push_back(SpanRec{pid, tid, cat, std::move(name), t0, t1, arg});
+  }
+  void instant(int pid, int tid, Cat cat, std::string name, TimeNs t,
+               std::int64_t arg = 0) {
+    instants_.push_back(InstantRec{pid, tid, cat, std::move(name), t, arg});
+  }
+  void link_sample(int link, TimeNs t, std::int64_t flows) {
+    link_samples_.push_back(LinkSampleRec{link, t, flows});
+  }
+
+  // -- transfer lifecycle (fabric + transport hooks) -----------------------
+  /// Returns a non-zero id carried in net::Route::trace (0 = untraced).
+  std::uint64_t transfer_begin(Rank src, Rank dst, Bytes bytes, int kind,
+                               TimeNs t_post);
+  void transfer_active(std::uint64_t id, TimeNs t_active, TimeNs ideal);
+  void transfer_end(std::uint64_t id, TimeNs t_end);
+  void transfer_undelivered(std::uint64_t id);
+  /// Convenience for control legs that bypass the fluid fabric: an
+  /// alpha-only transfer recorded complete in one call.
+  void transfer_alpha_only(Rank src, Rank dst, int kind, TimeNs t_post,
+                           TimeNs t_end);
+
+  // -- CPU occupation (engine scheduling hooks) ----------------------------
+  void cpu_task(Rank r, bool progress, TimeNs t_request, TimeNs t_ready,
+                TimeNs t_start, TimeNs t_end);
+
+  // -- post-run access -----------------------------------------------------
+  const std::vector<SpanRec>& spans() const { return spans_; }
+  const std::vector<InstantRec>& instants() const { return instants_; }
+  const std::vector<LinkSampleRec>& link_samples() const {
+    return link_samples_;
+  }
+  const std::vector<TransferRec>& transfers() const { return transfers_; }
+  const std::vector<CpuRec>& cpu_tasks() const { return cpu_; }
+
+  /// Total records of every type (the zero-event guarantee checks this).
+  std::uint64_t event_count() const {
+    return spans_.size() + instants_.size() + link_samples_.size() +
+           transfers_.size() + cpu_.size();
+  }
+
+ private:
+  TransferRec& xfer(std::uint64_t id);
+
+  bool enabled_;
+  std::function<TimeNs()> clock_;
+  MetricsRegistry metrics_;
+  QueueStats queue_stats_;
+  std::vector<SpanRec> spans_;
+  std::vector<InstantRec> instants_;
+  std::vector<LinkSampleRec> link_samples_;
+  std::vector<TransferRec> transfers_;
+  std::vector<CpuRec> cpu_;
+};
+
+}  // namespace adapt::obs

@@ -18,6 +18,10 @@ namespace adapt::gpu {
 class Device;  // defined in src/gpu/device.hpp; null on CPU-only engines
 }
 
+namespace adapt::obs {
+class Recorder;  // defined in src/obs/trace.hpp; null unless tracing is on
+}
+
 namespace adapt::runtime {
 
 class Context {
@@ -53,6 +57,11 @@ class Context {
 
   /// This rank's GPU, or nullptr when the engine/machine has none.
   virtual gpu::Device* gpu() { return nullptr; }
+
+  /// The run's trace/metrics recorder, or nullptr when observability is off
+  /// (always null on the ThreadEngine — the recorder is single-threaded).
+  /// Instrumented code guards every record with this one null test.
+  virtual obs::Recorder* recorder() { return nullptr; }
 
   // -- P2P conveniences ----------------------------------------------------
   mpi::RequestPtr isend(Rank dst, Tag tag, mpi::ConstView data,

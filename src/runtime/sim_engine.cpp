@@ -6,6 +6,7 @@
 
 #include "src/gpu/device.hpp"
 #include "src/support/error.hpp"
+#include "src/support/log.hpp"
 
 namespace adapt::runtime {
 
@@ -70,6 +71,11 @@ class SimEngine::SimTransport final : public mpi::Transport {
     // back to back (NIC transmit queue), not fair-shared against each other.
     route.serial_key = pair_key(env.src, env.dst);
     if (env.size <= engine_.machine_.spec().eager_threshold) {
+      if (obs::Recorder* rec = engine_.obs_) {
+        route.trace = rec->transfer_begin(
+            env.src, env.dst, env.size,
+            static_cast<int>(mpi::Frame::Kind::kEager), engine_.sim_.now());
+      }
       submit_eager(route, std::move(env), std::move(on_sent));
     } else {
       submit_rendezvous(route, std::move(env), std::move(on_sent));
@@ -87,10 +93,19 @@ class SimEngine::SimTransport final : public mpi::Transport {
       net::Route route = engine_.net_.route_mem(
           wire.src, wire.frame.src_space, wire.dst, wire.frame.dst_space);
       route.serial_key = pair_key(wire.src, wire.dst);
+      if (obs::Recorder* rec = engine_.obs_) {
+        route.trace = rec->transfer_begin(
+            wire.src, wire.dst, wire.frame.wire_bytes,
+            static_cast<int>(wire.frame.kind), engine_.sim_.now());
+      }
       engine_.net_.fabric().transfer_tagged(
           route, wire.frame.wire_bytes, key,
-          [this, wire = wire](const net::TransferFate& fate) mutable {
-            if (!fate.delivered) return;
+          [this, wire = wire,
+           trace = route.trace](const net::TransferFate& fate) mutable {
+            if (!fate.delivered) {
+              if (trace) engine_.obs_->transfer_undelivered(trace);
+              return;
+            }
             wire.corrupted = fate.corrupted;
             engine_.channels_[static_cast<std::size_t>(wire.dst)]->on_wire(
                 wire);
@@ -103,6 +118,12 @@ class SimEngine::SimTransport final : public mpi::Transport {
     if (const net::FaultInjector* inj = engine_.injector_.get()) {
       fate = inj->decide(key, route.links, engine_.sim_.now());
       if (!fate.delivered) return;
+    }
+    if (obs::Recorder* rec = engine_.obs_) {
+      rec->transfer_alpha_only(
+          wire.src, wire.dst,
+          wire.is_ack ? obs::kXferAck : static_cast<int>(wire.frame.kind),
+          engine_.sim_.now(), engine_.sim_.now() + route.alpha + fate.delay);
     }
     engine_.sim_.after(
         route.alpha + fate.delay,
@@ -277,10 +298,13 @@ class SimEngine::SimTransport final : public mpi::Transport {
                             static_cast<int>(mpi::Frame::Kind::kEager)};
     engine_.net_.fabric().transfer_tagged(
         route, env.size, key,
-        [this, src, dst, env = std::move(env),
+        [this, src, dst, trace = route.trace, env = std::move(env),
          on_sent = std::move(on_sent)](const net::TransferFate& fate) mutable {
           engine_.run_progress(src, std::move(on_sent), 0);
-          if (!fate.delivered) return;
+          if (!fate.delivered) {
+            if (trace) engine_.obs_->transfer_undelivered(trace);
+            return;
+          }
           if (fate.corrupted) corrupt_in_place(env, fate.salt);
           // NIC-side matching: no receiver-CPU gate here (deliver defers any
           // CPU-bound follow-up itself).
@@ -312,16 +336,31 @@ class SimEngine::SimTransport final : public mpi::Transport {
         if (!fate.delivered || fate.corrupted) return;  // CTS lost
         cts_delay += fate.delay;
       }
+      if (obs::Recorder* rec = engine_.obs_) {
+        rec->transfer_alpha_only(env.dst, env.src,
+                                 static_cast<int>(mpi::Frame::Kind::kCts),
+                                 engine_.sim_.now(),
+                                 engine_.sim_.now() + cts_delay);
+      }
       engine_.sim_.after(cts_delay, [this, route, rseq, env, on_sent, recv] {
         const Rank src = env.src;
         const Rank rdst = env.dst;
+        net::Route bulk_route = route;
+        if (obs::Recorder* rec = engine_.obs_) {
+          bulk_route.trace = rec->transfer_begin(
+              src, rdst, env.size, static_cast<int>(mpi::Frame::Kind::kBulk),
+              engine_.sim_.now());
+        }
         engine_.net_.fabric().transfer_tagged(
-            route, env.size,
+            bulk_route, env.size,
             {src, rdst, rseq, 0, static_cast<int>(mpi::Frame::Kind::kBulk)},
-            [this, src, rdst, env, on_sent,
+            [this, src, rdst, trace = bulk_route.trace, env, on_sent,
              recv](const net::TransferFate& fate) mutable {
               engine_.run_progress(src, on_sent, 0);
-              if (!fate.delivered) return;
+              if (!fate.delivered) {
+                if (trace) engine_.obs_->transfer_undelivered(trace);
+                return;
+              }
               if (fate.corrupted) corrupt_in_place(env, fate.salt);
               engine_.run_progress(
                   rdst,
@@ -338,6 +377,12 @@ class SimEngine::SimTransport final : public mpi::Transport {
                       route.links, engine_.sim_.now());
       if (!fate.delivered || fate.corrupted) return;  // RTS lost
       rts_delay += fate.delay;
+    }
+    if (obs::Recorder* rec = engine_.obs_) {
+      rec->transfer_alpha_only(rts.src, rts.dst,
+                               static_cast<int>(mpi::Frame::Kind::kRts),
+                               engine_.sim_.now(),
+                               engine_.sim_.now() + rts_delay);
     }
     engine_.sim_.after(rts_delay, [this, dst, rts = std::move(rts)]() mutable {
       endpoint(dst).deliver(std::move(rts));
@@ -391,6 +436,8 @@ class SimEngine::SimContext final : public Context {
     return engine_.gpu_ ? engine_.gpu_->device_for(rank_) : nullptr;
   }
 
+  obs::Recorder* recorder() override { return engine_.obs_; }
+
  private:
   SimEngine& engine_;
   Rank rank_;
@@ -405,6 +452,7 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
       noise_(options.noise ? options.noise
                            : std::make_shared<noise::NoNoise>()) {
   if (options_.perturb) sim_.set_perturbation(options_.perturb);
+  log_ctx_ = log_level() != LogLevel::kOff;
   const int n = machine_.nranks();
   transport_ = std::make_unique<SimTransport>(*this);
   busy_until_.assign(static_cast<std::size_t>(n), 0);
@@ -445,6 +493,18 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
   if (machine_.spec().gpus_per_socket > 0) {
     gpu_ = std::make_unique<gpu::GpuRuntime>(sim_, net_, machine_);
   }
+
+  // Observability: install hook pointers only for an enabled recorder, so a
+  // disabled one is indistinguishable from none (the zero-event guarantee).
+  if (options_.recorder && options_.recorder->enabled()) {
+    obs_ = options_.recorder.get();
+    obs_->set_clock([this] { return sim_.now(); });
+    obs_->metrics().init_ranks(n);
+    sim_.set_queue_stats(&obs_->queue_stats());
+    net_.fabric().set_recorder(obs_);
+    for (auto& ch : channels_) ch->set_recorder(obs_);
+    for (auto& ep : endpoints_) ep->set_recorder(obs_);
+  }
 }
 
 SimEngine::~SimEngine() = default;
@@ -466,11 +526,19 @@ mpi::ReliableChannel* SimEngine::channel(Rank r) {
 }
 
 void SimEngine::poison_rank(Rank r, mpi::ErrCode code) {
+  if (obs_ && !endpoint(r).poisoned()) {
+    obs_->instant(obs::rank_pid(r), obs::kTidProgress, obs::Cat::kProto,
+                  "poisoned", sim_.now(), static_cast<std::int64_t>(code));
+  }
   endpoint(r).poison(code);
 }
 
 void SimEngine::initiate_abort(Rank origin, mpi::ErrCode code) {
   if (endpoint(origin).poisoned()) return;  // the first failure cause wins
+  if (obs_) {
+    obs_->instant(obs::rank_pid(origin), obs::kTidProgress, obs::Cat::kProto,
+                  "abort", sim_.now(), static_cast<std::int64_t>(code));
+  }
   // Notify peers over the reliable channel *before* poisoning the origin
   // (poison drops incoming traffic, not outgoing frames). Without channels
   // there is no way to notify anyone — the failure stays local and the
@@ -488,12 +556,25 @@ void SimEngine::initiate_abort(Rank origin, mpi::ErrCode code) {
   poison_rank(origin, code);
 }
 
+std::int64_t SimEngine::log_now(const void* arg) {
+  return static_cast<const SimEngine*>(arg)->sim_.now();
+}
+
 void SimEngine::run_on(Rank r, std::function<void()> fn, TimeNs cpu_cost) {
   ADAPT_CHECK(cpu_cost >= 0);
   auto& busy = busy_until_[static_cast<std::size_t>(r)];
-  TimeNs start = std::max(sim_.now(), busy);
-  start = noise_->next_free(r, start);
+  const TimeNs ready = std::max(sim_.now(), busy);
+  const TimeNs start = noise_->next_free(r, ready);
   busy = start + cpu_cost;
+  if (obs_) obs_->cpu_task(r, /*progress=*/false, sim_.now(), ready, start,
+                           busy);
+  if (log_ctx_) {
+    sim_.at(busy, [this, r, fn = std::move(fn)] {
+      ScopedLogContext lc(r, &SimEngine::log_now, this);
+      fn();
+    });
+    return;
+  }
   sim_.at(busy, std::move(fn));
 }
 
@@ -501,14 +582,27 @@ void SimEngine::run_progress(Rank r, std::function<void()> fn,
                              TimeNs cpu_cost) {
   ADAPT_CHECK(cpu_cost >= 0);
   auto& busy = progress_busy_until_[static_cast<std::size_t>(r)];
-  busy = std::max(sim_.now(), busy) + cpu_cost;
+  const TimeNs ready = std::max(sim_.now(), busy);
+  busy = ready + cpu_cost;
+  if (obs_) obs_->cpu_task(r, /*progress=*/true, sim_.now(), ready, ready,
+                           busy);
+  if (log_ctx_) {
+    sim_.at(busy, [this, r, fn = std::move(fn)] {
+      ScopedLogContext lc(r, &SimEngine::log_now, this);
+      fn();
+    });
+    return;
+  }
   sim_.at(busy, std::move(fn));
 }
 
 void SimEngine::charge(Rank r, TimeNs cpu_cost) {
   ADAPT_CHECK(cpu_cost >= 0);
   auto& busy = busy_until_[static_cast<std::size_t>(r)];
-  busy = std::max(sim_.now(), busy) + cpu_cost;
+  const TimeNs ready = std::max(sim_.now(), busy);
+  busy = ready + cpu_cost;
+  if (obs_) obs_->cpu_task(r, /*progress=*/false, sim_.now(), ready, ready,
+                           busy);
 }
 
 RunResult SimEngine::run(const RankProgram& program) {

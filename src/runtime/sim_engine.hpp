@@ -15,6 +15,7 @@
 #include "src/net/fault.hpp"
 #include "src/net/routes.hpp"
 #include "src/noise/noise.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/context.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/topo/hardware.hpp"
@@ -40,6 +41,11 @@ struct SimEngineOptions {
   /// timeout + exponential-backoff retransmit, duplicate suppression) on
   /// every P2P message. Unset = the seed's perfect-delivery protocols.
   std::optional<mpi::ReliabilityConfig> reliability;
+  /// Trace/metrics recorder observing this run (see src/obs). Hooks are
+  /// installed only when set AND enabled(); otherwise every instrumented
+  /// hot path pays exactly one null-pointer test. The engine shares
+  /// ownership so the recorder outlives in-flight events.
+  std::shared_ptr<obs::Recorder> recorder;
 };
 
 class SimEngine final : public Engine {
@@ -60,6 +66,8 @@ class SimEngine final : public Engine {
   /// Reliability-channel introspection; null when reliability is off.
   mpi::ReliableChannel* channel(Rank r);
   const net::FaultInjector* fault_injector() const { return injector_.get(); }
+  /// The active recorder, or null when observability is off.
+  obs::Recorder* recorder() { return obs_; }
 
   /// Declares rank `origin`'s current operation failed: reliably floods an
   /// abort notice to every other rank (each poisons itself on receipt), then
@@ -84,8 +92,15 @@ class SimEngine final : public Engine {
   class SimRankExecutor;
   class SimTransport;
 
+  static std::int64_t log_now(const void* arg);
+
   const topo::Machine& machine_;
   SimEngineOptions options_;
+  obs::Recorder* obs_ = nullptr;  ///< null unless options_.recorder enabled
+  /// Sampled at construction: when logging is on, rank callbacks run under a
+  /// ScopedLogContext so lines carry virtual time + rank. When off, callbacks
+  /// are scheduled unwrapped — no extra capture on the hot path.
+  bool log_ctx_ = false;
   sim::Simulator sim_;
   net::ClusterNet net_;
   std::shared_ptr<noise::NoiseModel> noise_;

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "src/support/error.hpp"
+#include "src/support/log.hpp"
 
 namespace adapt::runtime {
 
@@ -180,6 +181,13 @@ RunResult ThreadEngine::run(const RankProgram& program) {
     threads.emplace_back([&, r] {
       auto& mailbox = *mailboxes_[static_cast<std::size_t>(r)];
       auto& flag = *done[static_cast<std::size_t>(r)];
+      // Everything this rank logs carries its rank + engine-relative time.
+      ScopedLogContext log_ctx(
+          r,
+          [](const void* arg) -> std::int64_t {
+            return static_cast<const Mailbox*>(arg)->now();
+          },
+          &mailbox);
       // Start the rank program from inside the loop thread so the coroutine
       // is owned (and only ever resumed) by this thread.
       mailbox.enqueue(

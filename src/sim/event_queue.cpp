@@ -1,5 +1,7 @@
 #include "src/sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "src/support/error.hpp"
 
 namespace adapt::sim {
@@ -17,6 +19,11 @@ EventHandle EventQueue::push(TimeNs time, std::function<void()> fn) {
     if (perturb_->shuffle_ties) tie = perturb_rng_.next_u64();
   }
   heap_.push(Entry{fire_time, tie, seq_++, state});
+  if (stats_) {
+    ++stats_->scheduled;
+    stats_->max_depth = std::max<std::uint64_t>(stats_->max_depth,
+                                                heap_.size());
+  }
   return EventHandle(std::move(state));
 }
 

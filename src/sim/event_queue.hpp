@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/units.hpp"
 
@@ -89,6 +90,11 @@ class EventQueue {
 
   std::uint64_t total_scheduled() const { return seq_; }
 
+  /// Installs (or clears, with nullptr) observability counters: scheduled
+  /// events and peak heap depth. One branch per push when installed; nothing
+  /// on the path otherwise — the zero-overhead contract.
+  void set_stats(obs::QueueStats* stats) { stats_ = stats; }
+
  private:
   struct Entry {
     TimeNs time;
@@ -107,6 +113,7 @@ class EventQueue {
   void drop_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  obs::QueueStats* stats_ = nullptr;
   std::uint64_t seq_ = 0;
   std::optional<PerturbConfig> perturb_;
   Rng perturb_rng_{0};

@@ -40,6 +40,9 @@ class Simulator {
   /// Executes at most one event; returns false when none are pending.
   bool step();
 
+  /// Observability pass-through (see EventQueue::set_stats).
+  void set_queue_stats(obs::QueueStats* stats) { queue_.set_stats(stats); }
+
   std::uint64_t events_processed() const { return processed_; }
   std::uint64_t events_scheduled() const { return queue_.total_scheduled(); }
   bool idle() const { return queue_.empty(); }

@@ -1,0 +1,16 @@
+// Tiny JSON emission helpers shared by the trace exporter and the bench
+// --json reports. Writing only — nothing here parses JSON.
+#pragma once
+
+#include <string>
+
+namespace adapt {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+std::string json_escape(const std::string& s);
+
+/// `"escaped"` with the quotes.
+std::string json_quote(const std::string& s);
+
+}  // namespace adapt

@@ -3,12 +3,22 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace adapt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
 std::mutex g_mutex;
+LogSink g_sink;  // guarded by g_mutex; null = stderr
+
+/// Thread-local runtime context (see ScopedLogContext); engines stack them.
+struct LogContext {
+  int rank = -1;
+  std::int64_t (*now)(const void*) = nullptr;
+  const void* arg = nullptr;
+};
+thread_local LogContext t_ctx;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,11 +36,41 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+ScopedLogContext::ScopedLogContext(int rank, std::int64_t (*now)(const void*),
+                                   const void* arg) {
+  t_ctx = LogContext{rank, now, arg};
+}
+
+ScopedLogContext::~ScopedLogContext() { t_ctx = LogContext{}; }
+
 namespace detail {
 
 void log_line(LogLevel level, const std::string& line) {
+  // Read the context (and its clock) before taking the mutex: the clock
+  // belongs to the calling thread's engine, not to the logger.
+  char prefix[64];
+  prefix[0] = '\0';
+  if (t_ctx.now != nullptr) {
+    std::snprintf(prefix, sizeof(prefix), " t=%lldns r=%d",
+                  static_cast<long long>(t_ctx.now(t_ctx.arg)), t_ctx.rank);
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[adapt %s] %s\n", level_name(level), line.c_str());
+  if (g_sink) {
+    std::string full = "[adapt ";
+    full += level_name(level);
+    full += prefix;
+    full += "] ";
+    full += line;
+    g_sink(full);
+    return;
+  }
+  std::fprintf(stderr, "[adapt %s%s] %s\n", level_name(level), prefix,
+               line.c_str());
 }
 
 }  // namespace detail

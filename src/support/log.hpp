@@ -1,8 +1,11 @@
 // Minimal leveled logger. Off by default (benchmarks must stay quiet); tests
-// and examples can raise the level. Not thread-safe beyond line atomicity,
-// which is all the thread engine needs.
+// and examples can raise the level. Fully thread-safe: the level is atomic
+// and the sink (formatting + output) runs under one mutex, so concurrent
+// lines from the thread engine's rank threads never interleave.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +16,23 @@ enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 /// Global log threshold; messages above it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Redirects formatted log lines (tests capture output; null restores the
+/// default stderr sink). The sink is invoked under the logger's mutex.
+using LogSink = std::function<void(const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+/// Per-thread runtime context: while one is active, every line carries a
+/// `t=<now>ns r=<rank>` prefix — virtual time on the SimEngine, steady-clock
+/// time on the ThreadEngine. Engines install it around rank callbacks.
+class ScopedLogContext {
+ public:
+  ScopedLogContext(int rank, std::int64_t (*now)(const void*),
+                   const void* arg);
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+  ~ScopedLogContext();
+};
 
 namespace detail {
 void log_line(LogLevel level, const std::string& line);

@@ -25,6 +25,14 @@ class Table {
   void print(std::ostream& os) const;
   /// Comma-separated dump (for downstream plotting).
   void print_csv(std::ostream& os) const;
+  /// One JSON object: {"header": [...], "rows": [[...], ...]} (no trailing
+  /// newline — composable inside larger documents, see bench::JsonReport).
+  void print_json(std::ostream& os) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

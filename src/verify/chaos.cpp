@@ -167,8 +167,16 @@ Report run_chaos_matrix(const std::vector<CaseConfig>& cases,
       failure.spec = spec;
       failure.detail = *mismatch;
       failure.repro = repro_string(reported, spec, options.fault);
+      if (!options.trace_dir.empty()) {
+        failure.trace_path = write_failure_trace(
+            reported, spec, options.fault, options.trace_dir,
+            static_cast<int>(report.failures.size()));
+      }
       if (options.log) {
-        options.log("FAIL " + failure.repro + "\n     " + failure.detail);
+        options.log("FAIL " + failure.repro + "\n     " + failure.detail +
+                    (failure.trace_path.empty()
+                         ? std::string()
+                         : "\n     trace: " + failure.trace_path));
       }
       report.failures.push_back(std::move(failure));
       break;  // one fault schedule per case is enough to report

@@ -43,6 +43,7 @@ struct ChaosOptions {
   Fault fault = Fault::kNone;  ///< kNoRetransmit = classifier self-test
   std::function<void(const std::string&)> log;
   std::function<void(const std::string&)> on_run;  ///< see MatrixOptions
+  std::string trace_dir;  ///< trace failures here; see MatrixOptions
 };
 
 /// The case subset chaos runs cover: every collective family, every style,

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 
 #include "src/coll/library.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
 #include "src/coll/topo_tree.hpp"
 #include "src/coll/tree.hpp"
 #include "src/mpi/errors.hpp"
@@ -308,7 +311,8 @@ constexpr TimeNs kChaosBomb = milliseconds(400);
 }  // namespace
 
 std::optional<std::string> run_case(const CaseConfig& config,
-                                    const RunSpec& spec, Fault fault) {
+                                    const RunSpec& spec, Fault fault,
+                                    std::shared_ptr<obs::Recorder> recorder) {
   const std::vector<Rank> members = comm_members(config.comm, config.world);
   const int p = static_cast<int>(members.size());
   ADAPT_CHECK(config.root >= 0 && config.root < p)
@@ -429,6 +433,7 @@ std::optional<std::string> run_case(const CaseConfig& config,
   try {
     if (spec.engine == EngineKind::kSim) {
       runtime::SimEngineOptions engine_opts;
+      engine_opts.recorder = std::move(recorder);
       if (spec.perturb_seed != 0) {
         engine_opts.perturb = sim::PerturbConfig{
             spec.perturb_seed, /*shuffle_ties=*/true, spec.jitter};
@@ -811,6 +816,20 @@ std::vector<CaseConfig> full_matrix() {
   return cases;
 }
 
+std::string write_failure_trace(const CaseConfig& config, const RunSpec& spec,
+                                Fault fault, const std::string& trace_dir,
+                                int index) {
+  if (spec.engine != EngineKind::kSim) return "";  // Recorder is sim-only
+  auto recorder = std::make_shared<obs::Recorder>();
+  run_case(config, spec, fault, recorder);  // deterministic replay
+  std::error_code ec;
+  std::filesystem::create_directories(trace_dir, ec);
+  const std::string path =
+      trace_dir + "/failure-" + std::to_string(index) + ".trace.json";
+  if (!obs::write_trace_file(*recorder, path)) return "";
+  return path;
+}
+
 Report run_matrix(const std::vector<CaseConfig>& cases,
                   const MatrixOptions& options) {
   Report report;
@@ -846,8 +865,16 @@ Report run_matrix(const std::vector<CaseConfig>& cases,
       failure.spec = spec;
       failure.detail = *mismatch;
       failure.repro = repro_string(reported, spec, options.fault);
+      if (!options.trace_dir.empty()) {
+        failure.trace_path = write_failure_trace(
+            reported, spec, options.fault, options.trace_dir,
+            static_cast<int>(report.failures.size()));
+      }
       if (options.log) {
-        options.log("FAIL " + failure.repro + "\n     " + failure.detail);
+        options.log("FAIL " + failure.repro + "\n     " + failure.detail +
+                    (failure.trace_path.empty()
+                         ? std::string()
+                         : "\n     trace: " + failure.trace_path));
       }
       report.failures.push_back(std::move(failure));
       break;  // one schedule failure per case is enough to report
@@ -868,6 +895,7 @@ std::string Report::summary() const {
       << " failures";
   for (const Failure& f : failures) {
     out << "\n  " << f.repro << "\n    " << f.detail;
+    if (!f.trace_path.empty()) out << "\n    trace: " << f.trace_path;
   }
   return out.str();
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,10 @@
 #include "src/mpi/op.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/support/units.hpp"
+
+namespace adapt::obs {
+class Recorder;
+}  // namespace adapt::obs
 
 namespace adapt::verify {
 
@@ -136,9 +141,12 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
 /// Runs one case under one schedule and diffs the result against the
 /// sequential oracle. Returns nullopt on success, a human-readable mismatch
 /// description on failure. Throws only on harness misuse (bad config).
-std::optional<std::string> run_case(const CaseConfig& config,
-                                    const RunSpec& spec,
-                                    Fault fault = Fault::kNone);
+/// A non-null `recorder` observes the run (SimEngine runs only; the
+/// ThreadEngine ignores it) — pair with a parsed repro line to attach a
+/// full virtual-time trace to any failure.
+std::optional<std::string> run_case(
+    const CaseConfig& config, const RunSpec& spec, Fault fault = Fault::kNone,
+    std::shared_ptr<obs::Recorder> recorder = nullptr);
 
 /// Greedily shrinks a failing case (fewer bytes, coarser pipeline, fewer
 /// ranks) while it keeps failing under `spec`; returns the smallest failing
@@ -151,6 +159,10 @@ struct Failure {
   RunSpec spec;
   std::string detail;  ///< first mismatching rank/byte
   std::string repro;   ///< repro_string(config, spec, fault)
+  /// Perfetto trace of the shrunken failure, written when the matrix ran
+  /// with a trace_dir; empty otherwise (or when the re-run could not be
+  /// traced — e.g. a ThreadEngine failure).
+  std::string trace_path;
 };
 
 struct Report {
@@ -173,6 +185,10 @@ struct MatrixOptions {
   /// driver's wall-clock watchdog publishes this so a hung run can still be
   /// reported with an exact reproducer.
   std::function<void(const std::string&)> on_run;
+  /// When non-empty, every (shrunken) failure is re-run once with a trace
+  /// recorder and a Perfetto JSON written to this directory (created on
+  /// demand); Failure::trace_path names the file.
+  std::string trace_dir;
 };
 
 /// The full conformance matrix: every collective × style × personality ×
@@ -183,5 +199,14 @@ std::vector<CaseConfig> full_matrix();
 /// perturbations) and the ThreadEngine, diffing each run against the oracle.
 Report run_matrix(const std::vector<CaseConfig>& cases,
                   const MatrixOptions& options);
+
+/// Re-runs one (shrunken) failing case with a trace recorder and writes
+/// `failure-<index>.trace.json` under trace_dir (created on demand).
+/// Returns the path, or "" when the run cannot be traced (ThreadEngine) or
+/// the file cannot be written. Exposed so drivers can trace a parsed
+/// --repro line too.
+std::string write_failure_trace(const CaseConfig& config, const RunSpec& spec,
+                                Fault fault, const std::string& trace_dir,
+                                int index);
 
 }  // namespace adapt::verify

@@ -1,0 +1,213 @@
+// Observability-layer tests: trace determinism, the zero-event guarantee,
+// hand-computed critical-path attribution, and fault-injection metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/coll/coll.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/coll/tree.hpp"
+#include "src/obs/critical_path.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/topo/presets.hpp"
+#include "src/verify/chaos.hpp"
+
+namespace {
+
+using namespace adapt;
+
+/// One noisy, perturbed ADAPT broadcast on a 32-rank Cori node with a fresh
+/// recorder; returns the recorder after the run.
+std::shared_ptr<obs::Recorder> traced_bcast(bool enabled) {
+  topo::Machine machine(topo::cori(1), 32);
+  const mpi::Comm world = mpi::Comm::world(32);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+
+  runtime::SimEngineOptions options;
+  options.noise = noise::paper_noise(10, /*seed=*/0x5EED);
+  options.perturb = sim::PerturbConfig{7, /*shuffle_ties=*/true,
+                                      microseconds(2)};
+  options.recorder = std::make_shared<obs::Recorder>(enabled);
+  runtime::SimEngine engine(machine, options);
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                         coll::Style::kAdapt,
+                         coll::CollOpts{.segment_size = kib(128)});
+  };
+  engine.run(program);
+  return options.recorder;
+}
+
+// Determinism contract: two same-seed runs export byte-identical trace JSON
+// and metrics CSV. This is what makes a trace attached to a failure
+// reproducer trustworthy — replaying the repro regenerates the exact file.
+TEST(ObsTrace, SameSeedRunsExportByteIdenticalTraces) {
+  const auto a = traced_bcast(true);
+  const auto b = traced_bcast(true);
+  ASSERT_GT(a->event_count(), 1000u);  // noise + perturb + 32 ranks of work
+  EXPECT_EQ(a->event_count(), b->event_count());
+
+  std::ostringstream trace_a, trace_b, csv_a, csv_b;
+  obs::write_trace_json(*a, trace_a);
+  obs::write_trace_json(*b, trace_b);
+  EXPECT_EQ(trace_a.str(), trace_b.str());
+  obs::write_metrics_csv(*a, csv_a);
+  obs::write_metrics_csv(*b, csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+}
+
+// Zero-event guarantee: a disabled recorder attached to a run records
+// nothing at all — no spans, no transfers, no metrics, no queue stats. The
+// engine must not install a single hook.
+TEST(ObsTrace, DisabledRecorderRecordsNothing) {
+  const auto rec = traced_bcast(false);
+  EXPECT_EQ(rec->event_count(), 0u);
+  EXPECT_TRUE(rec->metrics().empty());
+  EXPECT_EQ(rec->queue_stats().scheduled, 0u);
+  std::ostringstream csv;
+  obs::write_metrics_csv(*rec, csv);
+  std::ostringstream trace;
+  obs::write_trace_json(*rec, trace);
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+}
+
+// Per-rank collective spans are exact: the latest span end equals the
+// engine's reported completion time.
+TEST(ObsTrace, CollSpansCoverCompletionTime) {
+  topo::Machine machine(topo::cori(1), 16);
+  const mpi::Comm world = mpi::Comm::world(16);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  runtime::SimEngineOptions options;
+  options.recorder = std::make_shared<obs::Recorder>();
+  runtime::SimEngine engine(machine, options);
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    co_await coll::bcast(ctx, world, mpi::MutView{nullptr, kib(256)}, 0, tree,
+                         coll::Style::kAdapt,
+                         coll::CollOpts{.segment_size = kib(64)});
+  };
+  const auto result = engine.run(program);
+
+  TimeNs latest = 0;
+  int coll_spans = 0;
+  for (const auto& s : options.recorder->spans()) {
+    if (s.cat != obs::Cat::kColl) continue;
+    ++coll_spans;
+    EXPECT_EQ(s.t0, 0);
+    latest = std::max(latest, s.t1);
+  }
+  EXPECT_EQ(coll_spans, 16);  // one bcast span per rank
+  EXPECT_EQ(latest, result.total_time);
+}
+
+// The hand-computable case: 4 ranks on one socket, α = 1000 ns,
+// β = 1 ns/byte, no per-message CPU cost, no copies, one 4096-byte eager
+// segment down a binomial tree rooted at 0.
+//
+//   round 1: 0 → 2           [0, 1000 + 4096 = 5096]
+//   round 2: 2 → 3 (and 0→1) [5096, 10192]
+//
+// Rank 3's completion decomposes exactly into two Hockney terms per hop:
+// α = 2 × 1000, β = 2 × 4096, nothing else — and the walk's invariant
+// total() == end holds to the nanosecond.
+TEST(ObsCriticalPath, HandComputedBinomialBcast) {
+  topo::MachineSpec spec;
+  spec.name = "hand";
+  spec.nodes = 1;
+  spec.sockets_per_node = 1;
+  spec.cores_per_socket = 4;
+  spec.intra_socket = {1000, 1.0};
+  spec.memcpy_beta = 0.0;
+  topo::Machine machine(spec, 4);
+  const mpi::Comm world = mpi::Comm::world(4);
+  const coll::Tree tree = coll::binomial_tree(4, 0);
+
+  runtime::SimEngineOptions options;
+  options.recorder = std::make_shared<obs::Recorder>();
+  runtime::SimEngine engine(machine, options);
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    co_await coll::bcast(ctx, world, mpi::MutView{nullptr, 4096}, 0, tree,
+                         coll::Style::kBlocking,
+                         coll::CollOpts{.segment_size = 4096});
+  };
+  const auto result = engine.run(program);
+  EXPECT_EQ(result.total_time, 10192);
+
+  // Rank 3 is the depth-2 leaf (0 → 2 → 3); its bcast span ends with the run.
+  TimeNs rank3_end = -1;
+  for (const auto& s : options.recorder->spans()) {
+    if (s.cat == obs::Cat::kColl && s.pid == obs::rank_pid(3)) {
+      rank3_end = s.t1;
+    }
+  }
+  ASSERT_EQ(rank3_end, 10192);
+
+  const obs::Attribution attr =
+      obs::critical_path(*options.recorder, 3, rank3_end);
+  EXPECT_EQ(attr.alpha, 2000);
+  EXPECT_EQ(attr.beta, 8192);
+  EXPECT_EQ(attr.compute, 0);
+  EXPECT_EQ(attr.contention, 0);
+  EXPECT_EQ(attr.noise, 0);
+  EXPECT_EQ(attr.other, 0);
+  EXPECT_EQ(attr.hops, 2);
+  EXPECT_EQ(attr.total(), attr.end);
+}
+
+// The attribution invariant must survive arbitrary schedules too: on a
+// noisy, contended run every nanosecond of the slowest rank's completion is
+// explained exactly once.
+TEST(ObsCriticalPath, AttributionSumsToCompletionUnderNoise) {
+  const auto rec = traced_bcast(true);
+  TimeNs latest = 0;
+  Rank slowest = 0;
+  for (const auto& s : rec->spans()) {
+    if (s.cat == obs::Cat::kColl && s.t1 > latest) {
+      latest = s.t1;
+      slowest = s.pid - 1;
+    }
+  }
+  ASSERT_GT(latest, 0);
+  const obs::Attribution attr = obs::critical_path(*rec, slowest, latest);
+  EXPECT_EQ(attr.total(), attr.end);
+  EXPECT_EQ(attr.end, latest);
+  EXPECT_GT(attr.alpha + attr.beta, 0);
+}
+
+// Metrics under fault injection: the "retransmits" counter is incremented at
+// the same site as ReliableChannel::Stats, so the registry total must equal
+// the per-channel sum — and a lossy plan must actually produce some.
+TEST(ObsMetrics, RetransmitCounterMatchesChannelStats) {
+  topo::Machine machine(topo::cori(1), 8);
+  const mpi::Comm world = mpi::Comm::world(8);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+
+  runtime::SimEngineOptions options;
+  options.faults.seed = 0xD06;
+  options.faults.drop = 0.2;
+  options.reliability = verify::chaos_reliability();
+  options.recorder = std::make_shared<obs::Recorder>();
+  runtime::SimEngine engine(machine, options);
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    co_await coll::bcast(ctx, world, mpi::MutView{nullptr, kib(32)}, 0, tree,
+                         coll::Style::kAdapt,
+                         coll::CollOpts{.segment_size = kib(4)});
+  };
+  engine.run(program);
+
+  std::uint64_t channel_sum = 0;
+  for (Rank r = 0; r < 8; ++r) {
+    ASSERT_NE(engine.channel(r), nullptr);
+    channel_sum += engine.channel(r)->stats().retransmits;
+  }
+  EXPECT_GT(channel_sum, 0u);  // a 20% lossy fabric must retransmit
+  EXPECT_EQ(options.recorder->metrics().counter_value("retransmits"),
+            static_cast<std::int64_t>(channel_sum));
+}
+
+}  // namespace

@@ -48,7 +48,11 @@ int usage() {
          "                          [--chaos] [--chaos-only]\n"
          "                          [--soft-seeds=K] [--kill-seeds=K]\n"
          "                          [--watchdog=SECONDS]  (0 disables)\n"
-         "                          [--repro '<failure line>']\n";
+         "                          [--trace-dir=DIR]\n"
+         "                          [--repro '<failure line>']\n"
+         "--trace-dir: re-run every shrunken failure (and any --repro that\n"
+         "reproduces) with the obs recorder and write a Perfetto trace\n"
+         "(failure-N.trace.json) into DIR.\n";
   return 2;
 }
 
@@ -97,7 +101,7 @@ class Watchdog {
   std::thread thread_;
 };
 
-int replay(const std::string& line) {
+int replay(const std::string& line, const std::string& trace_dir) {
   CaseConfig config;
   RunSpec spec;
   Fault fault = Fault::kNone;
@@ -108,6 +112,11 @@ int replay(const std::string& line) {
   std::cout << "replaying: " << repro_string(config, spec, fault) << "\n";
   if (auto mismatch = run_case(config, spec, fault)) {
     std::cout << "REPRODUCED: " << *mismatch << "\n";
+    if (!trace_dir.empty()) {
+      const std::string path =
+          write_failure_trace(config, spec, fault, trace_dir, 0);
+      if (!path.empty()) std::cout << "trace: " << path << "\n";
+    }
     return 1;
   }
   std::cout << "case passed (bug not reproduced)\n";
@@ -197,6 +206,8 @@ int main(int argc, char** argv) {
   int soft_seeds = 6;
   int kill_seeds = 4;
   long watchdog_seconds = 120;
+  std::string trace_dir;
+  std::string repro_line;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -220,12 +231,15 @@ int main(int argc, char** argv) {
       kill_seeds = std::stoi(arg.substr(13));
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       watchdog_seconds = std::stol(arg.substr(11));
+    } else if (arg.rfind("--trace-dir=", 0) == 0) {
+      trace_dir = arg.substr(12);
     } else if (arg == "--repro" && i + 1 < argc) {
-      return replay(argv[++i]);
+      repro_line = argv[++i];
     } else {
       return usage();
     }
   }
+  if (!repro_line.empty()) return replay(repro_line, trace_dir);
 
   Watchdog watchdog(watchdog_seconds);
   const auto log = [](const std::string& line) { std::cerr << line << "\n"; };
@@ -239,6 +253,7 @@ int main(int argc, char** argv) {
     options.shrink = shrink;
     options.log = log;
     options.on_run = on_run;
+    options.trace_dir = trace_dir;
 
     const std::vector<CaseConfig> cases = full_matrix();
     std::cout << "conformance matrix: " << cases.size()
@@ -260,6 +275,7 @@ int main(int argc, char** argv) {
     options.shrink = shrink;
     options.log = log;
     options.on_run = on_run;
+    options.trace_dir = trace_dir;
 
     const std::vector<CaseConfig> cases = chaos_matrix();
     std::cout << "chaos matrix: " << cases.size() << " cases × (" << soft_seeds
