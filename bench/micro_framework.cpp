@@ -2,7 +2,17 @@
 // event-queue throughput, fluid-flow rebalancing, matching, tree builders and
 // the end-to-end simulated-message rate. These guard the simulator's own
 // performance, which bounds how large a cluster the figure benches can model.
+//
+// The binary also replaces the global allocator with a counting one, so the
+// *SteadyState benchmarks can report an `allocs_per_item` counter — the
+// allocation-free contract of the slab event queue and the buffer pool as a
+// perf-CI guard (a regression shows up as a non-zero counter, not just a
+// slowdown).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "src/coll/coll.hpp"
 #include "src/coll/topo_tree.hpp"
@@ -11,8 +21,43 @@
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/buffer_pool.hpp"
 #include "src/support/rng.hpp"
 #include "src/topo/presets.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -31,6 +76,70 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+// Steady-state churn on a warm queue: constant depth, recycled slots, warm
+// radix buckets. `allocs_per_item` must stay 0.00 — the allocation-free
+// contract as a perf-CI counter.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  Rng rng(1);
+  TimeNs t = 0;
+  const auto round = [&] {
+    for (int i = 0; i < depth; ++i) {
+      q.push(t + 1 + static_cast<TimeNs>(rng.next_below(1 << 12)), [] {});
+    }
+    while (!q.empty()) {
+      auto [time, fn] = q.pop();
+      t = time;
+      benchmark::DoNotOptimize(fn);
+    }
+  };
+  // Warm every radix level reachable by an advancing clock, then the loop's
+  // own shape, so the measured region starts with all capacity in place.
+  for (int b = 5; b <= 45; ++b) {
+    for (int j = 0; j < depth; ++j) {
+      q.push((static_cast<TimeNs>(1) << b) + j, [] {});
+    }
+  }
+  while (!q.empty()) t = q.pop().first;
+  round();
+  const std::uint64_t before = g_alloc_count.load();
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    round();
+    items += static_cast<std::uint64_t>(depth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - before) /
+      static_cast<double>(items ? items : 1));
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(64)->Arg(1024);
+
+// Steady-state acquire/release churn on a warm pool — same contract.
+void BM_BufferPoolSteadyState(benchmark::State& state) {
+  support::BufferPool pool;
+  const auto round = [&] {
+    support::BufferRef a = pool.acquire(kib(32));
+    support::BufferRef b = pool.acquire_raw(4096);
+    support::BufferRef c = pool.acquire(256);
+    support::BufferRef shared = a;
+    benchmark::DoNotOptimize(shared.data());
+  };
+  round();  // warm the free lists
+  const std::uint64_t before = g_alloc_count.load();
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    round();
+    items += 3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+  state.counters["allocs_per_item"] = benchmark::Counter(
+      static_cast<double>(g_alloc_count.load() - before) /
+      static_cast<double>(items ? items : 1));
+}
+BENCHMARK(BM_BufferPoolSteadyState);
 
 void BM_FabricContendedFlows(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-CI gate: compare a fresh micro_framework JSON run to a committed
+baseline (BENCH_micro.json).
+
+Two checks, in decreasing order of signal:
+
+1. Allocation counters are machine-independent: every benchmark reporting an
+   `allocs_per_item` counter must stay at (effectively) zero. A steady-state
+   allocation is a code regression no amount of CI noise can excuse.
+
+2. Throughput ratios are machine-DEPENDENT: the committed baseline was
+   recorded on one box, CI runs on another. The gate therefore only fails
+   when a benchmark's items_per_second (or, failing that, real_time) is
+   worse than `--threshold` times the baseline — a catastrophic-regression
+   tripwire, not a microbenchmark referee. Tighten the threshold only with a
+   pinned runner.
+
+Usage: check_perf.py --baseline BENCH_micro.json --run fresh.json
+                     [--threshold 0.4]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # With --benchmark_report_aggregates_only the names carry a suffix;
+        # prefer medians, fall back to the raw entry.
+        name = b["name"]
+        if name.endswith(("_mean", "_stddev", "_cv", "_min", "_max")):
+            continue
+        key = name[: -len("_median")] if name.endswith("_median") else name
+        out[key] = b
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--run", required=True)
+    ap.add_argument("--threshold", type=float, default=0.4,
+                    help="fail when fresh throughput < threshold * baseline")
+    ap.add_argument("--max-allocs", type=float, default=0.001,
+                    help="ceiling for any allocs_per_item counter")
+    args = ap.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.run)
+    failures = []
+
+    for name, b in sorted(fresh.items()):
+        allocs = b.get("allocs_per_item")
+        if allocs is not None and allocs > args.max_allocs:
+            failures.append(
+                f"{name}: allocs_per_item={allocs:.6f} "
+                f"(limit {args.max_allocs}) — steady state allocated")
+        else:
+            if allocs is not None:
+                print(f"{name}: allocs_per_item={allocs:.6f} ok")
+
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        failures.append("no benchmark names in common with the baseline")
+    for name in common:
+        base, run = baseline[name], fresh[name]
+        if "items_per_second" in base and "items_per_second" in run:
+            ratio = run["items_per_second"] / base["items_per_second"]
+            kind = "items/s"
+        else:
+            # Lower is better for time; invert so ratio > 1 still means
+            # "fresh run is faster".
+            ratio = base["real_time"] / run["real_time"]
+            kind = "time"
+        marker = "ok" if ratio >= args.threshold else "REGRESSED"
+        print(f"{name}: {kind} ratio vs baseline = {ratio:.3f} {marker}")
+        if ratio < args.threshold:
+            failures.append(
+                f"{name}: {kind} fell to {ratio:.3f}x of baseline "
+                f"(threshold {args.threshold}x)")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print(f"\nperf gate ok: {len(common)} benchmarks compared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,8 +50,8 @@ sim::Task<> scatter(runtime::Context& ctx, const mpi::Comm& comm,
   // Staging buffer in label order covering [v, v+span).
   const bool synthetic = recvblock.synthetic() ||
                          (me == root && sendbuf.synthetic());
-  mpi::Payload stage = synthetic ? mpi::Payload::synthetic(span * block)
-                                 : mpi::Payload::real(span * block);
+  mpi::Payload stage = mpi::Payload::scratch(ctx.pool(), span * block,
+                                             synthetic);
   if (me == root) {
     ADAPT_CHECK(sendbuf.size >= block * n) << "scatter sendbuf too small";
     for (int l = 0; l < n; ++l) {
@@ -99,8 +99,8 @@ sim::Task<> gather(runtime::Context& ctx, const mpi::Comm& comm,
 
   const bool synthetic = sendblock.synthetic() ||
                          (me == root && recvbuf.synthetic());
-  mpi::Payload stage = synthetic ? mpi::Payload::synthetic(span * block)
-                                 : mpi::Payload::real(span * block);
+  mpi::Payload stage = mpi::Payload::scratch(ctx.pool(), span * block,
+                                             synthetic);
   copy_if_real(stage.view().slice(0, block), sendblock, block);
 
   // Collect child ranges (reverse of scatter).
@@ -196,14 +196,13 @@ sim::Task<> bcast_scatter_allgather(runtime::Context& ctx,
   // Scatter phase over a padded staging area so ranges stay uniform, then
   // allgather over the same layout and unpack.
   const bool synthetic = buffer.synthetic();
-  mpi::Payload padded = synthetic ? mpi::Payload::synthetic(block * n)
-                                  : mpi::Payload::real(block * n);
+  mpi::Payload padded =
+      mpi::Payload::scratch(ctx.pool(), block * n, synthetic);
   if (me == root && !synthetic) {
     std::memcpy(padded.data(), buffer.data,
                 static_cast<std::size_t>(buffer.size));
   }
-  mpi::Payload myblock = synthetic ? mpi::Payload::synthetic(block)
-                                   : mpi::Payload::real(block);
+  mpi::Payload myblock = mpi::Payload::scratch(ctx.pool(), block, synthetic);
   co_await scatter(ctx, comm, padded.cview(), myblock.view(), block, root);
   copy_if_real(padded.view().slice(me * block, block), myblock.cview(), block);
   co_await allgather(ctx, comm, padded.view(), block, algo);
@@ -228,8 +227,8 @@ sim::Task<> reduce_rabenseifner(runtime::Context& ctx, const mpi::Comm& comm,
   const Tag base_tag = ctx.alloc_tags(64 + n);
   const Bytes elem = size_of(dtype);
   const bool synthetic = accum.synthetic();
-  mpi::Payload scratch = synthetic ? mpi::Payload::synthetic(accum.size)
-                                   : mpi::Payload::real(accum.size);
+  mpi::Payload scratch =
+      mpi::Payload::scratch(ctx.pool(), accum.size, synthetic);
 
   auto fold = [&](mpi::MutView dst, mpi::ConstView src,
                   Bytes len) -> sim::Task<> {
@@ -359,9 +358,8 @@ sim::Task<> allreduce_ring(runtime::Context& ctx, const mpi::Comm& comm,
   const Rank right = comm.global((me + 1) % n);
   const Rank left = comm.global((me - 1 + n) % n);
   const bool synthetic = accum.synthetic();
-  mpi::Payload scratch = synthetic
-                             ? mpi::Payload::synthetic(raw_block + elem)
-                             : mpi::Payload::real(raw_block + elem);
+  mpi::Payload scratch =
+      mpi::Payload::scratch(ctx.pool(), raw_block + elem, synthetic);
 
   // Phase 1 — reduce-scatter ring: after P-1 steps, rank me holds the fully
   // reduced block (me+1) mod n.

@@ -15,10 +15,10 @@ namespace {
 using detail::Edges;
 
 /// Scratch space for one in-flight child contribution; real iff the
-/// accumulator is real.
-mpi::Payload make_scratch(const mpi::MutView& accum, Bytes len) {
-  return accum.synthetic() ? mpi::Payload::synthetic(len)
-                           : mpi::Payload::real(len);
+/// accumulator is real, pooled when the engine has a pool.
+mpi::Payload make_scratch(runtime::Context& ctx, const mpi::MutView& accum,
+                          Bytes len) {
+  return mpi::Payload::scratch(ctx.pool(), len, accum.synthetic());
 }
 
 /// Suspending accumulate used by the blocking/nonblocking styles: charges the
@@ -46,7 +46,7 @@ sim::Task<> reduce_blocking(runtime::Context& ctx, const Edges& e,
                             mpi::MutView accum, mpi::ReduceOp op,
                             mpi::Datatype dtype, const Segmenter& segs,
                             const CollOpts& opts, Tag base_tag) {
-  mpi::Payload scratch = make_scratch(accum, opts.segment_size);
+  mpi::Payload scratch = make_scratch(ctx, accum, opts.segment_size);
   for (int s = 0; s < segs.count(); ++s) {
     const Bytes len = segs.length(s);
     mpi::MutView piece = accum.slice(segs.offset(s), len);
@@ -77,7 +77,7 @@ sim::Task<> reduce_nonblocking(runtime::Context& ctx, const Edges& e,
   std::vector<mpi::Payload> scratch;
   scratch.reserve(nkids * 2);
   for (std::size_t i = 0; i < nkids * 2; ++i)
-    scratch.push_back(make_scratch(accum, opts.segment_size));
+    scratch.push_back(make_scratch(ctx, accum, opts.segment_size));
   auto scratch_view = [&](std::size_t c, int s, Bytes len) {
     return scratch[c * 2 + static_cast<std::size_t>(s % 2)].view().slice(0,
                                                                          len);
@@ -255,7 +255,7 @@ sim::Task<> reduce_adapt(runtime::Context& ctx, const Edges& e,
       st->nkids() * static_cast<std::size_t>(opts.outstanding_recvs);
   st->scratch.reserve(windows);
   for (std::size_t i = 0; i < windows; ++i)
-    st->scratch.push_back(make_scratch(accum, opts.segment_size));
+    st->scratch.push_back(make_scratch(ctx, accum, opts.segment_size));
 
   // Root finishes when all segments are fully reduced; everyone else when all
   // segments have been sent up.

@@ -89,8 +89,10 @@ RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
     // immediately reusable (for rendezvous the transport keeps this copy
     // until the grant; semantically equivalent, since the request only
     // completes at transfer end).
-    env.data = std::make_shared<std::vector<std::byte>>(
-        data.data, data.data + data.size);
+    env.data = pool_ ? pool_->acquire_raw(data.size)
+                     : support::BufferRef::heap_raw(data.size);
+    std::memcpy(env.data.data(), data.data,
+                static_cast<std::size_t>(data.size));
   }
   transport_.submit(std::move(env), opts.src_space, opts.dst_space,
                     [req] { req->mark_complete(); },
@@ -177,7 +179,7 @@ void Endpoint::finalize_recv(const PostedRecv& recv, const Envelope& env) {
       << "message of " << env.size << "B overflows a " << recv.buffer.size
       << "B receive buffer (src=" << env.src << " tag=" << env.tag << ")";
   if (env.data && !recv.buffer.synthetic()) {
-    std::memcpy(recv.buffer.data, env.data->data(),
+    std::memcpy(recv.buffer.data, env.data.data(),
                 static_cast<std::size_t>(env.size));
   }
   ++recvs_done_;

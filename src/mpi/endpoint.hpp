@@ -135,6 +135,10 @@ class Endpoint {
   /// counters, match-queue depth histograms, unexpected-hit instants.
   void set_recorder(obs::Recorder* rec) { rec_ = rec; }
 
+  /// Installs the engine's buffer pool: eager send copies recycle through it
+  /// instead of allocating. Null (the default) falls back to heap blocks.
+  void set_pool(support::BufferPool* pool) { pool_ = pool; }
+
  private:
   /// Immediately-failed request for invalid arguments or a poisoned endpoint.
   RequestPtr failed_request(Request::Kind kind, Rank peer, Tag tag,
@@ -148,6 +152,7 @@ class Endpoint {
   EndpointCosts costs_;
   Matcher matcher_;
   obs::Recorder* rec_ = nullptr;
+  support::BufferPool* pool_ = nullptr;
   ErrCode poisoned_ = ErrCode::kOk;
   /// Weak so completed requests die with their owners; compacted on growth.
   std::vector<std::weak_ptr<Request>> pending_;

@@ -1,32 +1,86 @@
 #include "src/mpi/match.hpp"
 
-#include <algorithm>
+#include <limits>
 
 namespace adapt::mpi {
 
+namespace {
+constexpr std::uint64_t kNoStamp = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
 std::optional<Envelope> Matcher::post(PostedRecv recv) {
-  const auto it = std::find_if(
-      unexpected_.begin(), unexpected_.end(),
-      [&](const Envelope& env) { return matches(recv, env); });
-  if (it != unexpected_.end()) {
-    Envelope env = std::move(*it);
-    unexpected_.erase(it);
+  // Find the earliest-arrived matching envelope. A concrete receive can only
+  // match its own (src, tag) bucket; a wildcard receive must consider the
+  // front (earliest) of every bucket whose key it matches.
+  Fifo<Envelope>* hit = nullptr;
+  std::uint64_t best = kNoStamp;
+  if (recv.src != kAnyRank && recv.tag != kAnyTag) {
+    const auto it = unexpected_buckets_.find(key_of(recv.src, recv.tag));
+    if (it != unexpected_buckets_.end() && !it->second.empty()) {
+      hit = &it->second;
+      best = it->second.front().stamp;
+    }
+  } else {
+    for (auto& [key, bucket] : unexpected_buckets_) {
+      if (bucket.empty()) continue;
+      const Envelope& env = bucket.front().value;
+      if (!matches(recv, env)) continue;
+      if (bucket.front().stamp < best) {
+        best = bucket.front().stamp;
+        hit = &bucket;
+      }
+    }
+  }
+  if (hit != nullptr) {
+    Envelope env = std::move(hit->front().value);
+    hit->pop_front();
+    --unexpected_count_;
     return env;
   }
-  posted_.push_back(std::move(recv));
+  const std::uint64_t stamp = next_stamp_++;
+  if (recv.src != kAnyRank && recv.tag != kAnyTag) {
+    posted_buckets_[key_of(recv.src, recv.tag)].push_back(
+        Stamped<PostedRecv>{stamp, std::move(recv)});
+  } else {
+    posted_wild_.push_back(Stamped<PostedRecv>{stamp, std::move(recv)});
+  }
+  ++posted_count_;
   return std::nullopt;
 }
 
 std::optional<PostedRecv> Matcher::arrive(const Envelope& env) {
-  const auto it = std::find_if(
-      posted_.begin(), posted_.end(),
-      [&](const PostedRecv& recv) { return matches(recv, env); });
-  if (it != posted_.end()) {
-    PostedRecv recv = std::move(*it);
-    posted_.erase(it);
+  // Two candidates can match: the front of the exact (src, tag) bucket and
+  // the earliest matching wildcard. Earliest posted wins overall, so compare
+  // stamps — this reproduces the original single-queue FIFO scan exactly.
+  Fifo<PostedRecv>* bucket = nullptr;
+  std::uint64_t bucket_stamp = kNoStamp;
+  const auto it = posted_buckets_.find(key_of(env.src, env.tag));
+  if (it != posted_buckets_.end() && !it->second.empty()) {
+    bucket = &it->second;
+    bucket_stamp = it->second.front().stamp;
+  }
+  auto wild = posted_wild_.begin();
+  for (; wild != posted_wild_.end(); ++wild) {
+    if (matches(wild->value, env)) break;
+  }
+  const std::uint64_t wild_stamp =
+      wild != posted_wild_.end() ? wild->stamp : kNoStamp;
+
+  if (bucket_stamp < wild_stamp) {
+    PostedRecv recv = std::move(bucket->front().value);
+    bucket->pop_front();
+    --posted_count_;
     return recv;
   }
-  unexpected_.push_back(env);
+  if (wild_stamp != kNoStamp) {
+    PostedRecv recv = std::move(wild->value);
+    posted_wild_.erase(wild);
+    --posted_count_;
+    return recv;
+  }
+  unexpected_buckets_[key_of(env.src, env.tag)].push_back(
+      Stamped<Envelope>{next_stamp_++, env});
+  ++unexpected_count_;
   ++total_unexpected_;
   return std::nullopt;
 }

@@ -7,16 +7,30 @@
 // message costs an extra buffer allocation and copy when it is finally
 // matched, so ADAPT posts more receives (M) than each sender keeps in
 // flight (N).
+//
+// Both queues are bucketed by the concrete (source, tag) pair, so the
+// common case — a fully specified receive meeting a fully specified
+// envelope — is an O(1) bucket-front hit instead of a linear scan across
+// every pending entry (the scan is what made deep posted queues, M large in
+// the M > N scheme, quadratic). Wildcard receives take a fallback path:
+// posted wildcards live on a separate FIFO list that arrivals scan
+// linearly, and a wildcard post scans the bucket fronts of the unexpected
+// table. Every entry carries a monotone arrival stamp, and a match always
+// takes the lowest stamp among the bucket candidate and the wildcard
+// candidate — exactly the earliest-wins order of the original single-queue
+// scan, which the interleaving unit test pins down.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/mpi/payload.hpp"
 #include "src/mpi/request.hpp"
+#include "src/support/buffer_pool.hpp"
 #include "src/support/units.hpp"
 
 namespace adapt::mpi {
@@ -36,8 +50,9 @@ struct Envelope {
   Rank dst = kAnyRank;
   Tag tag = kAnyTag;
   Bytes size = 0;
-  /// Copy of the sender's bytes; null for synthetic payloads and RTS notices.
-  std::shared_ptr<std::vector<std::byte>> data;
+  /// Copy of the sender's bytes (`size` of them, in a pooled block); null
+  /// for synthetic payloads and RTS notices.
+  support::BufferRef data;
   /// Rendezvous grant: invoked exactly once with the matched receive; the
   /// transport then runs CTS + data transfer and finalises both requests.
   std::function<void(PostedRecv)> grant;
@@ -57,8 +72,8 @@ class Matcher {
   /// enqueued on the unexpected list.
   std::optional<PostedRecv> arrive(const Envelope& env);
 
-  std::size_t posted_count() const { return posted_.size(); }
-  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::size_t posted_count() const { return posted_count_; }
+  std::size_t unexpected_count() const { return unexpected_count_; }
   std::uint64_t total_unexpected() const { return total_unexpected_; }
 
  private:
@@ -66,9 +81,49 @@ class Matcher {
     return (recv.src == kAnyRank || recv.src == env.src) &&
            (recv.tag == kAnyTag || recv.tag == env.tag);
   }
+  /// Envelopes always carry a concrete (src, tag): the bucket key.
+  static std::uint64_t key_of(Rank src, Tag tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
 
-  std::deque<PostedRecv> posted_;
-  std::deque<Envelope> unexpected_;
+  template <typename T>
+  struct Stamped {
+    std::uint64_t stamp;
+    T value;
+  };
+
+  /// Vector-backed FIFO: pop_front advances a head index and storage resets
+  /// (capacity kept) once drained — one allocation per bucket lifetime
+  /// instead of a deque's chunk map, and contiguous for the scans.
+  template <typename T>
+  struct Fifo {
+    std::vector<Stamped<T>> items;
+    std::size_t head = 0;
+
+    bool empty() const { return head == items.size(); }
+    Stamped<T>& front() { return items[head]; }
+    const Stamped<T>& front() const { return items[head]; }
+    void push_back(Stamped<T> v) { items.push_back(std::move(v)); }
+    void pop_front() {
+      if (++head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+    }
+  };
+
+  /// Fully specified receives, bucketed by (src, tag); FIFO within a bucket.
+  std::unordered_map<std::uint64_t, Fifo<PostedRecv>> posted_buckets_;
+  /// Receives with a kAnyRank/kAnyTag wildcard, in posting order.
+  std::deque<Stamped<PostedRecv>> posted_wild_;
+  /// Unexpected envelopes, bucketed by their concrete (src, tag).
+  std::unordered_map<std::uint64_t, Fifo<Envelope>> unexpected_buckets_;
+
+  std::uint64_t next_stamp_ = 0;
+  std::size_t posted_count_ = 0;
+  std::size_t unexpected_count_ = 0;
   std::uint64_t total_unexpected_ = 0;
 };
 

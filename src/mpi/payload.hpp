@@ -5,11 +5,18 @@
 // paper scale where materialising 1.5k ranks × 4 MB is pointless — the timing
 // model only ever reads sizes). Real and synthetic payloads follow identical
 // code paths; only the final memcpy/arithmetic is skipped for synthetic ones.
+//
+// Real payloads are backed by pooled BufferRefs: engine-internal staging
+// buffers (segment scratch, eager copies) come from the engine's BufferPool
+// and recycle across segments and collectives; engine-free payloads (unit
+// tests, user buffers) fall back to plain heap blocks. Either way the first
+// `size` bytes start zeroed, exactly as the vector-backed payloads did.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "src/support/buffer_pool.hpp"
 #include "src/support/error.hpp"
 #include "src/support/units.hpp"
 
@@ -49,7 +56,15 @@ class Payload {
   static Payload real(Bytes size) {
     Payload p;
     p.size_ = size;
-    p.bytes_.resize(static_cast<std::size_t>(size));
+    if (size > 0) p.buf_ = support::BufferRef::heap(size);
+    return p;
+  }
+  /// Pool-backed payload: the block returns to `pool` when the payload (and
+  /// any copies) die. Zero-filled like real().
+  static Payload pooled(support::BufferPool& pool, Bytes size) {
+    Payload p;
+    p.size_ = size;
+    if (size > 0) p.buf_ = pool.acquire(size);
     return p;
   }
   static Payload synthetic(Bytes size) {
@@ -57,20 +72,28 @@ class Payload {
     p.size_ = size;
     return p;
   }
+  /// Staging-buffer helper for the collectives: synthetic mirrors a
+  /// synthetic user buffer; otherwise pooled when an engine pool is at hand,
+  /// plain heap when not (engine-free unit tests).
+  static Payload scratch(support::BufferPool* pool, Bytes size,
+                         bool synthetic) {
+    if (synthetic) return Payload::synthetic(size);
+    return pool ? Payload::pooled(*pool, size) : Payload::real(size);
+  }
 
   Bytes size() const { return size_; }
-  bool is_real() const { return !bytes_.empty() || size_ == 0; }
+  bool is_real() const { return static_cast<bool>(buf_) || size_ == 0; }
 
-  MutView view() { return MutView{bytes_.empty() ? nullptr : bytes_.data(), size_}; }
+  MutView view() { return MutView{buf_ ? buf_.data() : nullptr, size_}; }
   ConstView cview() const {
-    return ConstView{bytes_.empty() ? nullptr : bytes_.data(), size_};
+    return ConstView{buf_ ? buf_.data() : nullptr, size_};
   }
-  std::byte* data() { return bytes_.data(); }
-  const std::byte* data() const { return bytes_.data(); }
+  std::byte* data() { return buf_ ? buf_.data() : nullptr; }
+  const std::byte* data() const { return buf_ ? buf_.data() : nullptr; }
 
  private:
   Bytes size_ = 0;
-  std::vector<std::byte> bytes_;
+  support::BufferRef buf_;
 };
 
 }  // namespace adapt::mpi

@@ -22,6 +22,10 @@ namespace adapt::obs {
 class Recorder;  // defined in src/obs/trace.hpp; null unless tracing is on
 }
 
+namespace adapt::support {
+class BufferPool;  // defined in src/support/buffer_pool.hpp
+}
+
 namespace adapt::runtime {
 
 class Context {
@@ -57,6 +61,10 @@ class Context {
 
   /// This rank's GPU, or nullptr when the engine/machine has none.
   virtual gpu::Device* gpu() { return nullptr; }
+
+  /// The engine's buffer pool for staging scratch, or nullptr when no pool
+  /// is available (collectives then fall back to plain heap payloads).
+  virtual support::BufferPool* pool() { return nullptr; }
 
   /// The run's trace/metrics recorder, or nullptr when observability is off
   /// (always null on the ThreadEngine — the recorder is single-threaded).

@@ -46,9 +46,9 @@ int wire_kind(const mpi::WireFrame& wire) {
 /// the reliability layer on, corruption is a checksum discard instead and the
 /// payload is never touched).
 void corrupt_in_place(mpi::Envelope& env, std::uint64_t salt) {
-  if (!env.data || env.data->empty()) return;
-  (*env.data)[static_cast<std::size_t>(salt % env.data->size())] ^=
-      std::byte{0x2a};
+  if (!env.data || env.size == 0) return;
+  env.data.data()[static_cast<std::size_t>(
+      salt % static_cast<std::uint64_t>(env.size))] ^= std::byte{0x2a};
 }
 
 }  // namespace
@@ -269,7 +269,7 @@ class SimEngine::SimTransport final : public mpi::Transport {
     rts.kind = mpi::Frame::Kind::kRts;
     rts.rdvz = key.second;
     rts.env = env;
-    rts.env.data = nullptr;  // metadata only; the payload ships with kBulk
+    rts.env.data.reset();  // metadata only; the payload ships with kBulk
     rts.env.grant = nullptr;
     rts.src_space = src_space;
     rts.dst_space = dst_space;
@@ -437,6 +437,7 @@ class SimEngine::SimContext final : public Context {
   }
 
   obs::Recorder* recorder() override { return engine_.obs_; }
+  support::BufferPool* pool() override { return &engine_.pool_; }
 
  private:
   SimEngine& engine_;
@@ -488,6 +489,7 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
     executors_.push_back(std::make_unique<SimRankExecutor>(*this, r));
     endpoints_.push_back(std::make_unique<mpi::Endpoint>(
         r, n, *executors_.back(), *transport_, costs));
+    endpoints_.back()->set_pool(&pool_);
     contexts_.push_back(std::make_unique<SimContext>(*this, r));
   }
   if (machine_.spec().gpus_per_socket > 0) {

@@ -18,6 +18,7 @@
 #include "src/obs/trace.hpp"
 #include "src/runtime/context.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/support/buffer_pool.hpp"
 #include "src/topo/hardware.hpp"
 
 namespace adapt::gpu {
@@ -63,6 +64,8 @@ class SimEngine final : public Engine {
   TimeNs now() const { return sim_.now(); }
 
   mpi::Endpoint& endpoint(Rank r);
+  /// The engine's buffer pool (eager copies, segment staging scratch).
+  support::BufferPool& pool() { return pool_; }
   /// Reliability-channel introspection; null when reliability is off.
   mpi::ReliableChannel* channel(Rank r);
   const net::FaultInjector* fault_injector() const { return injector_.get(); }
@@ -96,6 +99,10 @@ class SimEngine final : public Engine {
 
   const topo::Machine& machine_;
   SimEngineOptions options_;
+  /// Declared before every component that can hold BufferRefs (endpoints'
+  /// unexpected queues, in-flight simulator events), so it is destroyed
+  /// after all of them — the pool-lifetime contract.
+  support::BufferPool pool_;
   obs::Recorder* obs_ = nullptr;  ///< null unless options_.recorder enabled
   /// Sampled at construction: when logging is on, rank callbacks run under a
   /// ScopedLogContext so lines carry virtual time + rank. When off, callbacks

@@ -80,6 +80,7 @@ class ThreadEngine::ThreadContext final : public Context {
     return *engine_.endpoints_[static_cast<std::size_t>(rank_)];
   }
   const topo::Machine& machine() const override { return engine_.machine_; }
+  support::BufferPool* pool() override { return &engine_.pool_; }
 
   sim::Task<> compute(TimeNs cost) override {
     ADAPT_CHECK(cost >= 0);
@@ -156,6 +157,7 @@ ThreadEngine::ThreadEngine(const topo::Machine& machine)
     mailboxes_.push_back(std::make_unique<Mailbox>(*this));
     endpoints_.push_back(std::make_unique<mpi::Endpoint>(
         r, n, *mailboxes_.back(), *transport_, mpi::EndpointCosts{}));
+    endpoints_.back()->set_pool(&pool_);
     contexts_.push_back(
         std::make_unique<ThreadContext>(*this, r, *mailboxes_.back()));
   }

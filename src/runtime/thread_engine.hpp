@@ -20,6 +20,7 @@
 
 #include "src/mpi/endpoint.hpp"
 #include "src/runtime/context.hpp"
+#include "src/support/buffer_pool.hpp"
 #include "src/topo/hardware.hpp"
 
 namespace adapt::runtime {
@@ -41,6 +42,10 @@ class ThreadEngine final : public Engine {
   class ThreadTransport;
 
   const topo::Machine& machine_;
+  /// Declared before the endpoints/mailboxes that hold BufferRefs so it is
+  /// destroyed after them (pool-lifetime contract). Mutex-guarded: rank
+  /// threads acquire and release concurrently.
+  support::BufferPool pool_;
   std::unique_ptr<ThreadTransport> transport_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<mpi::Endpoint>> endpoints_;

@@ -4,13 +4,13 @@
 
 namespace adapt::sim {
 
-EventHandle Simulator::at(TimeNs t, std::function<void()> fn) {
+EventHandle Simulator::at(TimeNs t, EventFn fn) {
   ADAPT_CHECK(t >= now_) << "scheduling into the past: t=" << t
                          << " now=" << now_;
   return queue_.push(t, std::move(fn));
 }
 
-EventHandle Simulator::after(TimeNs delay, std::function<void()> fn) {
+EventHandle Simulator::after(TimeNs delay, EventFn fn) {
   ADAPT_CHECK(delay >= 0) << "negative delay " << delay;
   return queue_.push(now_ + delay, std::move(fn));
 }

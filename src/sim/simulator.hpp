@@ -28,10 +28,10 @@ class Simulator {
   bool perturbed() const { return queue_.perturbed(); }
 
   /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
-  EventHandle at(TimeNs t, std::function<void()> fn);
+  EventHandle at(TimeNs t, EventFn fn);
 
   /// Schedules `fn` after a relative delay (must be >= 0).
-  EventHandle after(TimeNs delay, std::function<void()> fn);
+  EventHandle after(TimeNs delay, EventFn fn);
 
   /// Runs until the event queue drains or `until` is passed; returns the
   /// final virtual time. Events exactly at `until` still fire.

@@ -1,0 +1,92 @@
+#include "src/support/buffer_pool.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "src/support/error.hpp"
+
+namespace adapt::support {
+
+namespace {
+
+detail::BufHeader* allocate_block(BufferPool* pool, int size_class) {
+  const std::size_t bytes =
+      sizeof(detail::BufHeader) +
+      static_cast<std::size_t>(BufferPool::capacity_of(size_class));
+  auto* h = static_cast<detail::BufHeader*>(
+      ::operator new(bytes, std::align_val_t{alignof(detail::BufHeader)}));
+  h->pool = pool;
+  h->size_class = static_cast<std::uint32_t>(size_class);
+  h->refs.store(1, std::memory_order_relaxed);
+  return h;
+}
+
+void free_block(detail::BufHeader* h) {
+  ::operator delete(h, std::align_val_t{alignof(detail::BufHeader)});
+}
+
+}  // namespace
+
+void BufferRef::release() {
+  if (h_ == nullptr) return;
+  detail::BufHeader* h = h_;
+  h_ = nullptr;
+  if (h->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (h->pool != nullptr) {
+    h->pool->put_back(h);
+  } else {
+    free_block(h);
+  }
+}
+
+BufferRef BufferRef::heap(Bytes n) {
+  BufferRef ref = heap_raw(n);
+  std::memset(ref.data(), 0, static_cast<std::size_t>(n));
+  return ref;
+}
+
+BufferRef BufferRef::heap_raw(Bytes n) {
+  ADAPT_CHECK(n >= 0);
+  return BufferRef(allocate_block(nullptr, BufferPool::class_of(n)));
+}
+
+BufferPool::~BufferPool() {
+  for (auto& list : free_) {
+    for (detail::BufHeader* h : list) free_block(h);
+  }
+}
+
+BufferRef BufferPool::acquire_raw(Bytes n) {
+  ADAPT_CHECK(n >= 0);
+  const int cls = class_of(n);
+  ADAPT_CHECK(cls < kClasses) << "oversized pool request of " << n << " bytes";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = free_[cls];
+    if (!list.empty()) {
+      detail::BufHeader* h = list.back();
+      list.pop_back();
+      ++hits_;
+      cached_bytes_ -= static_cast<std::uint64_t>(capacity_of(cls));
+      h->refs.store(1, std::memory_order_relaxed);
+      return BufferRef(h);
+    }
+    ++misses_;
+  }
+  return BufferRef(allocate_block(this, cls));
+}
+
+BufferRef BufferPool::acquire(Bytes n) {
+  BufferRef ref = acquire_raw(n);
+  std::memset(ref.data(), 0, static_cast<std::size_t>(n));
+  return ref;
+}
+
+void BufferPool::put_back(detail::BufHeader* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_[h->size_class].push_back(h);
+  cached_bytes_ +=
+      static_cast<std::uint64_t>(capacity_of(static_cast<int>(h->size_class)));
+}
+
+}  // namespace adapt::support

@@ -1,0 +1,147 @@
+// InlineFunction: a move-only type-erased callable with small-buffer
+// optimisation, built for the simulator's hot paths.
+//
+// `std::function` heap-allocates any capture larger than (typically) two
+// pointers; the event loop schedules millions of lambdas capturing
+// [this, env, handler] — well past that limit — so every scheduled event paid
+// a malloc/free round trip. InlineFunction stores captures up to `Capacity`
+// bytes inline (no allocation at all) and falls back to the heap only for
+// oversized or throwing-move captures. The dispatch table is a single static
+// pointer per erased type: one indirect call to invoke, one to relocate, one
+// to destroy.
+//
+// Move-only on purpose: the event queue is the sole owner of a scheduled
+// callback (cancellation goes through generation-stamped EventHandles, not
+// shared ownership), and move-only admits lambdas capturing move-only state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace adapt {
+
+template <typename Signature, std::size_t Capacity = 96>
+class InlineFunction;  // undefined; see the R(Args...) specialisation
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    constexpr bool kInline = sizeof(D) <= Capacity &&
+                             alignof(D) <= alignof(void*) &&
+                             std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kInline) {
+      ::new (storage()) D(std::forward<F>(fn));
+      ops_ = &kOps<D, /*boxed=*/false>;
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(fn)));
+      ops_ = &kOps<D, /*boxed=*/true>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_) {
+      if (!ops_->trivial_dtor) ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to);  ///< move-construct + destroy from
+    void (*destroy)(void*);
+    /// >0: relocation is a memcpy of this many bytes and the source needs no
+    /// destruction afterwards (trivially copyable capture, or the boxed
+    /// pointer itself). Lets moves of the common captures skip the indirect
+    /// call entirely.
+    std::uint32_t memcpy_bytes;
+    /// Trivially destructible capture: reset() can skip the destroy call.
+    bool trivial_dtor;
+  };
+
+  template <typename D, bool Boxed>
+  static constexpr Ops kOps = {
+      /*invoke=*/[](void* s, Args&&... args) -> R {
+        if constexpr (Boxed) {
+          return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+        } else {
+          return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+        }
+      },
+      /*relocate=*/[](void* from, void* to) {
+        if constexpr (Boxed) {
+          ::new (to) D*(*static_cast<D**>(from));
+        } else {
+          D* src = static_cast<D*>(from);
+          ::new (to) D(std::move(*src));
+          src->~D();
+        }
+      },
+      /*destroy=*/[](void* s) {
+        if constexpr (Boxed) {
+          delete *static_cast<D**>(s);
+        } else {
+          static_cast<D*>(s)->~D();
+        }
+      },
+      /*memcpy_bytes=*/
+      Boxed ? sizeof(D*)
+            : (std::is_trivially_copyable_v<D> ? sizeof(D) : 0),
+      /*trivial_dtor=*/!Boxed && std::is_trivially_destructible_v<D>,
+  };
+
+  void take(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      if (const std::uint32_t n = ops_->memcpy_bytes) {
+        std::memcpy(storage(), other.storage(), n);
+      } else {
+        ops_->relocate(other.storage(), storage());
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void* storage() { return static_cast<void*>(&storage_); }
+
+  // Pointer alignment only (over-aligned captures take the boxed path):
+  // keeps sizeof(InlineFunction) == 8 + Capacity so event records pack into
+  // exact cache lines.
+  const Ops* ops_ = nullptr;
+  alignas(alignof(void*)) std::byte storage_[Capacity];
+};
+
+}  // namespace adapt

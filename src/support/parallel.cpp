@@ -1,0 +1,55 @@
+#include "src/support/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/support/error.hpp"
+
+namespace adapt::support {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallel_for(int jobs, int n, const std::function<void(int)>& fn) {
+  ADAPT_CHECK(n >= 0);
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  int first_failed = n;
+  std::exception_ptr error;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < first_failed) {
+          first_failed = i;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const int workers = std::min(jobs, n) - 1;  // caller is one of the team
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) team.emplace_back(worker);
+  worker();
+  for (std::thread& t : team) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace adapt::support

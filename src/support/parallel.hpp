@@ -1,0 +1,28 @@
+// Minimal fork-join parallelism for independent deterministic runs.
+//
+// The conformance/chaos matrices and the figure-bench sweeps execute many
+// fully independent SimEngine runs: every run owns its engine, its RNGs, and
+// its buffers, and produces a bit-reproducible result regardless of when or
+// where it executes. parallel_for fans such runs across worker threads —
+// wall clock drops by roughly the core count, while every per-run result
+// stays identical to the sequential run by construction. Callers keep
+// determinism of the *aggregate* by writing results into per-index slots and
+// merging in index order afterwards (never in completion order).
+#pragma once
+
+#include <functional>
+
+namespace adapt::support {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+int hardware_jobs();
+
+/// Invokes fn(0) .. fn(n-1), each exactly once, across up to `jobs` threads
+/// (the caller participates as one of them). jobs <= 1 runs inline in index
+/// order. fn must be safe to call concurrently for distinct indices. If any
+/// invocation throws, all indices still get claimed-or-finished, and the
+/// exception from the lowest-indexed failing invocation is rethrown — the
+/// same one a sequential loop that kept going would surface first.
+void parallel_for(int jobs, int n, const std::function<void(int)>& fn);
+
+}  // namespace adapt::support

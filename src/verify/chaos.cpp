@@ -125,70 +125,40 @@ std::vector<CaseConfig> chaos_matrix() {
 
 Report run_chaos_matrix(const std::vector<CaseConfig>& cases,
                         const ChaosOptions& options) {
-  Report report;
-  report.cases = static_cast<int>(cases.size());
-  int done = 0;
-  for (const CaseConfig& config : cases) {
-    std::vector<RunSpec> specs;
-    const auto add_specs = [&](ChaosClass cls, int count) {
-      for (int s = 1; s <= count; ++s) {
-        RunSpec spec;
-        spec.engine = EngineKind::kSim;
-        spec.chaos = cls;
-        spec.chaos_seed = static_cast<std::uint64_t>(s);
-        specs.push_back(spec);
-        if (options.perturb) {
-          // Fault fates are schedule-independent by construction, so the
-          // same plan must classify identically under event-queue jitter.
-          spec.perturb_seed = static_cast<std::uint64_t>(s);
-          spec.jitter = microseconds(2);
-          specs.push_back(spec);
-        }
-      }
-    };
-    add_specs(ChaosClass::kSoft, options.soft_seeds);
-    add_specs(ChaosClass::kKill, options.kill_seeds);
-    for (const RunSpec& spec : specs) {
-      ++report.runs;
-      if (options.on_run) {
-        options.on_run(repro_string(config, spec, options.fault));
-      }
-      auto mismatch = run_case(config, spec, options.fault);
-      if (!mismatch) continue;
-      CaseConfig reported = config;
-      if (options.shrink) {
-        reported = shrink_case(config, spec, options.fault);
-        if (auto shrunk_detail = run_case(reported, spec, options.fault)) {
-          mismatch = shrunk_detail;
-        }
-      }
-      Failure failure;
-      failure.config = reported;
-      failure.spec = spec;
-      failure.detail = *mismatch;
-      failure.repro = repro_string(reported, spec, options.fault);
-      if (!options.trace_dir.empty()) {
-        failure.trace_path = write_failure_trace(
-            reported, spec, options.fault, options.trace_dir,
-            static_cast<int>(report.failures.size()));
-      }
-      if (options.log) {
-        options.log("FAIL " + failure.repro + "\n     " + failure.detail +
-                    (failure.trace_path.empty()
-                         ? std::string()
-                         : "\n     trace: " + failure.trace_path));
-      }
-      report.failures.push_back(std::move(failure));
-      break;  // one fault schedule per case is enough to report
-    }
-    ++done;
-    if (options.log && done % 4 == 0) {
-      options.log("chaos: " + std::to_string(done) + "/" +
-                  std::to_string(report.cases) + " cases, " +
-                  std::to_string(report.failures.size()) + " failures");
-    }
-  }
-  return report;
+  detail::MatrixDriver driver;
+  driver.jobs = options.jobs;
+  driver.fault = options.fault;
+  driver.shrink = options.shrink;
+  driver.trace_dir = options.trace_dir;
+  driver.log = options.log;
+  driver.on_run = options.on_run;
+  driver.progress_label = "chaos";
+  driver.progress_every = 4;
+  return detail::run_case_matrix(
+      cases,
+      [&](const CaseConfig&) {
+        std::vector<RunSpec> specs;
+        const auto add_specs = [&](ChaosClass cls, int count) {
+          for (int s = 1; s <= count; ++s) {
+            RunSpec spec;
+            spec.engine = EngineKind::kSim;
+            spec.chaos = cls;
+            spec.chaos_seed = static_cast<std::uint64_t>(s);
+            specs.push_back(spec);
+            if (options.perturb) {
+              // Fault fates are schedule-independent by construction, so the
+              // same plan must classify identically under event-queue jitter.
+              spec.perturb_seed = static_cast<std::uint64_t>(s);
+              spec.jitter = microseconds(2);
+              specs.push_back(spec);
+            }
+          }
+        };
+        add_specs(ChaosClass::kSoft, options.soft_seeds);
+        add_specs(ChaosClass::kKill, options.kill_seeds);
+        return specs;
+      },
+      driver);
 }
 
 }  // namespace adapt::verify

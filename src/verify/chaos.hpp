@@ -41,6 +41,7 @@ struct ChaosOptions {
   bool perturb = true;
   bool shrink = true;
   Fault fault = Fault::kNone;  ///< kNoRetransmit = classifier self-test
+  int jobs = 1;  ///< case-level parallelism; see MatrixOptions::jobs
   std::function<void(const std::string&)> log;
   std::function<void(const std::string&)> on_run;  ///< see MatrixOptions
   std::string trace_dir;  ///< trace failures here; see MatrixOptions

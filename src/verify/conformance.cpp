@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <sstream>
 
 #include "src/coll/library.hpp"
@@ -14,6 +15,7 @@
 #include "src/runtime/sim_engine.hpp"
 #include "src/runtime/thread_engine.hpp"
 #include "src/support/error.hpp"
+#include "src/support/parallel.hpp"
 #include "src/topo/presets.hpp"
 #include "src/verify/chaos.hpp"
 #include "src/verify/faulty.hpp"
@@ -830,63 +832,111 @@ std::string write_failure_trace(const CaseConfig& config, const RunSpec& spec,
   return path;
 }
 
-Report run_matrix(const std::vector<CaseConfig>& cases,
-                  const MatrixOptions& options) {
+namespace detail {
+
+Report run_case_matrix(
+    const std::vector<CaseConfig>& cases,
+    const std::function<std::vector<RunSpec>(const CaseConfig&)>& specs_for,
+    const MatrixDriver& driver) {
   Report report;
   report.cases = static_cast<int>(cases.size());
-  int done = 0;
-  for (const CaseConfig& config : cases) {
-    std::vector<RunSpec> specs;
-    specs.push_back(RunSpec{EngineKind::kSim, 0, 0});
-    for (int s = 1; s <= options.sim_seeds; ++s) {
-      specs.push_back(RunSpec{EngineKind::kSim,
-                              static_cast<std::uint64_t>(s),
-                              options.max_jitter});
-    }
-    if (options.thread_engine) {
-      specs.push_back(RunSpec{EngineKind::kThread, 0, 0});
-    }
-    for (const RunSpec& spec : specs) {
-      ++report.runs;
-      if (options.on_run) {
-        options.on_run(repro_string(config, spec, options.fault));
-      }
-      auto mismatch = run_case(config, spec, options.fault);
-      if (!mismatch) continue;
-      CaseConfig reported = config;
-      if (options.shrink) {
-        reported = shrink_case(config, spec, options.fault);
-        if (auto shrunk_detail = run_case(reported, spec, options.fault)) {
-          mismatch = shrunk_detail;
+  const std::size_t n = cases.size();
+  std::vector<std::optional<Failure>> case_failure(n);
+  std::vector<long> case_runs(n, 0);
+  std::atomic<int> done{0};
+  std::atomic<long> failed{0};
+  std::mutex log_mu;
+  const auto log = [&](const std::string& line) {
+    if (!driver.log) return;
+    std::lock_guard<std::mutex> lock(log_mu);
+    driver.log(line);
+  };
+
+  support::parallel_for(
+      driver.jobs, static_cast<int>(n), [&](int index) {
+        const CaseConfig& config = cases[static_cast<std::size_t>(index)];
+        for (const RunSpec& spec : specs_for(config)) {
+          ++case_runs[static_cast<std::size_t>(index)];
+          if (driver.on_run) {
+            std::lock_guard<std::mutex> lock(log_mu);
+            driver.on_run(repro_string(config, spec, driver.fault));
+          }
+          auto mismatch = run_case(config, spec, driver.fault);
+          if (!mismatch) continue;
+          CaseConfig reported = config;
+          if (driver.shrink) {
+            reported = shrink_case(config, spec, driver.fault);
+            if (auto shrunk = run_case(reported, spec, driver.fault)) {
+              mismatch = shrunk;
+            }
+          }
+          Failure failure;
+          failure.config = reported;
+          failure.spec = spec;
+          failure.detail = *mismatch;
+          failure.repro = repro_string(reported, spec, driver.fault);
+          log("FAIL " + failure.repro + "\n     " + failure.detail);
+          case_failure[static_cast<std::size_t>(index)] = std::move(failure);
+          failed.fetch_add(1, std::memory_order_relaxed);
+          break;  // one schedule failure per case is enough to report
         }
+        const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (d % driver.progress_every == 0) {
+          log(std::string(driver.progress_label) + ": " + std::to_string(d) +
+              "/" + std::to_string(report.cases) + " cases, " +
+              std::to_string(failed.load(std::memory_order_relaxed)) +
+              " failures");
+        }
+      });
+
+  // Deterministic merge: case order, not completion order. Failure traces
+  // replay sequentially here so file names/indices match a jobs=1 run.
+  for (std::size_t i = 0; i < n; ++i) {
+    report.runs += case_runs[i];
+    if (!case_failure[i]) continue;
+    Failure failure = std::move(*case_failure[i]);
+    if (!driver.trace_dir.empty()) {
+      failure.trace_path = write_failure_trace(
+          failure.config, failure.spec, driver.fault, driver.trace_dir,
+          static_cast<int>(report.failures.size()));
+      if (!failure.trace_path.empty()) {
+        log("     trace: " + failure.trace_path + " (" + failure.repro + ")");
       }
-      Failure failure;
-      failure.config = reported;
-      failure.spec = spec;
-      failure.detail = *mismatch;
-      failure.repro = repro_string(reported, spec, options.fault);
-      if (!options.trace_dir.empty()) {
-        failure.trace_path = write_failure_trace(
-            reported, spec, options.fault, options.trace_dir,
-            static_cast<int>(report.failures.size()));
-      }
-      if (options.log) {
-        options.log("FAIL " + failure.repro + "\n     " + failure.detail +
-                    (failure.trace_path.empty()
-                         ? std::string()
-                         : "\n     trace: " + failure.trace_path));
-      }
-      report.failures.push_back(std::move(failure));
-      break;  // one schedule failure per case is enough to report
     }
-    ++done;
-    if (options.log && done % 20 == 0) {
-      options.log("conformance: " + std::to_string(done) + "/" +
-                  std::to_string(report.cases) + " cases, " +
-                  std::to_string(report.failures.size()) + " failures");
-    }
+    report.failures.push_back(std::move(failure));
   }
   return report;
+}
+
+}  // namespace detail
+
+Report run_matrix(const std::vector<CaseConfig>& cases,
+                  const MatrixOptions& options) {
+  detail::MatrixDriver driver;
+  driver.jobs = options.jobs;
+  driver.fault = options.fault;
+  driver.shrink = options.shrink;
+  driver.trace_dir = options.trace_dir;
+  driver.log = options.log;
+  driver.on_run = options.on_run;
+  driver.progress_label = "conformance";
+  driver.progress_every = 20;
+  return detail::run_case_matrix(
+      cases,
+      [&](const CaseConfig&) {
+        std::vector<RunSpec> specs;
+        specs.push_back(RunSpec{EngineKind::kSim, 0, 0});
+        for (int s = 1; s <= options.sim_seeds; ++s) {
+          specs.push_back(RunSpec{EngineKind::kSim,
+                                  static_cast<std::uint64_t>(s),
+                                  options.max_jitter});
+        }
+        if (options.thread_engine) {
+          specs.push_back(RunSpec{EngineKind::kThread, 0, 0});
+        }
+        return specs;
+      },
+      driver);
 }
 
 std::string Report::summary() const {

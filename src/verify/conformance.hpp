@@ -179,6 +179,11 @@ struct MatrixOptions {
   bool thread_engine = true;
   bool shrink = true;       ///< minimise failing cases before reporting
   Fault fault = Fault::kNone;
+  /// Worker threads running cases concurrently (1 = sequential). Every case
+  /// is an independent deterministic run, so the report is identical for any
+  /// jobs value — failures are merged in case order, and shrinking/tracing
+  /// replay deterministically. Progress log lines may interleave.
+  int jobs = 1;
   /// Progress/failure sink (e.g. stderr); null = silent.
   std::function<void(const std::string&)> log;
   /// Called with the repro line of every run just before it starts — the
@@ -208,5 +213,31 @@ Report run_matrix(const std::vector<CaseConfig>& cases,
 std::string write_failure_trace(const CaseConfig& config, const RunSpec& spec,
                                 Fault fault, const std::string& trace_dir,
                                 int index);
+
+namespace detail {
+
+/// Shared engine of run_matrix / run_chaos_matrix: runs every case's spec
+/// list (first failure per case wins, shrunk when asked), fanning cases
+/// across `jobs` workers via support::parallel_for. Failures are collected
+/// per case and merged in case order, then traced sequentially — so the
+/// Report (order, contents, trace file names) is identical for every jobs
+/// value.
+struct MatrixDriver {
+  int jobs = 1;
+  Fault fault = Fault::kNone;
+  bool shrink = true;
+  std::string trace_dir;
+  std::function<void(const std::string&)> log;
+  std::function<void(const std::string&)> on_run;
+  const char* progress_label = "matrix";
+  int progress_every = 20;
+};
+
+Report run_case_matrix(
+    const std::vector<CaseConfig>& cases,
+    const std::function<std::vector<RunSpec>(const CaseConfig&)>& specs_for,
+    const MatrixDriver& driver);
+
+}  // namespace detail
 
 }  // namespace adapt::verify

@@ -34,8 +34,8 @@ sim::Task<> faulty_gather_arrival_order(runtime::Context& ctx,
   std::vector<mpi::Payload> stage;
   std::vector<mpi::RequestPtr> recvs;
   for (int k = 0; k + 1 < n; ++k) {
-    stage.push_back(recvbuf.synthetic() ? mpi::Payload::synthetic(block)
-                                        : mpi::Payload::real(block));
+    stage.push_back(
+        mpi::Payload::scratch(ctx.pool(), block, recvbuf.synthetic()));
     recvs.push_back(ctx.irecv(kAnyRank, tag, stage.back().view()));
   }
   co_await mpi::wait_all(recvs);

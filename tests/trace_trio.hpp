@@ -1,0 +1,104 @@
+// Shared scenario for the trace byte-identity regression test: a 64-rank
+// bcast/reduce/allreduce trio on Cori, with real payloads, run stable and
+// under a perturbed schedule, each exporting its Perfetto trace JSON.
+//
+// The exported bytes are hashed (FNV-1a 64) and pinned against
+// tests/golden/trace_hashes.txt, which was captured from the tree BEFORE the
+// hot-path overhaul (slab-pooled events, pooled payloads). Any change to
+// event ordering, RNG draw order, matching order, or export formatting moves
+// a hash and fails the pin — this is the determinism contract the pooling
+// work must uphold.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/coll/coll.hpp"
+#include "src/coll/moreops.hpp"
+#include "src/coll/topo_tree.hpp"
+#include "src/mpi/payload.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::verify {
+
+inline std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+enum class TrioOp { kBcast, kReduce, kAllreduce };
+
+inline const char* trio_name(TrioOp op) {
+  switch (op) {
+    case TrioOp::kBcast: return "bcast";
+    case TrioOp::kReduce: return "reduce";
+    case TrioOp::kAllreduce: return "allreduce";
+  }
+  return "?";
+}
+
+/// Runs one collective of the trio at 64 ranks with real, deterministically
+/// filled payloads and returns the full Perfetto trace JSON export.
+inline std::string trio_trace(TrioOp op, bool perturbed) {
+  constexpr int kRanks = 64;
+  topo::Machine machine(topo::cori(2), kRanks);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+
+  runtime::SimEngineOptions options;
+  if (perturbed) {
+    options.perturb =
+        sim::PerturbConfig{11, /*shuffle_ties=*/true, microseconds(5)};
+  }
+  options.recorder = std::make_shared<obs::Recorder>();
+  runtime::SimEngine engine(machine, options);
+
+  const Bytes size = kib(256);
+  std::vector<mpi::Payload> buffers;
+  buffers.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    buffers.push_back(mpi::Payload::real(size));
+    mpi::MutView view = buffers.back().view();
+    for (Bytes i = 0; i < size; i += 61) {
+      view.data[i] = static_cast<std::byte>((r * 131 + i * 7) & 0xff);
+    }
+  }
+
+  const coll::CollOpts opts{.segment_size = kib(32)};
+  auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    mpi::MutView buf = buffers[ctx.rank()].view();
+    switch (op) {
+      case TrioOp::kBcast:
+        co_await coll::bcast(ctx, world, buf, 0, tree, coll::Style::kAdapt,
+                             opts);
+        break;
+      case TrioOp::kReduce:
+        co_await coll::reduce(ctx, world, buf, mpi::ReduceOp::kSum,
+                              mpi::Datatype::kFloat, 0, tree,
+                              coll::Style::kAdapt, opts);
+        break;
+      case TrioOp::kAllreduce:
+        co_await coll::allreduce(ctx, world, buf, mpi::ReduceOp::kSum,
+                                 mpi::Datatype::kFloat, tree, tree,
+                                 coll::Style::kAdapt, opts);
+        break;
+    }
+  };
+  engine.run(program);
+
+  std::ostringstream os;
+  obs::write_trace_json(*options.recorder, os);
+  return os.str();
+}
+
+}  // namespace adapt::verify

@@ -33,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "src/support/parallel.hpp"
 #include "src/verify/chaos.hpp"
 #include "src/verify/conformance.hpp"
 
@@ -48,8 +49,12 @@ int usage() {
          "                          [--chaos] [--chaos-only]\n"
          "                          [--soft-seeds=K] [--kill-seeds=K]\n"
          "                          [--watchdog=SECONDS]  (0 disables)\n"
+         "                          [--jobs=N]  (0 = all hardware threads)\n"
          "                          [--trace-dir=DIR]\n"
          "                          [--repro '<failure line>']\n"
+         "--jobs: run matrix cases on N worker threads. Every run is an\n"
+         "independent deterministic engine, so the report is identical for\n"
+         "any N; only wall clock changes.\n"
          "--trace-dir: re-run every shrunken failure (and any --repro that\n"
          "reproduces) with the obs recorder and write a Perfetto trace\n"
          "(failure-N.trace.json) into DIR.\n";
@@ -206,6 +211,7 @@ int main(int argc, char** argv) {
   int soft_seeds = 6;
   int kill_seeds = 4;
   long watchdog_seconds = 120;
+  int jobs = 1;
   std::string trace_dir;
   std::string repro_line;
 
@@ -231,6 +237,9 @@ int main(int argc, char** argv) {
       kill_seeds = std::stoi(arg.substr(13));
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       watchdog_seconds = std::stol(arg.substr(11));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::stoi(arg.substr(7));
+      if (jobs <= 0) jobs = support::hardware_jobs();
     } else if (arg.rfind("--trace-dir=", 0) == 0) {
       trace_dir = arg.substr(12);
     } else if (arg == "--repro" && i + 1 < argc) {
@@ -251,6 +260,7 @@ int main(int argc, char** argv) {
     options.max_jitter = jitter;
     options.thread_engine = thread_engine;
     options.shrink = shrink;
+    options.jobs = jobs;
     options.log = log;
     options.on_run = on_run;
     options.trace_dir = trace_dir;
@@ -273,6 +283,7 @@ int main(int argc, char** argv) {
     options.soft_seeds = soft_seeds;
     options.kill_seeds = kill_seeds;
     options.shrink = shrink;
+    options.jobs = jobs;
     options.log = log;
     options.on_run = on_run;
     options.trace_dir = trace_dir;
