@@ -12,6 +12,11 @@
 // Observability: --trace=FILE writes a Chrome/Perfetto trace of the final
 // message size's run (load at ui.perfetto.dev); --metrics=FILE writes the
 // counter/histogram registry as CSV.
+//
+// Tuning: --tuning switches tunable personalities (ompi-adapt) from their
+// built-in heuristics to the src/tune decision engine; --dump-table=FILE
+// writes the decision table filled during the run as JSON.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -25,6 +30,7 @@
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/table.hpp"
 #include "src/topo/presets.hpp"
+#include "src/tune/tuner.hpp"
 
 using namespace adapt;
 
@@ -64,6 +70,9 @@ int main(int argc, char** argv) {
   std::cout << "cluster=" << spec.name << " nodes=" << spec.nodes
             << " ranks=" << ranks << " lib=" << lib_name << " op=" << op
             << " noise=" << noise_duty << "%\n\n";
+  std::shared_ptr<tune::Tuner> tuner;
+  if (cli.has("tuning") || cli.has("dump-table"))
+    tuner = std::make_shared<tune::Tuner>(machine);
   const bool observe = cli.has("trace") || cli.has("metrics");
   std::shared_ptr<obs::Recorder> recorder;
   Bytes traced_msg = 0;
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
     runtime::SimEngineOptions options;
     options.gpu = gpu_config;
     options.noise = noise::paper_noise(noise_duty, 0xCAFE + noise_duty);
+    options.tuning = tuner;  // shared across sizes: the table fills once
     if (observe) {
       // One recorder observes one engine run; keep the final size's trace.
       recorder = std::make_shared<obs::Recorder>();
@@ -118,6 +128,17 @@ int main(int argc, char** argv) {
       }
       std::cout << "metrics: " << path << "\n";
     }
+  }
+  if (tuner && cli.has("dump-table")) {
+    const std::string path = cli.get("dump-table", "adaptsim.table.json");
+    std::ofstream out(path);
+    out << tuner->dump_json() << "\n";
+    if (!out) {
+      std::cerr << "cannot write --dump-table file " << path << "\n";
+      return 1;
+    }
+    std::cout << "decision table (" << tuner->table_size()
+              << " entries): " << path << "\n";
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "src/coll/moreops.hpp"
 #include "src/coll/topo_tree.hpp"
 #include "src/support/error.hpp"
+#include "src/tune/tuner.hpp"
 
 namespace adapt::coll {
 
@@ -69,23 +70,59 @@ class TreeCache {
   std::map<Key, Tree> cache_;
 };
 
+/// Translates a tuned Decision into the Plan vocabulary. The TreeCache key
+/// distinguishes the tuned shapes via (topo, kind, radix, core_level), so
+/// tuned and heuristic trees coexist in one cache.
+Plan tuned_plan(tune::Tuner& tuner, tune::Op op, int ranks, Bytes msg) {
+  const tune::Decision d = tuner.choose(op, ranks, msg);
+  Plan p;
+  p.style = tuner.options().style;
+  p.segment = tune::decision_segment(d, msg);
+  switch (d.topology) {
+    case tune::Topology::kTopoChain: p.tree.topo = true; break;
+    case tune::Topology::kTopoKnomial:
+      p.tree.topo = true;
+      p.tree.kind = TreeKind::kKNomial;
+      p.tree.radix = d.radix;
+      p.tree.topo_spec.core_level = TreeKind::kKNomial;
+      p.tree.topo_spec.socket_level = TreeKind::kKNomial;
+      p.tree.topo_spec.node_level = TreeKind::kKNomial;
+      p.tree.topo_spec.radix = d.radix;
+      break;
+    case tune::Topology::kBinomial: p.tree.kind = TreeKind::kBinomial; break;
+    case tune::Topology::kChain: p.tree.kind = TreeKind::kChain; break;
+  }
+  return p;
+}
+
 class PlanLibrary final : public MpiLibrary {
  public:
+  /// `own_tuner` (the "-tuned" personality) makes tuning unconditional;
+  /// `engine_tunable` consults the engine's Context::tuner() when the run
+  /// opted in via SimEngineOptions::tuning and falls back to the heuristic
+  /// PlanFns otherwise.
   PlanLibrary(std::string name, const topo::Machine& machine, PlanFn bcast_fn,
-              PlanFn reduce_fn)
+              PlanFn reduce_fn,
+              std::shared_ptr<tune::Tuner> own_tuner = nullptr,
+              bool engine_tunable = false)
       : name_(std::move(name)),
         machine_(machine),
         cache_(machine),
         bcast_fn_(std::move(bcast_fn)),
-        reduce_fn_(std::move(reduce_fn)) {}
+        reduce_fn_(std::move(reduce_fn)),
+        own_tuner_(std::move(own_tuner)),
+        engine_tunable_(engine_tunable) {}
 
   std::string name() const override { return name_; }
 
   sim::Task<> bcast(runtime::Context& ctx, const mpi::Comm& comm,
                     mpi::MutView buffer, Rank root) override {
-    ADAPT_CHECK(bcast_fn_ != nullptr)
+    tune::Tuner* tuner = active_tuner(ctx);
+    ADAPT_CHECK(tuner != nullptr || bcast_fn_ != nullptr)
         << name_ << " has no broadcast algorithm";
-    const Plan p = bcast_fn_(buffer.size);
+    const Plan p = tuner ? tuned_plan(*tuner, tune::Op::kBcast, comm.size(),
+                                      buffer.size)
+                         : bcast_fn_(buffer.size);
     const CollOpts opts = make_opts(p);
     switch (p.algo) {
       case Plan::Algo::kTree:
@@ -111,8 +148,12 @@ class PlanLibrary final : public MpiLibrary {
   sim::Task<> reduce(runtime::Context& ctx, const mpi::Comm& comm,
                      mpi::MutView accum, mpi::ReduceOp op,
                      mpi::Datatype dtype, Rank root) override {
-    ADAPT_CHECK(reduce_fn_ != nullptr) << name_ << " has no reduce algorithm";
-    const Plan p = reduce_fn_(accum.size);
+    tune::Tuner* tuner = active_tuner(ctx);
+    ADAPT_CHECK(tuner != nullptr || reduce_fn_ != nullptr)
+        << name_ << " has no reduce algorithm";
+    const Plan p = tuner ? tuned_plan(*tuner, tune::Op::kReduce, comm.size(),
+                                      accum.size)
+                         : reduce_fn_(accum.size);
     const CollOpts opts = make_opts(p);
     switch (p.algo) {
       case Plan::Algo::kTree:
@@ -146,11 +187,18 @@ class PlanLibrary final : public MpiLibrary {
     return opts;
   }
 
+  tune::Tuner* active_tuner(runtime::Context& ctx) const {
+    if (own_tuner_) return own_tuner_.get();
+    return engine_tunable_ ? ctx.tuner() : nullptr;
+  }
+
   std::string name_;
   const topo::Machine& machine_;
   TreeCache cache_;
   PlanFn bcast_fn_;
   PlanFn reduce_fn_;
+  std::shared_ptr<tune::Tuner> own_tuner_;
+  bool engine_tunable_ = false;
 };
 
 // ------------------------------------------------------- personalities ---
@@ -280,7 +328,17 @@ std::shared_ptr<MpiLibrary> make_library(const std::string& name,
     return std::make_shared<PlanLibrary>(name, machine, std::move(b),
                                          std::move(r));
   };
-  if (name == "ompi-adapt") return lib(adapt_plan, adapt_plan);
+  if (name == "ompi-adapt")
+    // Engine-tunable: uses the heuristic adapt_plan unless the run installs
+    // a Tuner via SimEngineOptions::tuning.
+    return std::make_shared<PlanLibrary>(name, machine, adapt_plan, adapt_plan,
+                                         nullptr, /*engine_tunable=*/true);
+  if (name == "ompi-adapt-tuned")
+    // Self-contained tuned variant: owns its Tuner, so it tunes on every
+    // engine (including the ThreadEngine, which has no SimEngineOptions).
+    return std::make_shared<PlanLibrary>(
+        name, machine, adapt_plan, adapt_plan,
+        std::make_shared<tune::Tuner>(machine), false);
   if (name == "ompi-default")
     return lib(default_tuned_bcast, default_tuned_reduce);
   if (name == "ompi-default-topo")

@@ -5,7 +5,12 @@
 // (and what drives every figure) is WHICH algorithm family and HOW much
 // synchronisation each uses. Each personality here pins those two choices:
 //
-//   ompi-adapt          ADAPT event-driven + single-comm topo tree (chains)
+//   ompi-adapt          ADAPT event-driven + single-comm topo tree (chains);
+//                       consults the run's tuner (Context::tuner()) instead
+//                       of the heuristics when SimEngineOptions::tuning is set
+//   ompi-adapt-tuned    ompi-adapt with its own always-on decision engine
+//                       (src/tune): topology/segment/radix from the Hockney
+//                       cost model, cached per (op, comm size, size bucket)
 //   ompi-default        Open MPI "tuned": nonblocking + Waitall, rank-order
 //                       trees, message-size decision rules
 //   ompi-default-topo   tuned's nonblocking style on ADAPT's topo tree

@@ -26,6 +26,10 @@ namespace adapt::support {
 class BufferPool;  // defined in src/support/buffer_pool.hpp
 }
 
+namespace adapt::tune {
+class Tuner;  // defined in src/tune/tuner.hpp; null unless tuning is on
+}
+
 namespace adapt::runtime {
 
 class Context {
@@ -70,6 +74,11 @@ class Context {
   /// (always null on the ThreadEngine — the recorder is single-threaded).
   /// Instrumented code guards every record with this one null test.
   virtual obs::Recorder* recorder() { return nullptr; }
+
+  /// The engine's adaptive decision engine, or nullptr when tuning is off
+  /// (the default — tunable personalities then keep their built-in
+  /// heuristics, byte-identical to the seed).
+  virtual tune::Tuner* tuner() { return nullptr; }
 
   // -- P2P conveniences ----------------------------------------------------
   mpi::RequestPtr isend(Rank dst, Tag tag, mpi::ConstView data,

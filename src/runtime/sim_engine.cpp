@@ -438,6 +438,7 @@ class SimEngine::SimContext final : public Context {
 
   obs::Recorder* recorder() override { return engine_.obs_; }
   support::BufferPool* pool() override { return &engine_.pool_; }
+  tune::Tuner* tuner() override { return engine_.options_.tuning.get(); }
 
  private:
   SimEngine& engine_;

@@ -25,6 +25,10 @@ namespace adapt::gpu {
 class GpuRuntime;
 }
 
+namespace adapt::tune {
+class Tuner;  // defined in src/tune/tuner.hpp
+}
+
 namespace adapt::runtime {
 
 struct SimEngineOptions {
@@ -47,6 +51,13 @@ struct SimEngineOptions {
   /// hot path pays exactly one null-pointer test. The engine shares
   /// ownership so the recorder outlives in-flight events.
   std::shared_ptr<obs::Recorder> recorder;
+  /// Adaptive decision engine (src/tune) exposed through Context::tuner():
+  /// tunable personalities (ompi-adapt) then derive topology / segment size /
+  /// radix from the analytical model instead of their built-in heuristics.
+  /// Unset (default) keeps the seed's heuristics — golden traces and BENCH
+  /// baselines are byte-identical. Share one Tuner across engines to reuse
+  /// its decision table.
+  std::shared_ptr<tune::Tuner> tuning;
 };
 
 class SimEngine final : public Engine {

@@ -1,8 +1,13 @@
-// Tiny JSON emission helpers shared by the trace exporter and the bench
-// --json reports. Writing only — nothing here parses JSON.
+// Tiny JSON helpers shared by the trace exporter, the bench --json reports,
+// and the tuner's decision-table persistence. Emission is string-based;
+// parsing returns a small DOM (JsonValue) — enough for the repo's own
+// machine-readable artifacts, not a general-purpose JSON library.
 #pragma once
 
+#include <map>
 #include <string>
+#include <variant>
+#include <vector>
 
 namespace adapt {
 
@@ -12,5 +17,48 @@ std::string json_escape(const std::string& s);
 
 /// `"escaped"` with the quotes.
 std::string json_quote(const std::string& s);
+
+/// Parsed JSON document node. Numbers are kept as double (the repo's own
+/// artifacts stay well inside the 2^53 exact-integer range).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  // Typed accessors; throw adapt::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< as_number, checked integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access; throws when not an object or the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws adapt::Error with a byte offset on malformed
+/// input.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace adapt

@@ -104,4 +104,27 @@ std::vector<std::vector<Rank>> Machine::ranks_by_socket() const {
   return group_by(nranks(), [this](Rank r) { return socket_id(r); });
 }
 
+std::string Machine::fingerprint() const {
+  char buf[512];
+  const auto lane_sig = [](const LinkParams& l) {
+    char s[64];
+    std::snprintf(s, sizeof(s), "%lld/%.9g", static_cast<long long>(l.alpha),
+                  l.beta_ns_per_byte);
+    return std::string(s);
+  };
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s n%dx%dx%dg%d r%dp%d shm=%s qpi=%s nic=%s par=%.9g "
+      "memcpy=%.9g unexp=%lld eager=%lld gamma=%.9g cpu=%lld",
+      spec_.name.c_str(), spec_.nodes, spec_.sockets_per_node,
+      spec_.cores_per_socket, spec_.gpus_per_socket, nranks(),
+      static_cast<int>(policy_), lane_sig(spec_.intra_socket).c_str(),
+      lane_sig(spec_.inter_socket).c_str(), lane_sig(spec_.inter_node).c_str(),
+      spec_.shm_parallel, spec_.memcpy_beta,
+      static_cast<long long>(spec_.unexpected_overhead),
+      static_cast<long long>(spec_.eager_threshold), spec_.reduce_gamma,
+      static_cast<long long>(spec_.cpu_overhead));
+  return buf;
+}
+
 }  // namespace adapt::topo

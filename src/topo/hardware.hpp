@@ -117,6 +117,13 @@ class Machine {
   /// Ranks grouped by global socket id (empty groups removed).
   std::vector<std::vector<Rank>> ranks_by_socket() const;
 
+  /// Stable one-line signature of everything the analytical cost model reads:
+  /// shape, placement, the α/β of every lane, γ costs, protocol thresholds and
+  /// per-message overheads. Two machines with equal fingerprints are
+  /// interchangeable for tuning; a persisted decision table records the
+  /// fingerprint and is rejected on a machine whose parameters differ.
+  std::string fingerprint() const;
+
  private:
   MachineSpec spec_;
   PlacementPolicy policy_;

@@ -1,0 +1,52 @@
+// Analytical cost prediction for candidate collective schedules (paper
+// §5.2.1: ADAPT picks its configuration from a Hockney-model estimate).
+//
+// The CostModel walks a concrete schedule — a Tree over a communicator, a
+// pipeline segment size, an implementation style — and returns the predicted
+// virtual completion time using the very parameters adapt::net simulates:
+// per-lane α/β from topo::MachineSpec, the eager/rendezvous protocol split,
+// per-message CPU overheads, and γ for reductions. It is a static model, not
+// a simulation: per-edge FIFO transmit ports mirror the fabric's per-pair
+// serialisation, and a max–min water-filling pass over the shared links
+// (shm / QPI / NIC) estimates steady-state contention. verify_guidelines
+// pins how far this estimate may drift from the simulator.
+#pragma once
+
+#include "src/coll/coll.hpp"
+#include "src/coll/tree.hpp"
+#include "src/mpi/comm.hpp"
+#include "src/topo/hardware.hpp"
+
+namespace adapt::tune {
+
+/// The collectives the decision engine tunes.
+enum class Op { kBcast, kReduce };
+
+const char* op_name(Op op);
+bool op_from_name(const std::string& name, Op* out);
+
+/// One candidate schedule to price.
+struct Workload {
+  Op op = Op::kBcast;
+  coll::Style style = coll::Style::kAdapt;
+  Bytes bytes = 0;
+  Bytes segment = kib(64);     ///< pipeline granularity (>= 1)
+  double gamma_scale = 1.0;    ///< reduction cost multiplier
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const topo::Machine& machine) : machine_(machine) {}
+
+  /// Predicted completion time of `work` run over `tree` (local ranks of
+  /// `comm`, like coll::bcast/reduce take it). Deterministic, no engine.
+  TimeNs predict(const Workload& work, const mpi::Comm& comm,
+                 const coll::Tree& tree) const;
+
+  const topo::Machine& machine() const { return machine_; }
+
+ private:
+  const topo::Machine& machine_;
+};
+
+}  // namespace adapt::tune

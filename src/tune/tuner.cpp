@@ -1,0 +1,225 @@
+#include "src/tune/tuner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/coll/topo_tree.hpp"
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace adapt::tune {
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kTopoChain: return "topo-chain";
+    case Topology::kTopoKnomial: return "topo-knomial";
+    case Topology::kBinomial: return "binomial";
+    case Topology::kChain: return "chain";
+  }
+  return "?";
+}
+
+bool topology_from_name(const std::string& name, Topology* out) {
+  for (const Topology t : {Topology::kTopoChain, Topology::kTopoKnomial,
+                           Topology::kBinomial, Topology::kChain}) {
+    if (name == topology_name(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------- DecisionTable ---
+
+std::optional<Decision> DecisionTable::find(const TableKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void DecisionTable::insert(const TableKey& key, const Decision& decision) {
+  map_[key] = decision;
+}
+
+std::string DecisionTable::dump_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"adapt-decision-table-v1\",\n  \"machine\": "
+      << json_quote(machine_) << ",\n  \"decisions\": [";
+  bool first = true;
+  for (const auto& [key, d] : map_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"op\": " << json_quote(op_name(key.op))
+        << ", \"ranks\": " << key.ranks << ", \"bucket\": " << key.bucket
+        << ", \"topology\": " << json_quote(topology_name(d.topology))
+        << ", \"radix\": " << d.radix << ", \"segment\": " << d.segment
+        << ", \"predicted\": " << d.predicted << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool DecisionTable::load_json(const std::string& text, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  try {
+    const JsonValue doc = parse_json(text);
+    if (!doc.has("schema") ||
+        doc.at("schema").as_string() != "adapt-decision-table-v1")
+      return fail("not an adapt-decision-table-v1 document");
+    const std::string recorded = doc.at("machine").as_string();
+    if (recorded != machine_)
+      return fail("decision table was tuned for a different machine:\n  table:   " +
+                  recorded + "\n  current: " + machine_);
+    std::map<TableKey, Decision> loaded;
+    for (const JsonValue& entry : doc.at("decisions").as_array()) {
+      TableKey key;
+      if (!op_from_name(entry.at("op").as_string(), &key.op))
+        return fail("unknown op \"" + entry.at("op").as_string() + "\"");
+      key.ranks = static_cast<int>(entry.at("ranks").as_int());
+      key.bucket = static_cast<int>(entry.at("bucket").as_int());
+      Decision d;
+      if (!topology_from_name(entry.at("topology").as_string(), &d.topology))
+        return fail("unknown topology \"" + entry.at("topology").as_string() +
+                    "\"");
+      d.radix = static_cast<int>(entry.at("radix").as_int());
+      d.segment = entry.at("segment").as_int();
+      d.predicted = entry.at("predicted").as_int();
+      loaded[key] = d;
+    }
+    map_ = std::move(loaded);
+    hits_ = misses_ = 0;
+    return true;
+  } catch (const Error& e) {
+    return fail(e.what());
+  }
+}
+
+// ---------------------------------------------------------------- Tuner ---
+
+Tuner::Tuner(const topo::Machine& machine, TunerOptions options)
+    : machine_(machine),
+      options_(std::move(options)),
+      model_(machine),
+      table_(machine.fingerprint()) {
+  ADAPT_CHECK(!options_.segments.empty() || options_.whole_message)
+      << "empty tuning grid";
+}
+
+int Tuner::bucket(Bytes bytes) {
+  int b = 0;
+  for (Bytes v = bytes; v > 1; v >>= 1) ++b;
+  return b;
+}
+
+Bytes Tuner::bucket_bytes(int bucket) { return Bytes{1} << bucket; }
+
+std::vector<Decision> Tuner::candidates(Op op, int ranks, Bytes bytes) const {
+  ADAPT_CHECK(ranks >= 1 && ranks <= machine_.nranks())
+      << "cannot tune a " << ranks << "-rank communicator on a "
+      << machine_.nranks() << "-rank machine";
+  const Bytes rep = bucket_bytes(bucket(bytes));
+  std::vector<Bytes> segments = options_.segments;
+  if (options_.whole_message) segments.push_back(0);
+
+  std::vector<Decision> out;
+  const auto price = [&](Decision d) {
+    d.predicted = predict(op, ranks, d, rep);
+    out.push_back(d);
+  };
+  for (const Bytes seg : segments) {
+    price({Topology::kTopoChain, 4, seg, 0});
+    for (const int radix : options_.radices)
+      price({Topology::kTopoKnomial, radix, seg, 0});
+    price({Topology::kBinomial, 4, seg, 0});
+  }
+  return out;
+}
+
+TimeNs Tuner::predict(Op op, int ranks, const Decision& decision,
+                      Bytes bytes) const {
+  const mpi::Comm comm = mpi::Comm::world(ranks);
+  const coll::Tree tree = decision_tree(machine_, comm, /*root=*/0, decision);
+  Workload work;
+  work.op = op;
+  work.style = options_.style;
+  work.bytes = bytes;
+  work.segment = decision_segment(decision, bytes);
+  work.gamma_scale = options_.gamma_scale;
+  return model_.predict(work, comm, tree);
+}
+
+Decision Tuner::choose(Op op, int ranks, Bytes bytes) {
+  const TableKey key{op, ranks, bucket(bytes)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto cached = table_.find(key)) return *cached;
+  const std::vector<Decision> grid = candidates(op, ranks, bytes);
+  const Decision best = *std::min_element(
+      grid.begin(), grid.end(), [](const Decision& a, const Decision& b) {
+        return a.predicted < b.predicted;  // grid order breaks ties
+      });
+  table_.insert(key, best);
+  return best;
+}
+
+std::string Tuner::dump_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.dump_json();
+}
+
+bool Tuner::load_json(const std::string& text, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.load_json(text, error);
+}
+
+std::uint64_t Tuner::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.hits();
+}
+
+std::uint64_t Tuner::cache_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.misses();
+}
+
+int Tuner::table_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return table_.size();
+}
+
+// ---------------------------------------------------------- application ---
+
+coll::Tree decision_tree(const topo::Machine& machine, const mpi::Comm& comm,
+                         Rank root, const Decision& decision) {
+  switch (decision.topology) {
+    case Topology::kTopoChain:
+      return coll::build_topo_tree(machine, comm, root, coll::TopoTreeSpec{});
+    case Topology::kTopoKnomial: {
+      coll::TopoTreeSpec spec;
+      spec.core_level = coll::TreeKind::kKNomial;
+      spec.socket_level = coll::TreeKind::kKNomial;
+      spec.node_level = coll::TreeKind::kKNomial;
+      spec.radix = decision.radix;
+      return coll::build_topo_tree(machine, comm, root, spec);
+    }
+    case Topology::kBinomial:
+      return coll::build_tree(coll::TreeKind::kBinomial, comm.size(), root);
+    case Topology::kChain:
+      return coll::build_tree(coll::TreeKind::kChain, comm.size(), root);
+  }
+  ADAPT_UNREACHABLE("bad tuned topology");
+}
+
+Bytes decision_segment(const Decision& decision, Bytes message) {
+  if (decision.segment == 0) return std::max<Bytes>(1, message);
+  return decision.segment;
+}
+
+}  // namespace adapt::tune

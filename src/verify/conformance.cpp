@@ -792,9 +792,11 @@ std::vector<CaseConfig> full_matrix() {
     add(c);
   }
 
-  // Library personalities end to end (bcast + reduce).
-  for (const char* lib :
-       {"ompi-adapt", "ompi-default", "cray", "mvapich", "intel"}) {
+  // Library personalities end to end (bcast + reduce). ompi-adapt-tuned runs
+  // the src/tune decision engine, so the matrix also certifies that tuned
+  // schedules deliver byte-exact results under perturbation.
+  for (const char* lib : {"ompi-adapt", "ompi-adapt-tuned", "ompi-default",
+                          "cray", "mvapich", "intel"}) {
     CaseConfig b;
     b.collective = Collective::kLibBcast;
     b.library = lib;

@@ -1,0 +1,125 @@
+// Guideline verification for the adaptive decision engine (src/tune).
+//
+// Hunold-style self-consistency checking (PAPERS.md: "Tuning MPI Collectives
+// by Verifying Performance Guidelines"): instead of trusting the tuner's
+// analytical model, every guideline below is verified MECHANICALLY against
+// simulated virtual times across a sweep of machines, ranks and message
+// sizes:
+//
+//   model-sim      the model's prediction for the tuned choice is within
+//                  GuidelineOptions::model_tolerance of the simulated time
+//                  (the model may abstract, it may not mislead);
+//   tuned-best     the tuned choice, simulated, is no worse than every
+//                  forced candidate in its grid (within sim_tolerance);
+//   segmentation   above the pipeline threshold the tuned choice never
+//                  loses to the unsegmented (whole-message) candidate;
+//   composition    tuned bcast(m) <= scatter(m) + allgather(m) composed
+//                  (the classic MPI performance guideline);
+//   monotone       tuned time is non-decreasing in message size
+//                  (T(m/2) <= (1 + tol) * T(m)).
+//
+// Failures carry shrinking one-line reproducers in the src/verify house
+// style: `verify_guidelines --repro '<line>'` replays exactly one check.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/topo/hardware.hpp"
+#include "src/tune/tuner.hpp"
+
+namespace adapt::verify {
+
+enum class Guideline {
+  kModelSim,
+  kTunedBest,
+  kSegmentation,
+  kComposition,
+  kMonotone,
+};
+
+const char* guideline_name(Guideline g);
+bool guideline_from_name(const std::string& name, Guideline* out);
+
+/// One sweep point. `cluster` is a topo::preset name or "uniform" (every
+/// rank on its own single-core node, identical lanes — the closed-form
+/// regime); for "uniform" the node count follows `ranks`.
+struct GuidelineCase {
+  std::string cluster = "cori";
+  int nodes = 2;
+  int ranks = 16;
+  tune::Op op = tune::Op::kBcast;
+  Bytes bytes = kib(256);
+};
+
+/// The machine a case runs on (placement kByCore, nranks == case.ranks).
+topo::Machine guideline_machine(const GuidelineCase& config);
+
+std::string guideline_repro(const GuidelineCase& config, Guideline g);
+bool parse_guideline_repro(const std::string& line, GuidelineCase* config,
+                           Guideline* g);
+
+struct GuidelineFailure {
+  GuidelineCase config;  ///< already shrunk when GuidelineOptions::shrink
+  Guideline guideline = Guideline::kModelSim;
+  std::string detail;
+  std::string repro;
+};
+
+struct GuidelineReport {
+  int cases = 0;
+  int checks = 0;     ///< guideline checks executed
+  long sim_runs = 0;  ///< SimEngine runs spent on them
+  std::vector<GuidelineFailure> failures;
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+struct GuidelineOptions {
+  /// Maximum relative model-vs-simulation error |pred - sim| / sim for the
+  /// model-sim guideline. Calibrated against the default sweep (worst
+  /// observed drift 0.44, on small multi-child bcasts where the static
+  /// all-edges-active contention pass is pessimistic); rationale in
+  /// DESIGN.md §11.
+  double model_tolerance = 0.5;
+  /// Slack for sim-vs-sim comparisons (tuned-best, segmentation,
+  /// composition, monotone): tuned <= (1 + sim_tolerance) * bound. Worst
+  /// observed: tuned-best 1.145 (model mis-ranking), composition 1.232
+  /// (the candidate grid has no scatter+allgather family); DESIGN.md §11.
+  double sim_tolerance = 0.25;
+  bool shrink = true;  ///< minimise failing cases before reporting
+  int jobs = 1;        ///< worker threads over cases (report is jobs-invariant)
+  std::function<void(const std::string&)> log;
+  /// Called with each check's repro line just before it runs (watchdog hook).
+  std::function<void(const std::string&)> on_run;
+};
+
+/// The default sweep: {cori, stampede2, uniform} x ranks x {bcast, reduce}
+/// x message sizes from 64 KiB to 2 MiB.
+std::vector<GuidelineCase> guideline_sweep();
+
+/// Runs one guideline check, self-contained (builds machine + tuner, runs
+/// the simulations). Returns nullopt on pass, a detail string on violation.
+/// `sim_runs`, when non-null, is incremented by the number of engine runs.
+std::optional<std::string> check_guideline(const GuidelineCase& config,
+                                           Guideline g,
+                                           const GuidelineOptions& options,
+                                           long* sim_runs = nullptr);
+
+/// Every applicable guideline for every case, fanned across options.jobs
+/// workers (merged in case order — the report is identical for any jobs).
+GuidelineReport run_guidelines(const std::vector<GuidelineCase>& cases,
+                               const GuidelineOptions& options);
+
+/// Simulated virtual completion time of one explicit tuned configuration —
+/// exposed for unit tests and --repro replays.
+TimeNs simulate_decision(const topo::Machine& machine, tune::Op op, int ranks,
+                         const tune::Decision& decision, Bytes bytes);
+
+/// The sweep's decision tables (one per distinct machine, JSON) — the
+/// artifact CI uploads next to any failure reproducers.
+std::string dump_decision_tables(const std::vector<GuidelineCase>& cases);
+
+}  // namespace adapt::verify

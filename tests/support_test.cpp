@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/support/error.hpp"
+#include "src/support/json.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/stats.hpp"
 #include "src/support/table.hpp"
@@ -169,6 +170,55 @@ TEST(Table, NumericRowFormatting) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_EQ(os.str(), "algo,v\nx,1.23\n");
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\n\t")").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParsesNested) {
+  const JsonValue v = parse_json(
+      R"({"name": "t", "xs": [1, 2, 3], "sub": {"ok": true}, "n": null})");
+  EXPECT_EQ(v.at("name").as_string(), "t");
+  ASSERT_EQ(v.at("xs").as_array().size(), 3u);
+  EXPECT_EQ(v.at("xs").as_array()[2].as_int(), 3);
+  EXPECT_TRUE(v.at("sub").at("ok").as_bool());
+  EXPECT_TRUE(v.at("n").is_null());
+  EXPECT_TRUE(v.has("name"));
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(Json, RoundTripsThroughQuote) {
+  const std::string original = "weird \"chars\"\nand\ttabs \\ here";
+  EXPECT_EQ(parse_json(json_quote(original)).as_string(), original);
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("nul"), Error);
+  EXPECT_THROW(parse_json("1 trailing"), Error);
+  EXPECT_THROW(parse_json("{\"dup\" 1}"), Error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_object(), Error);
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.at("k"), Error);
 }
 
 }  // namespace

@@ -1,0 +1,296 @@
+// Unit tests for the adaptive decision engine (src/tune): the CostModel's
+// closed-form regime, the DecisionTable cache contract, Tuner determinism,
+// and the heuristic boundary the tuner replaces (default_segment_size).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/coll/library.hpp"
+#include "src/coll/tree.hpp"
+#include "src/mpi/comm.hpp"
+#include "src/topo/hardware.hpp"
+#include "src/tune/cost.hpp"
+#include "src/tune/tuner.hpp"
+
+namespace adapt {
+namespace {
+
+/// Every rank on its own single-core node, identical lanes, no local
+/// overheads, everything eager: Hockney with no contention and no protocol
+/// split — the regime where binomial bcast has a closed form.
+topo::Machine uniform_machine(int ranks) {
+  topo::MachineSpec spec;
+  spec.name = "uniform";
+  spec.nodes = ranks;
+  spec.sockets_per_node = 1;
+  spec.cores_per_socket = 1;
+  const topo::LinkParams lane{1000, 1.0 / 8.0};  // α = 1 µs, β = 8 GB/s
+  spec.intra_socket = spec.inter_socket = spec.inter_node = lane;
+  spec.shm_parallel = 1.0;
+  spec.memcpy_beta = 0.0;
+  spec.unexpected_overhead = 0;
+  spec.cpu_overhead = 0;
+  spec.eager_threshold = mib(64);  // never rendezvous
+  return topo::Machine(spec, ranks);
+}
+
+// -- CostModel: closed-form binomial property ---------------------------
+
+// Blocking binomial bcast of one unsegmented message on the uniform machine
+// is exactly ceil(log2 P) * (α + β·m): the binomial construction serves the
+// largest subtree first, every round is one awaited α + β·m send, and no two
+// transfers share a link. P = 2,4,8,16 at m = 32 KiB pins the exact
+// nanosecond values.
+TEST(CostModel, BinomialBcastClosedForm) {
+  const Bytes m = kib(32);  // β·m = 0.125 * 32768 = 4096 ns
+  const TimeNs round = 1000 + 4096;
+  const struct {
+    int ranks;
+    TimeNs expect;
+  } kTable[] = {
+      {2, 1 * round},   // 5096
+      {4, 2 * round},   // 10192
+      {8, 3 * round},   // 15288
+      {16, 4 * round},  // 20384
+  };
+  for (const auto& row : kTable) {
+    const topo::Machine machine = uniform_machine(row.ranks);
+    const mpi::Comm comm = mpi::Comm::world(row.ranks);
+    const coll::Tree tree =
+        coll::build_tree(coll::TreeKind::kBinomial, row.ranks, 0);
+    tune::Workload work;
+    work.op = tune::Op::kBcast;
+    work.style = coll::Style::kBlocking;
+    work.bytes = m;
+    work.segment = m;  // one segment: no pipelining
+    const TimeNs predicted =
+        tune::CostModel(machine).predict(work, comm, tree);
+    EXPECT_EQ(predicted, row.expect) << "P=" << row.ranks;
+  }
+}
+
+// Chain bcast under the same conditions is (P-1) rounds — a second closed
+// form catching walk bugs the binomial one would mask.
+TEST(CostModel, ChainBcastClosedForm) {
+  const int ranks = 6;
+  const topo::Machine machine = uniform_machine(ranks);
+  const mpi::Comm comm = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_tree(coll::TreeKind::kChain, ranks, 0);
+  tune::Workload work;
+  work.op = tune::Op::kBcast;
+  work.style = coll::Style::kBlocking;
+  work.bytes = kib(32);
+  work.segment = kib(32);
+  EXPECT_EQ(tune::CostModel(machine).predict(work, comm, tree),
+            (ranks - 1) * (1000 + 4096));
+}
+
+// -- DecisionTable: cache contract --------------------------------------
+
+tune::Decision sample_decision() {
+  tune::Decision d;
+  d.topology = tune::Topology::kTopoKnomial;
+  d.radix = 4;
+  d.segment = kib(32);
+  d.predicted = 123456;
+  return d;
+}
+
+TEST(DecisionTable, CountsHitsAndMisses) {
+  tune::DecisionTable table("fp");
+  const tune::TableKey key{tune::Op::kBcast, 16, 18};
+  EXPECT_FALSE(table.find(key).has_value());
+  EXPECT_EQ(table.misses(), 1u);
+  EXPECT_EQ(table.hits(), 0u);
+
+  table.insert(key, sample_decision());
+  EXPECT_EQ(table.size(), 1);
+  const auto found = table.find(key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, sample_decision());
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+
+  // A different bucket is a distinct entry, not an eviction.
+  EXPECT_FALSE(table.find({tune::Op::kBcast, 16, 19}).has_value());
+  EXPECT_TRUE(table.find(key).has_value());
+  EXPECT_EQ(table.size(), 1);
+}
+
+TEST(DecisionTable, JsonRoundTrip) {
+  tune::DecisionTable table("machine-A");
+  table.insert({tune::Op::kBcast, 16, 18}, sample_decision());
+  tune::Decision other;
+  other.topology = tune::Topology::kBinomial;
+  other.radix = 2;
+  other.segment = 0;  // whole message survives the round-trip
+  other.predicted = 77;
+  table.insert({tune::Op::kReduce, 8, 20}, other);
+
+  tune::DecisionTable loaded("machine-A");
+  std::string error;
+  ASSERT_TRUE(loaded.load_json(table.dump_json(), &error)) << error;
+  EXPECT_EQ(loaded.size(), 2);
+  EXPECT_EQ(loaded.dump_json(), table.dump_json());
+  const auto found = loaded.find({tune::Op::kReduce, 8, 20});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, other);
+}
+
+TEST(DecisionTable, RejectsStaleMachine) {
+  tune::DecisionTable recorded("machine-A");
+  recorded.insert({tune::Op::kBcast, 16, 18}, sample_decision());
+
+  tune::DecisionTable other("machine-B");  // e.g. different α/β
+  std::string error;
+  EXPECT_FALSE(other.load_json(recorded.dump_json(), &error));
+  EXPECT_NE(error.find("different machine"), std::string::npos) << error;
+  EXPECT_EQ(other.size(), 0);
+}
+
+TEST(DecisionTable, RejectsMalformedJson) {
+  tune::DecisionTable table("fp");
+  std::string error;
+  EXPECT_FALSE(table.load_json("{not json", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(table.load_json("{\"schema\": \"something-else\"}", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Machine, FingerprintSeparatesParameterChanges) {
+  const topo::Machine a = uniform_machine(4);
+  topo::MachineSpec spec;
+  spec.nodes = 4;
+  spec.sockets_per_node = 1;
+  spec.cores_per_socket = 1;
+  spec.intra_socket = spec.inter_socket = {1000, 1.0 / 8.0};
+  spec.inter_node = {1000, 1.0 / 4.0};  // half the bandwidth
+  spec.shm_parallel = 1.0;
+  spec.memcpy_beta = 0.0;
+  spec.unexpected_overhead = 0;
+  spec.cpu_overhead = 0;
+  spec.eager_threshold = mib(64);
+  spec.name = "uniform";
+  const topo::Machine b(spec, 4);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), uniform_machine(4).fingerprint());
+}
+
+// -- Tuner: determinism and grid consistency ----------------------------
+
+TEST(Tuner, CachesPerBucket) {
+  const topo::Machine machine = uniform_machine(8);
+  tune::Tuner tuner(machine);
+  const tune::Decision first = tuner.choose(tune::Op::kBcast, 8, kib(256));
+  EXPECT_EQ(tuner.cache_misses(), 1u);
+  EXPECT_EQ(tuner.cache_hits(), 0u);
+
+  // Same bucket (any size in [256K, 512K)) hits the cache.
+  const tune::Decision again =
+      tuner.choose(tune::Op::kBcast, 8, kib(256) + 1000);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(tuner.cache_hits(), 1u);
+  EXPECT_EQ(tuner.cache_misses(), 1u);
+  EXPECT_EQ(tuner.table_size(), 1);
+
+  // Different op / ranks / bucket all miss.
+  tuner.choose(tune::Op::kReduce, 8, kib(256));
+  tuner.choose(tune::Op::kBcast, 4, kib(256));
+  tuner.choose(tune::Op::kBcast, 8, kib(512));
+  EXPECT_EQ(tuner.cache_misses(), 4u);
+  EXPECT_EQ(tuner.table_size(), 4);
+}
+
+TEST(Tuner, DeterministicAcrossInstances) {
+  const topo::Machine machine = uniform_machine(16);
+  tune::Tuner a(machine);
+  tune::Tuner b(machine);
+  for (const tune::Op op : {tune::Op::kBcast, tune::Op::kReduce})
+    for (const Bytes bytes : {kib(8), kib(64), kib(512), mib(2)})
+      EXPECT_EQ(a.choose(op, 16, bytes), b.choose(op, 16, bytes))
+          << tune::op_name(op) << " " << bytes;
+  EXPECT_EQ(a.dump_json(), b.dump_json());
+}
+
+TEST(Tuner, ChoiceIsArgminOfCandidates) {
+  const topo::Machine machine = uniform_machine(8);
+  tune::Tuner tuner(machine);
+  const tune::Decision chosen = tuner.choose(tune::Op::kReduce, 8, mib(1));
+  const auto candidates = tuner.candidates(tune::Op::kReduce, 8, mib(1));
+  // Grid: {topo-chain, topo-knomial r2, topo-knomial r4, binomial} ×
+  // {16K, 32K, 64K, 128K, whole}.
+  EXPECT_EQ(candidates.size(), 20u);
+  TimeNs best = candidates.front().predicted;
+  bool chosen_in_grid = false;
+  for (const tune::Decision& c : candidates) {
+    best = std::min(best, c.predicted);
+    if (c == chosen) chosen_in_grid = true;
+  }
+  EXPECT_TRUE(chosen_in_grid);
+  EXPECT_EQ(chosen.predicted, best);
+}
+
+TEST(Tuner, BucketIsFloorLog2) {
+  EXPECT_EQ(tune::Tuner::bucket(0), 0);
+  EXPECT_EQ(tune::Tuner::bucket(1), 0);
+  EXPECT_EQ(tune::Tuner::bucket(2), 1);
+  EXPECT_EQ(tune::Tuner::bucket(3), 1);
+  EXPECT_EQ(tune::Tuner::bucket(4), 2);
+  EXPECT_EQ(tune::Tuner::bucket(kib(64)), 16);
+  EXPECT_EQ(tune::Tuner::bucket(kib(64) + 1), 16);
+  EXPECT_EQ(tune::Tuner::bucket(mib(2)), 21);
+  EXPECT_EQ(tune::Tuner::bucket_bytes(16), kib(64));
+}
+
+TEST(Tuner, TunerJsonRoundTripRestoresDecisions) {
+  const topo::Machine machine = uniform_machine(8);
+  tune::Tuner a(machine);
+  const tune::Decision chosen = a.choose(tune::Op::kBcast, 8, kib(512));
+
+  tune::Tuner b(machine);
+  std::string error;
+  ASSERT_TRUE(b.load_json(a.dump_json(), &error)) << error;
+  EXPECT_EQ(b.table_size(), 1);
+  EXPECT_EQ(b.choose(tune::Op::kBcast, 8, kib(512)), chosen);
+  EXPECT_EQ(b.cache_hits(), 1u);  // served from the loaded table
+  EXPECT_EQ(b.cache_misses(), 0u);
+}
+
+TEST(Tuner, DecisionSegmentWholeMessageSentinel) {
+  tune::Decision d;
+  d.segment = 0;
+  EXPECT_EQ(tune::decision_segment(d, kib(256)), kib(256));
+  EXPECT_EQ(tune::decision_segment(d, 0), 1);  // Segmenter needs >= 1
+  d.segment = kib(32);
+  EXPECT_EQ(tune::decision_segment(d, kib(256)), kib(32));
+}
+
+// -- The heuristic the tuner replaces -----------------------------------
+
+// Pins coll::default_segment_size exactly: whole message through 64 KB, a
+// discontinuous drop to msg/16 clamped to [16 KB, 128 KB] above it. The
+// tuned personality must opt out of this table, so freeze what "off" means.
+TEST(DefaultSegmentSize, PinsHeuristicTable) {
+  const struct {
+    Bytes message;
+    Bytes expect;
+  } kTable[] = {
+      {0, 1},                    // degenerate floor
+      {1, 1},
+      {kib(16), kib(16)},        // whole message below the threshold
+      {kib(64), kib(64)},        // boundary: still whole
+      {kib(64) + 1, kib(16)},    // discontinuity: msg/16 hits the 16K clamp
+      {kib(256), kib(16)},       // 256K/16 = 16K
+      {kib(512), kib(32)},
+      {mib(1), kib(64)},
+      {mib(2), kib(128)},
+      {mib(4), kib(128)},        // clamped at 128K
+      {mib(64), kib(128)},
+  };
+  for (const auto& row : kTable)
+    EXPECT_EQ(coll::default_segment_size(row.message), row.expect)
+        << "message=" << row.message;
+}
+
+}  // namespace
+}  // namespace adapt

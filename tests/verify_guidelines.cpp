@@ -1,0 +1,240 @@
+// Standalone guideline-verification driver (registered with ctest as
+// `verify_guidelines`).
+//
+// Default run, in order:
+//   1. the guideline sweep — every (machine × ranks × op × message size)
+//      case checked against the five performance guidelines in
+//      src/verify/guidelines.hpp, each verified on SIMULATED times (the
+//      tuner's analytical model never certifies itself);
+//   2. a harness self-test — one check re-run with an impossible tolerance
+//      MUST produce a violation whose repro line parses and replays,
+//      proving the reporting/shrinking/replay machinery is live.
+//
+// A wall-clock watchdog guards every run, in the verify_conformance style:
+// a hung simulation prints the exact repro line of the stuck check and
+// exits 3 instead of hanging CI.
+//
+// A reported failure line is replayable:  verify_guidelines --repro '<line>'.
+// --artifacts=DIR writes the sweep's decision tables (JSON) and any failure
+// reproducers into DIR for CI upload.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/support/parallel.hpp"
+#include "src/verify/guidelines.hpp"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::verify;
+
+int usage() {
+  std::cerr
+      << "usage: verify_guidelines [--model-tol=X] [--tol=X] [--no-shrink]\n"
+         "                         [--no-selftest]\n"
+         "                         [--watchdog=SECONDS]  (0 disables)\n"
+         "                         [--jobs=N]  (0 = all hardware threads)\n"
+         "                         [--artifacts=DIR]\n"
+         "                         [--repro '<failure line>']\n"
+         "--jobs: fan cases across N worker threads. Every check is an\n"
+         "independent deterministic simulation, so the report is identical\n"
+         "for any N; only wall clock changes.\n"
+         "--artifacts: write decision-tables.json and failures.txt into DIR\n"
+         "(created by the caller) for CI artifact upload.\n";
+  return 2;
+}
+
+/// Wall-clock deadman switch (see verify_conformance.cpp): every check
+/// publishes its repro line before it starts; if no check finishes for
+/// `limit` seconds the watchdog prints that line and hard-exits 3.
+class Watchdog {
+ public:
+  explicit Watchdog(long limit_seconds) : limit_(limit_seconds) {
+    if (limit_ > 0) thread_ = std::thread([this] { loop(); });
+  }
+  ~Watchdog() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void tick(const std::string& repro) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = repro;
+    last_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  void loop() {
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto stuck = std::chrono::steady_clock::now() - last_;
+      if (stuck > std::chrono::seconds(limit_)) {
+        std::cerr << "WATCHDOG: a check exceeded " << limit_
+                  << "s of wall clock; likely deadlocked.\n  repro: "
+                  << (current_.empty() ? "<none started>" : current_) << "\n";
+        std::_Exit(3);
+      }
+    }
+  }
+
+  const long limit_;
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::string current_;
+  std::chrono::steady_clock::time_point last_ =
+      std::chrono::steady_clock::now();
+  std::thread thread_;
+};
+
+int replay(const std::string& line, const GuidelineOptions& options) {
+  GuidelineCase config;
+  Guideline g = Guideline::kModelSim;
+  if (!parse_guideline_repro(line, &config, &g)) {
+    std::cerr << "unparseable repro line: " << line << "\n";
+    return 2;
+  }
+  std::cout << "replaying: " << guideline_repro(config, g) << "\n";
+  long sim_runs = 0;
+  if (auto detail = check_guideline(config, g, options, &sim_runs)) {
+    std::cout << "REPRODUCED (" << sim_runs << " sim runs): " << *detail
+              << "\n";
+    return 1;
+  }
+  std::cout << "guideline holds (" << sim_runs
+            << " sim runs; violation not reproduced)\n";
+  return 0;
+}
+
+/// Self-test: an impossible model tolerance must yield a violation whose
+/// repro line round-trips through the parser and replays to the same
+/// verdict. A harness that cannot fail cannot certify anything.
+bool selftest(Watchdog& watchdog) {
+  GuidelineCase config;
+  config.cluster = "cori";
+  config.nodes = 1;
+  config.ranks = 8;
+  config.op = tune::Op::kBcast;
+  config.bytes = kib(128);
+
+  GuidelineOptions impossible;
+  impossible.model_tolerance = -1.0;  // err >= 0 can never satisfy this
+  impossible.shrink = false;
+  watchdog.tick("selftest: " + guideline_repro(config, Guideline::kModelSim));
+
+  GuidelineReport report =
+      run_guidelines({config}, [&] {
+        GuidelineOptions o = impossible;
+        o.on_run = [&](const std::string& r) { watchdog.tick(r); };
+        return o;
+      }());
+  const auto it = std::find_if(
+      report.failures.begin(), report.failures.end(),
+      [](const GuidelineFailure& f) {
+        return f.guideline == Guideline::kModelSim;
+      });
+  if (it == report.failures.end()) {
+    std::cout << "SELF-TEST FAILED: impossible tolerance produced no "
+                 "model-sim violation\n";
+    return false;
+  }
+  GuidelineCase parsed;
+  Guideline parsed_g = Guideline::kTunedBest;
+  if (!parse_guideline_repro(it->repro, &parsed, &parsed_g) ||
+      parsed_g != Guideline::kModelSim) {
+    std::cout << "SELF-TEST FAILED: repro line does not round-trip: "
+              << it->repro << "\n";
+    return false;
+  }
+  if (!check_guideline(parsed, parsed_g, impossible)) {
+    std::cout << "SELF-TEST FAILED: replayed repro did not reproduce: "
+              << it->repro << "\n";
+    return false;
+  }
+  std::cout << "self-test: harness reported, round-tripped and replayed a "
+               "forced violation\n  repro: "
+            << it->repro << "\n";
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GuidelineOptions options;
+  bool run_selftest = true;
+  long watchdog_seconds = 120;
+  std::string artifacts;
+  std::string repro_line;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--model-tol=", 0) == 0) {
+      options.model_tolerance = std::stod(arg.substr(12));
+    } else if (arg.rfind("--tol=", 0) == 0) {
+      options.sim_tolerance = std::stod(arg.substr(6));
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--no-selftest") {
+      run_selftest = false;
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      watchdog_seconds = std::stol(arg.substr(11));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoi(arg.substr(7));
+      if (options.jobs <= 0) options.jobs = support::hardware_jobs();
+    } else if (arg.rfind("--artifacts=", 0) == 0) {
+      artifacts = arg.substr(12);
+    } else if (arg == "--repro" && i + 1 < argc) {
+      repro_line = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!repro_line.empty()) return replay(repro_line, options);
+
+  Watchdog watchdog(watchdog_seconds);
+  options.log = [](const std::string& line) { std::cerr << line << "\n"; };
+  options.on_run = [&](const std::string& repro) { watchdog.tick(repro); };
+
+  const std::vector<GuidelineCase> cases = guideline_sweep();
+  std::cout << "guideline sweep: " << cases.size()
+            << " cases, model tolerance " << options.model_tolerance
+            << ", sim tolerance " << options.sim_tolerance << "\n";
+  const GuidelineReport report = run_guidelines(cases, options);
+  std::cout << report.summary() << "\n";
+
+  if (!artifacts.empty()) {
+    const std::string tables = dump_decision_tables(cases);
+    if (!write_file(artifacts + "/decision-tables.json", tables))
+      std::cerr << "warning: could not write " << artifacts
+                << "/decision-tables.json\n";
+    std::string lines;
+    for (const GuidelineFailure& f : report.failures)
+      lines += f.repro + "\n  " + f.detail + "\n";
+    if (!report.failures.empty() &&
+        !write_file(artifacts + "/failures.txt", lines))
+      std::cerr << "warning: could not write " << artifacts
+                << "/failures.txt\n";
+  }
+
+  if (!report.ok()) {
+    std::cout << "replay any line with: verify_guidelines --repro '<line>'\n";
+    return 1;
+  }
+  if (run_selftest && !selftest(watchdog)) return 1;
+
+  std::cout << "OK\n";
+  return 0;
+}
