@@ -169,7 +169,7 @@ void BM_MatcherThroughput(benchmark::State& state) {
       mpi::Envelope env;
       env.src = 0;
       env.tag = i;
-      benchmark::DoNotOptimize(matcher.arrive(env));
+      benchmark::DoNotOptimize(matcher.arrive(std::move(env)));
     }
   }
   state.SetItemsProcessed(state.iterations() * msgs);

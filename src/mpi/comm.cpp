@@ -5,6 +5,23 @@
 
 namespace adapt::mpi {
 
+namespace {
+
+std::uint64_t members_fingerprint(const std::vector<Rank>& members) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(members.size()));
+  for (const Rank r : members) mix(static_cast<std::uint64_t>(r));
+  return h;
+}
+
+}  // namespace
+
 Comm Comm::world(int nranks) {
   ADAPT_CHECK(nranks > 0);
   std::vector<Rank> members(static_cast<std::size_t>(nranks));
@@ -12,18 +29,23 @@ Comm Comm::world(int nranks) {
   return Comm(std::move(members));
 }
 
-Comm::Comm(std::vector<Rank> members) : members_(std::move(members)) {
-  ADAPT_CHECK(!members_.empty());
-  std::vector<Rank> sorted = members_;
+Comm::Comm(std::vector<Rank> members) {
+  ADAPT_CHECK(!members.empty());
+  std::vector<Rank> sorted = members;
   std::sort(sorted.begin(), sorted.end());
   ADAPT_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
       << "duplicate member rank";
+  state_ = std::make_shared<CommState>();
+  state_->members = std::move(members);
+  state_->fingerprint = members_fingerprint(state_->members);
+  cstate_ = state_;
 }
 
 Rank Comm::local_of(Rank global_rank) const {
-  const auto it = std::find(members_.begin(), members_.end(), global_rank);
-  if (it == members_.end()) return kAnyRank;
-  return static_cast<Rank>(it - members_.begin());
+  const auto& m = members();
+  const auto it = std::find(m.begin(), m.end(), global_rank);
+  if (it == m.end()) return kAnyRank;
+  return static_cast<Rank>(it - m.begin());
 }
 
 }  // namespace adapt::mpi

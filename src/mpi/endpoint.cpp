@@ -25,11 +25,58 @@ ErrCode validate(Rank peer, bool wildcard_ok, Rank self, int nranks,
 
 }  // namespace
 
+RequestPtr Endpoint::make_request(Request::Kind kind, Rank peer, Tag tag,
+                                  Bytes size) {
+  return std::allocate_shared<Request>(
+      support::ArenaAllocator<Request>(arena_), kind, peer, tag, size, &exec_);
+}
+
 RequestPtr Endpoint::failed_request(Request::Kind kind, Rank peer, Tag tag,
                                     ErrCode code) {
-  auto req = std::make_shared<Request>(kind, peer, tag, 0, &exec_);
+  auto req = make_request(kind, peer, tag, 0);
   req->mark_failed(code);
   return req;
+}
+
+std::uint32_t Endpoint::acquire_send_slot(RequestPtr request) {
+  if (send_free_.empty()) {
+    send_slots_.push_back(std::move(request));
+    return static_cast<std::uint32_t>(send_slots_.size() - 1);
+  }
+  const std::uint32_t slot = send_free_.back();
+  send_free_.pop_back();
+  send_slots_[slot] = std::move(request);
+  return slot;
+}
+
+void Endpoint::finish_send(std::uint32_t slot, ErrCode code) {
+  RequestPtr req = std::move(send_slots_[slot]);
+  send_free_.push_back(slot);
+  if (code == ErrCode::kOk) {
+    req->mark_complete();
+  } else {
+    req->mark_failed(code);
+  }
+}
+
+std::uint32_t Endpoint::acquire_finalize_slot(PostedRecv recv, Envelope env) {
+  std::uint32_t slot;
+  if (finalize_free_.empty()) {
+    finalize_slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(finalize_slots_.size() - 1);
+  } else {
+    slot = finalize_free_.back();
+    finalize_free_.pop_back();
+  }
+  finalize_slots_[slot] = {std::move(recv), std::move(env)};
+  return slot;
+}
+
+void Endpoint::run_finalize_slot(std::uint32_t slot) {
+  PendingFinalize pf = std::move(finalize_slots_[slot]);
+  finalize_slots_[slot] = {};  // drop payload refs before recycling the slot
+  finalize_free_.push_back(slot);
+  finalize_recv(pf.recv, pf.env);
 }
 
 void Endpoint::track(const RequestPtr& request) {
@@ -68,8 +115,7 @@ RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
       code != ErrCode::kOk) {
     return failed_request(Request::Kind::kSend, dst, tag, code);
   }
-  auto req = std::make_shared<Request>(Request::Kind::kSend, dst, tag,
-                                       data.size, &exec_);
+  auto req = make_request(Request::Kind::kSend, dst, tag, data.size);
   ++sends_;
   if (rec_) {
     auto& rc = rec_->metrics().rank(rank_);
@@ -94,9 +140,13 @@ RequestPtr Endpoint::isend(Rank dst, Tag tag, ConstView data, SendOpts opts) {
     std::memcpy(env.data.data(), data.data,
                 static_cast<std::size_t>(data.size));
   }
+  // Park the request in a recycled slot: both transport callbacks capture
+  // {this, slot} (std::function inline storage, no boxing) and exactly one
+  // of them fires, releasing the slot's ownership.
+  const std::uint32_t slot = acquire_send_slot(req);
   transport_.submit(std::move(env), opts.src_space, opts.dst_space,
-                    [req] { req->mark_complete(); },
-                    [req](ErrCode code) { req->mark_failed(code); });
+                    [this, slot] { finish_send(slot, ErrCode::kOk); },
+                    [this, slot](ErrCode code) { finish_send(slot, code); });
   return req;
 }
 
@@ -108,8 +158,7 @@ RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer, Datatype dtype) {
       code != ErrCode::kOk) {
     return failed_request(Request::Kind::kRecv, src, tag, code);
   }
-  auto req = std::make_shared<Request>(Request::Kind::kRecv, src, tag,
-                                       buffer.size, &exec_);
+  auto req = make_request(Request::Kind::kRecv, src, tag, buffer.size);
   exec_.charge(costs_.cpu_overhead);
   track(req);
 
@@ -132,11 +181,10 @@ RequestPtr Endpoint::irecv(Rank src, Tag tag, MutView buffer, Datatype dtype) {
           costs_.unexpected_overhead +
           static_cast<TimeNs>(costs_.memcpy_beta *
                               static_cast<double>(env->size));
-      const Envelope captured = std::move(*env);
-      const PostedRecv recv = posted;
-      exec_.post_progress(
-          [this, recv, captured] { finalize_recv(recv, captured); },
-          copy_cost);
+      const std::uint32_t slot =
+          acquire_finalize_slot(posted, std::move(*env));
+      exec_.post_progress([this, slot] { run_finalize_slot(slot); },
+                          copy_cost);
     }
   } else if (rec_) {
     rec_->metrics()
@@ -154,13 +202,16 @@ void Endpoint::deliver(Envelope env) {
   // pre-posted receives is NIC-offloaded (Aries/Portals-style). Anything that
   // does need the CPU (completion callbacks, unexpected copies, software
   // rendezvous matches) is deferred through the executor by the paths below.
-  if (auto recv = matcher_.arrive(env)) {
+  // arrive() moves from env only on the unexpected (miss) path; on a hit it
+  // is untouched, so the rendezvous/finalise uses below stay valid.
+  if (auto recv = matcher_.arrive(std::move(env))) {
     if (env.rendezvous()) {
       env.grant(*recv);
     } else {
-      exec_.post_progress(
-          [this, recv = *recv, env] { finalize_recv(recv, env); },
-          costs_.cpu_overhead);
+      const std::uint32_t slot =
+          acquire_finalize_slot(std::move(*recv), std::move(env));
+      exec_.post_progress([this, slot] { run_finalize_slot(slot); },
+                          costs_.cpu_overhead);
     }
   } else if (rec_) {
     // Queued as unexpected (an eager payload or an RTS); a later irecv picks

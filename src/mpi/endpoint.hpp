@@ -22,6 +22,7 @@
 #include "src/mpi/match.hpp"
 #include "src/mpi/payload.hpp"
 #include "src/mpi/request.hpp"
+#include "src/support/arena.hpp"
 #include "src/support/units.hpp"
 
 namespace adapt::obs {
@@ -145,6 +146,19 @@ class Endpoint {
                             ErrCode code);
   void track(const RequestPtr& request);
 
+  /// Arena-backed request construction: a free-list hit in steady state
+  /// (std::make_shared was the last per-P2P heap allocation on the hot path).
+  RequestPtr make_request(Request::Kind kind, Rank peer, Tag tag, Bytes size);
+
+  // Slot pools: per-message transport state parked in recycled slots so the
+  // callbacks handed to the transport / executor capture only {this, slot}
+  // — small enough for std::function's inline storage, which keeps the
+  // steady-state path free of callback boxing.
+  std::uint32_t acquire_send_slot(RequestPtr request);
+  void finish_send(std::uint32_t slot, ErrCode code);
+  std::uint32_t acquire_finalize_slot(PostedRecv recv, Envelope env);
+  void run_finalize_slot(std::uint32_t slot);
+
   Rank rank_;
   int nranks_;
   RankExecutor& exec_;
@@ -158,6 +172,20 @@ class Endpoint {
   std::vector<std::weak_ptr<Request>> pending_;
   std::uint64_t sends_ = 0;
   std::uint64_t recvs_done_ = 0;
+
+  std::shared_ptr<support::BlockArena> arena_ =
+      std::make_shared<support::BlockArena>();
+  /// In-flight sends: the slot owns the request until the transport reports
+  /// the outcome (exactly one of on_sent/on_failed fires per submit).
+  std::vector<RequestPtr> send_slots_;
+  std::vector<std::uint32_t> send_free_;
+  /// Matched receives queued for CPU-side finalisation.
+  struct PendingFinalize {
+    PostedRecv recv;
+    Envelope env;
+  };
+  std::vector<PendingFinalize> finalize_slots_;
+  std::vector<std::uint32_t> finalize_free_;
 };
 
 }  // namespace adapt::mpi

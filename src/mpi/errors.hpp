@@ -24,6 +24,10 @@ enum class ErrCode : int {
   kErrRetryExhausted,  ///< retransmit budget spent without an ack
   kErrProcFailed,      ///< a peer (or the whole operation) was declared failed
   kErrWatchdog,        ///< the harness watchdog poisoned a wedged run
+  // Persistent-collective lifecycle (detected locally, never floods the job).
+  kErrPending,    ///< start() on a handle whose previous round isn't waited
+  kErrCommFreed,  ///< start() after the communicator was freed (stale plan)
+  kErrPartition,  ///< pready misuse: bad index, duplicate, inactive handle
 };
 
 inline const char* err_name(ErrCode code) {
@@ -36,6 +40,9 @@ inline const char* err_name(ErrCode code) {
     case ErrCode::kErrRetryExhausted: return "err_retry_exhausted";
     case ErrCode::kErrProcFailed: return "err_proc_failed";
     case ErrCode::kErrWatchdog: return "err_watchdog";
+    case ErrCode::kErrPending: return "err_pending";
+    case ErrCode::kErrCommFreed: return "err_comm_freed";
+    case ErrCode::kErrPartition: return "err_partition";
   }
   return "err_unknown";
 }

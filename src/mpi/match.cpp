@@ -1,6 +1,7 @@
 #include "src/mpi/match.hpp"
 
 #include <limits>
+#include <utility>
 
 namespace adapt::mpi {
 
@@ -48,7 +49,7 @@ std::optional<Envelope> Matcher::post(PostedRecv recv) {
   return std::nullopt;
 }
 
-std::optional<PostedRecv> Matcher::arrive(const Envelope& env) {
+std::optional<PostedRecv> Matcher::arrive(Envelope&& env) {
   // Two candidates can match: the front of the exact (src, tag) bucket and
   // the earliest matching wildcard. Earliest posted wins overall, so compare
   // stamps — this reproduces the original single-queue FIFO scan exactly.
@@ -79,7 +80,7 @@ std::optional<PostedRecv> Matcher::arrive(const Envelope& env) {
     return recv;
   }
   unexpected_buckets_[key_of(env.src, env.tag)].push_back(
-      Stamped<Envelope>{next_stamp_++, env});
+      Stamped<Envelope>{next_stamp_++, std::move(env)});
   ++unexpected_count_;
   ++total_unexpected_;
   return std::nullopt;

@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/mpi/payload.hpp"
@@ -68,9 +69,11 @@ class Matcher {
   std::optional<Envelope> post(PostedRecv recv);
 
   /// Tries to match an arriving envelope against the posted list. On a hit
-  /// the posted receive is removed and returned; otherwise the envelope is
-  /// enqueued on the unexpected list.
-  std::optional<PostedRecv> arrive(const Envelope& env);
+  /// the posted receive is removed and returned and `env` is left untouched;
+  /// only on a miss is `env` moved into the unexpected list (copying it
+  /// would re-box the rendezvous grant's std::function on every unexpected
+  /// arrival — the per-round allocation the steady-state bench pins at 0).
+  std::optional<PostedRecv> arrive(Envelope&& env);
 
   std::size_t posted_count() const { return posted_count_; }
   std::size_t unexpected_count() const { return unexpected_count_; }
@@ -105,7 +108,22 @@ class Matcher {
     bool empty() const { return head == items.size(); }
     Stamped<T>& front() { return items[head]; }
     const Stamped<T>& front() const { return items[head]; }
-    void push_back(Stamped<T> v) { items.push_back(std::move(v)); }
+    void push_back(Stamped<T> v) {
+      // A bucket that never fully drains (steady-state traffic keeps an
+      // entry in flight across every push) never hits the drained reset, so
+      // the consumed prefix would grow `items` without bound. When a push is
+      // about to reallocate and at least half the storage is consumed
+      // prefix, slide the live suffix down instead: erase() keeps capacity
+      // and reclaims >= capacity/2 slots (amortised O(1)), so a warmed-up
+      // bucket pushes with no allocation.
+      if (items.size() == items.capacity() && head * 2 >= items.size() &&
+          head > 0) {
+        items.erase(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+      items.push_back(std::move(v));
+    }
     void pop_front() {
       if (++head == items.size()) {
         items.clear();

@@ -42,8 +42,18 @@ int Fabric::allocate_slot() {
   return static_cast<int>(flows_.size() - 1);
 }
 
+int Fabric::allocate_pending() {
+  if (!pending_free_.empty()) {
+    const int slot = pending_free_.back();
+    pending_free_.pop_back();
+    return slot;
+  }
+  pending_pool_.emplace_back();
+  return static_cast<int>(pending_pool_.size() - 1);
+}
+
 void Fabric::transfer(const Route& route, Bytes bytes,
-                      std::function<void()> on_complete) {
+                      sim::EventFn on_complete) {
   ADAPT_CHECK(bytes >= 0);
   ADAPT_CHECK(route.per_flow_cap > 0.0) << "route without a rate cap";
   for (LinkId l : route.links)
@@ -66,14 +76,29 @@ void Fabric::transfer(const Route& route, Bytes bytes,
     return;
   }
 
-  if (route.serial_key >= 0 && serial_busy_.count(route.serial_key)) {
-    // The pair's transmit queue is busy: wait for the predecessor; the time
-    // spent waiting counts against this message's startup latency.
-    serial_waiting_[route.serial_key].push_back(
-        Pending{route, bytes, sim_.now(), std::move(on_complete)});
-    return;
+  if (route.serial_key >= 0) {
+    SerialQueue& q = serial_[route.serial_key];
+    if (q.busy) {
+      // The pair's transmit queue is busy: park in a recycled pool slot and
+      // wait for the predecessor; the time spent waiting counts against this
+      // message's startup latency.
+      const int slot = allocate_pending();
+      Pending& p = pending_pool_[static_cast<std::size_t>(slot)];
+      p.route = route;  // copy-assign reuses the slot's links capacity
+      p.bytes = bytes;
+      p.posted_at = sim_.now();
+      p.on_complete = std::move(on_complete);
+      p.next = -1;
+      if (q.tail >= 0) {
+        pending_pool_[static_cast<std::size_t>(q.tail)].next = slot;
+      } else {
+        q.head = slot;
+      }
+      q.tail = slot;
+      return;
+    }
+    q.busy = true;
   }
-  if (route.serial_key >= 0) serial_busy_.insert(route.serial_key);
   start_flow(route, bytes, route.alpha, std::move(on_complete));
 }
 
@@ -92,8 +117,7 @@ void Fabric::transfer_tagged(const Route& route, Bytes bytes,
 }
 
 void Fabric::start_flow(const Route& route, Bytes bytes,
-                        TimeNs alpha_remaining,
-                        std::function<void()> on_complete) {
+                        TimeNs alpha_remaining, sim::EventFn on_complete) {
   const int slot = allocate_slot();
   Flow& f = flows_[static_cast<std::size_t>(slot)];
   f.links = route.links;
@@ -144,8 +168,14 @@ void Fabric::finish(int flow_index) {
   f.on_complete = nullptr;
   const std::int64_t key = f.serial_key;
   f.serial_key = -1;
-  const std::vector<LinkId> links = std::move(f.links);
+  // Swap the links into a member scratch instead of moving to a local: the
+  // slot is recycled before `cb` runs and may be reused underneath us, but a
+  // move would strand the vector's capacity in a dying temporary — the swap
+  // keeps capacities circulating between the scratch and the slots, so
+  // steady-state flow churn never reallocates.
+  finish_links_.swap(f.links);
   f.links.clear();
+  const std::vector<LinkId>& links = finish_links_;
   if (recorder_) {
     if (f.trace) recorder_->transfer_end(f.trace, sim_.now());
     for (LinkId l : links) {
@@ -163,17 +193,20 @@ void Fabric::finish(int flow_index) {
 
   // Hand the pair's transmit queue to the next waiting message.
   if (key >= 0) {
-    auto it = serial_waiting_.find(key);
-    if (it != serial_waiting_.end() && !it->second.empty()) {
-      Pending next = std::move(it->second.front());
-      it->second.pop_front();
-      if (it->second.empty()) serial_waiting_.erase(it);
+    SerialQueue& q = serial_[key];
+    if (q.head >= 0) {
+      const int slot = q.head;
+      Pending& next = pending_pool_[static_cast<std::size_t>(slot)];
+      q.head = next.next;
+      if (q.head < 0) q.tail = -1;
       const TimeNs waited = sim_.now() - next.posted_at;
-      const TimeNs alpha_remaining = std::max<TimeNs>(0, next.route.alpha - waited);
+      const TimeNs alpha_remaining =
+          std::max<TimeNs>(0, next.route.alpha - waited);
       start_flow(next.route, next.bytes, alpha_remaining,
                  std::move(next.on_complete));
+      pending_free_.push_back(slot);  // links capacity stays with the slot
     } else {
-      serial_busy_.erase(key);
+      q.busy = false;
     }
   }
 
@@ -192,7 +225,8 @@ void Fabric::collect_component(const std::vector<LinkId>& seed_links,
   link_seen_.resize(capacity_.size(), 0);
   flow_seen_.resize(flows_.size(), 0);
 
-  std::vector<LinkId> link_queue;
+  std::vector<LinkId>& link_queue = bfs_queue_;  // member scratch: no alloc
+  link_queue.clear();
   for (LinkId l : seed_links) {
     if (link_seen_[static_cast<std::size_t>(l)] != visit_epoch_) {
       link_seen_[static_cast<std::size_t>(l)] = visit_epoch_;

@@ -13,10 +13,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "src/net/fault.hpp"
@@ -55,9 +53,12 @@ class Fabric {
   LinkId add_link(double capacity_bytes_per_ns);
 
   /// Starts a message; `on_complete` runs (once) at the virtual time the last
-  /// byte arrives. Zero-byte messages complete after alpha alone.
-  void transfer(const Route& route, Bytes bytes,
-                std::function<void()> on_complete);
+  /// byte arrives. Zero-byte messages complete after alpha alone. The
+  /// callback type matches the event queue's: captures up to EventFn's
+  /// capacity (including a boxed std::function) stay inline, so posting a
+  /// transfer never heap-allocates — the invariant the persistent-collective
+  /// steady state is built on.
+  void transfer(const Route& route, Bytes bytes, sim::EventFn on_complete);
 
   /// Installs (or clears, with nullptr) the fault injector consulted by
   /// transfer_tagged. The fabric does not own the injector.
@@ -99,19 +100,24 @@ class Fabric {
     std::uint64_t trace = 0;       // obs record id (0 = untraced)
     Bytes bytes_total = 0;         // original size, for link byte counters
     TimeNs ideal = 0;              // uncontended duration at `cap`
-    std::function<void()> on_complete;
+    sim::EventFn on_complete;
     sim::EventHandle completion;
     bool active = false;
   };
 
+  /// A transfer parked behind its pair's busy transmit queue. Lives in a
+  /// recycled pool slot; the Route copy-assign reuses the slot's link-vector
+  /// capacity, so steady-state queueing is allocation-free.
   struct Pending {
     Route route;
-    Bytes bytes;
-    TimeNs posted_at;
-    std::function<void()> on_complete;
+    Bytes bytes = 0;
+    TimeNs posted_at = 0;
+    sim::EventFn on_complete;
+    int next = -1;  ///< intrusive FIFO link within the pair's queue
   };
   void start_flow(const Route& route, Bytes bytes, TimeNs alpha_remaining,
-                  std::function<void()> on_complete);
+                  sim::EventFn on_complete);
+  int allocate_pending();
 
   void activate(int flow_index);
   void finish(int flow_index);
@@ -142,14 +148,24 @@ class Fabric {
   std::vector<std::uint64_t> flow_seen_;
   std::vector<int> scratch_flows_;
   std::vector<LinkId> scratch_links_;
+  std::vector<LinkId> finish_links_;  // finish(): completed flow's links
+  std::vector<LinkId> bfs_queue_;     // collect_component() BFS worklist
   std::vector<double> residual_;
   std::vector<int> unfixed_on_;
   std::vector<double> rates_;
 
-  // Per-serial-key FIFO state: key -> waiting transfers (a key is "busy"
-  // while one of its flows is queued for activation or active).
-  std::map<std::int64_t, std::deque<Pending>> serial_waiting_;
-  std::set<std::int64_t> serial_busy_;
+  // Per-serial-key FIFO state: a key is "busy" while one of its flows is
+  // queued for activation or active; waiters chain through pending_pool_
+  // slots. Map nodes persist once created (bounded by the number of
+  // communicating pairs), so steady-state queueing never touches the heap.
+  struct SerialQueue {
+    bool busy = false;
+    int head = -1;
+    int tail = -1;
+  };
+  std::map<std::int64_t, SerialQueue> serial_;
+  std::vector<Pending> pending_pool_;
+  std::vector<int> pending_free_;
 };
 
 }  // namespace adapt::net

@@ -46,8 +46,7 @@ class ClusterNet {
                   MemSpace dst_space) const;
 
   /// Starts a transfer along a route (convenience passthrough).
-  void transfer(const Route& route, Bytes bytes,
-                std::function<void()> on_complete) {
+  void transfer(const Route& route, Bytes bytes, sim::EventFn on_complete) {
     fabric_.transfer(route, bytes, std::move(on_complete));
   }
 

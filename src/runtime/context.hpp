@@ -27,7 +27,8 @@ class BufferPool;  // defined in src/support/buffer_pool.hpp
 }
 
 namespace adapt::tune {
-class Tuner;  // defined in src/tune/tuner.hpp; null unless tuning is on
+class Tuner;      // defined in src/tune/tuner.hpp; null unless tuning is on
+class PlanCache;  // defined in src/tune/plan_cache.hpp
 }
 
 namespace adapt::runtime {
@@ -79,6 +80,10 @@ class Context {
   /// (the default — tunable personalities then keep their built-in
   /// heuristics, byte-identical to the seed).
   virtual tune::Tuner* tuner() { return nullptr; }
+
+  /// The engine's persistent-collective plan cache, or nullptr on engines
+  /// without one (persistent init then builds an uncached private plan).
+  virtual tune::PlanCache* plan_cache() { return nullptr; }
 
   // -- P2P conveniences ----------------------------------------------------
   mpi::RequestPtr isend(Rank dst, Tag tag, mpi::ConstView data,

@@ -7,6 +7,7 @@
 #include "src/gpu/device.hpp"
 #include "src/support/error.hpp"
 #include "src/support/log.hpp"
+#include "src/tune/plan_cache.hpp"
 
 namespace adapt::runtime {
 
@@ -65,11 +66,7 @@ class SimEngine::SimTransport final : public mpi::Transport {
                       std::move(on_sent), std::move(on_failed));
       return;
     }
-    net::Route route =
-        engine_.net_.route_mem(env.src, src_space, env.dst, dst_space);
-    // FIFO per (src, dst, lane-direction): segments between one pair leave
-    // back to back (NIC transmit queue), not fair-shared against each other.
-    route.serial_key = pair_key(env.src, env.dst);
+    net::Route& route = cached_route(env.src, src_space, env.dst, dst_space);
     if (env.size <= engine_.machine_.spec().eager_threshold) {
       if (obs::Recorder* rec = engine_.obs_) {
         route.trace = rec->transfer_begin(
@@ -90,9 +87,8 @@ class SimEngine::SimTransport final : public mpi::Transport {
                             wire_kind(wire)};
     const bool data_frame = !wire.is_ack && wire.frame.wire_bytes > 0;
     if (data_frame) {
-      net::Route route = engine_.net_.route_mem(
-          wire.src, wire.frame.src_space, wire.dst, wire.frame.dst_space);
-      route.serial_key = pair_key(wire.src, wire.dst);
+      net::Route& route = cached_route(wire.src, wire.frame.src_space,
+                                       wire.dst, wire.frame.dst_space);
       if (obs::Recorder* rec = engine_.obs_) {
         route.trace = rec->transfer_begin(
             wire.src, wire.dst, wire.frame.wire_bytes,
@@ -112,8 +108,8 @@ class SimEngine::SimTransport final : public mpi::Transport {
           });
       return;
     }
-    net::Route route = engine_.net_.route_mem(wire.src, MemSpace::kHost,
-                                              wire.dst, MemSpace::kHost);
+    const net::Route& route =
+        cached_route(wire.src, MemSpace::kHost, wire.dst, MemSpace::kHost);
     net::TransferFate fate;
     if (const net::FaultInjector* inj = engine_.injector_.get()) {
       fate = inj->decide(key, route.links, engine_.sim_.now());
@@ -217,6 +213,16 @@ class SimEngine::SimTransport final : public mpi::Transport {
     std::function<void(mpi::ErrCode)> on_failed;
   };
 
+  /// In-flight raw eager message, parked while the fabric models the
+  /// transfer. Slot-pooled: see submit_eager.
+  struct EagerPending {
+    mpi::Envelope env;
+    std::function<void()> on_sent;
+    Rank src = 0;
+    Rank dst = 0;
+    std::uint64_t trace = 0;
+  };
+
   mpi::Endpoint& endpoint(Rank r) {
     return *engine_.endpoints_[static_cast<std::size_t>(r)];
   }
@@ -228,6 +234,28 @@ class SimEngine::SimTransport final : public mpi::Transport {
   }
   std::uint64_t next_raw_seq(Rank src, Rank dst) {
     return ++raw_seq_[pair_key(src, dst)];
+  }
+
+  /// Route between fixed endpoints, cached: building a Route allocates its
+  /// link vector, and routes never change for the life of the engine, so the
+  /// per-message send paths reuse one entry per (pair, memory spaces). The
+  /// serial key is part of the route (FIFO per (src, dst): segments between
+  /// one pair leave back to back — NIC transmit queue — instead of
+  /// fair-sharing against each other); the trace id is per-message state and
+  /// is reset here, stamped by the caller only when a recorder is attached.
+  net::Route& cached_route(Rank src, MemSpace src_space, Rank dst,
+                           MemSpace dst_space) {
+    const RouteKey key{pair_key(src, dst),
+                       (src_space == MemSpace::kDevice ? 2 : 0) |
+                           (dst_space == MemSpace::kDevice ? 1 : 0)};
+    auto it = route_cache_.find(key);
+    if (it == route_cache_.end()) {
+      net::Route route = engine_.net_.route_mem(src, src_space, dst, dst_space);
+      route.serial_key = pair_key(src, dst);
+      it = route_cache_.emplace(key, std::move(route)).first;
+    }
+    it->second.trace = 0;
+    return it->second;
   }
 
   /// Local failure of one operation: fail its request with the specific
@@ -290,26 +318,53 @@ class SimEngine::SimTransport final : public mpi::Transport {
   /// active fault plan (raw mode, no reliability) a dropped message simply
   /// never arrives and a corrupted one is delivered with damaged bytes —
   /// exactly the behaviour the chaos self-test exists to catch.
+  ///
+  /// The in-flight envelope is parked in a recycled slot so the fabric
+  /// completion captures only {this, slot} — inside std::function's inline
+  /// storage. This is the last per-segment heap allocation on the raw eager
+  /// path, which persistent collectives require to be allocation-free in
+  /// steady state.
   void submit_eager(const net::Route& route, mpi::Envelope env,
                     std::function<void()> on_sent) {
     const Rank src = env.src;
     const Rank dst = env.dst;
     const net::FaultKey key{src, dst, next_raw_seq(src, dst), 0,
                             static_cast<int>(mpi::Frame::Kind::kEager)};
+    const std::uint32_t slot = acquire_eager_slot(
+        {std::move(env), std::move(on_sent), src, dst, route.trace});
     engine_.net_.fabric().transfer_tagged(
-        route, env.size, key,
-        [this, src, dst, trace = route.trace, env = std::move(env),
-         on_sent = std::move(on_sent)](const net::TransferFate& fate) mutable {
-          engine_.run_progress(src, std::move(on_sent), 0);
-          if (!fate.delivered) {
-            if (trace) engine_.obs_->transfer_undelivered(trace);
-            return;
-          }
-          if (fate.corrupted) corrupt_in_place(env, fate.salt);
-          // NIC-side matching: no receiver-CPU gate here (deliver defers any
-          // CPU-bound follow-up itself).
-          endpoint(dst).deliver(std::move(env));
+        route, eager_slots_[slot].env.size, key,
+        [this, slot](const net::TransferFate& fate) {
+          finish_eager(slot, fate);
         });
+  }
+
+  std::uint32_t acquire_eager_slot(EagerPending pending) {
+    std::uint32_t slot;
+    if (eager_free_.empty()) {
+      eager_slots_.emplace_back();
+      slot = static_cast<std::uint32_t>(eager_slots_.size() - 1);
+    } else {
+      slot = eager_free_.back();
+      eager_free_.pop_back();
+    }
+    eager_slots_[slot] = std::move(pending);
+    return slot;
+  }
+
+  void finish_eager(std::uint32_t slot, const net::TransferFate& fate) {
+    EagerPending p = std::move(eager_slots_[slot]);
+    eager_slots_[slot] = {};  // drop payload refs before recycling the slot
+    eager_free_.push_back(slot);
+    engine_.run_progress(p.src, std::move(p.on_sent), 0);
+    if (!fate.delivered) {
+      if (p.trace) engine_.obs_->transfer_undelivered(p.trace);
+      return;
+    }
+    if (fate.corrupted) corrupt_in_place(p.env, fate.salt);
+    // NIC-side matching: no receiver-CPU gate here (deliver defers any
+    // CPU-bound follow-up itself).
+    endpoint(p.dst).deliver(std::move(p.env));
   }
 
   /// Rendezvous: an RTS races ahead; the bulk data moves only once a receive
@@ -392,8 +447,12 @@ class SimEngine::SimTransport final : public mpi::Transport {
   SimEngine& engine_;
   std::map<RdvzKey, PendingSend> rdvz_send_;
   std::map<RdvzKey, mpi::PostedRecv> rdvz_recv_;
+  using RouteKey = std::pair<std::int64_t, int>;  ///< (pair, space bits)
+  std::map<RouteKey, net::Route> route_cache_;
   std::map<std::int64_t, std::uint64_t> raw_seq_;
   std::uint64_t rdvz_counter_ = 0;
+  std::vector<EagerPending> eager_slots_;
+  std::vector<std::uint32_t> eager_free_;
 };
 
 // ------------------------------------------------------------- SimContext ---
@@ -439,6 +498,7 @@ class SimEngine::SimContext final : public Context {
   obs::Recorder* recorder() override { return engine_.obs_; }
   support::BufferPool* pool() override { return &engine_.pool_; }
   tune::Tuner* tuner() override { return engine_.options_.tuning.get(); }
+  tune::PlanCache* plan_cache() override { return engine_.plan_cache_.get(); }
 
  private:
   SimEngine& engine_;
@@ -457,6 +517,7 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
   log_ctx_ = log_level() != LogLevel::kOff;
   const int n = machine_.nranks();
   transport_ = std::make_unique<SimTransport>(*this);
+  plan_cache_ = std::make_unique<tune::PlanCache>();
   busy_until_.assign(static_cast<std::size_t>(n), 0);
   progress_busy_until_.assign(static_cast<std::size_t>(n), 0);
 

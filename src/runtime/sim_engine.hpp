@@ -26,7 +26,8 @@ class GpuRuntime;
 }
 
 namespace adapt::tune {
-class Tuner;  // defined in src/tune/tuner.hpp
+class Tuner;      // defined in src/tune/tuner.hpp
+class PlanCache;  // defined in src/tune/plan_cache.hpp
 }
 
 namespace adapt::runtime {
@@ -82,6 +83,8 @@ class SimEngine final : public Engine {
   const net::FaultInjector* fault_injector() const { return injector_.get(); }
   /// The active recorder, or null when observability is off.
   obs::Recorder* recorder() { return obs_; }
+  /// The engine's persistent-collective plan cache (never null).
+  tune::PlanCache& plan_cache() { return *plan_cache_; }
 
   /// Declares rank `origin`'s current operation failed: reliably floods an
   /// abort notice to every other rank (each poisons itself on receipt), then
@@ -131,6 +134,7 @@ class SimEngine final : public Engine {
   std::vector<TimeNs> busy_until_;           // main thread, noise applies
   std::vector<TimeNs> progress_busy_until_;  // progress context
   std::unique_ptr<gpu::GpuRuntime> gpu_;
+  std::unique_ptr<tune::PlanCache> plan_cache_;
 };
 
 }  // namespace adapt::runtime

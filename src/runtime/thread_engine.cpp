@@ -6,6 +6,7 @@
 
 #include "src/support/error.hpp"
 #include "src/support/log.hpp"
+#include "src/tune/plan_cache.hpp"
 
 namespace adapt::runtime {
 
@@ -81,6 +82,7 @@ class ThreadEngine::ThreadContext final : public Context {
   }
   const topo::Machine& machine() const override { return engine_.machine_; }
   support::BufferPool* pool() override { return &engine_.pool_; }
+  tune::PlanCache* plan_cache() override { return engine_.plan_cache_.get(); }
 
   sim::Task<> compute(TimeNs cost) override {
     ADAPT_CHECK(cost >= 0);
@@ -153,6 +155,7 @@ ThreadEngine::ThreadEngine(const topo::Machine& machine)
     : machine_(machine), epoch_(Clock::now()) {
   const int n = machine_.nranks();
   transport_ = std::make_unique<ThreadTransport>(*this);
+  plan_cache_ = std::make_unique<tune::PlanCache>();
   for (Rank r = 0; r < n; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>(*this));
     endpoints_.push_back(std::make_unique<mpi::Endpoint>(

@@ -23,6 +23,10 @@
 #include "src/support/buffer_pool.hpp"
 #include "src/topo/hardware.hpp"
 
+namespace adapt::tune {
+class PlanCache;  // defined in src/tune/plan_cache.hpp
+}
+
 namespace adapt::runtime {
 
 class ThreadEngine final : public Engine {
@@ -35,6 +39,8 @@ class ThreadEngine final : public Engine {
   int nranks() const override { return machine_.nranks(); }
   RunResult run(const RankProgram& program) override;
   const topo::Machine& machine() const { return machine_; }
+  /// The engine's persistent-collective plan cache (never null).
+  tune::PlanCache& plan_cache() { return *plan_cache_; }
 
  private:
   class Mailbox;
@@ -51,6 +57,7 @@ class ThreadEngine final : public Engine {
   std::vector<std::unique_ptr<mpi::Endpoint>> endpoints_;
   std::vector<std::unique_ptr<ThreadContext>> contexts_;
   std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<tune::PlanCache> plan_cache_;
 };
 
 }  // namespace adapt::runtime

@@ -7,7 +7,21 @@
 
 namespace adapt::sim {
 
-EventQueue::EventQueue() : slab_(std::make_unique<detail::EventSlab>()) {}
+EventQueue::EventQueue() : slab_(std::make_unique<detail::EventSlab>()) {
+  // Pre-size the cohort heap and every radix level once, up front. Level
+  // vectors keep their capacity forever, but a level is first *touched* only
+  // when some event is scheduled across that power-of-two virtual-time
+  // boundary — which can happen arbitrarily late (a busy-until timer
+  // straddling 2^k ns deep into a run). Reserving here moves that one-time
+  // growth to construction, so bounded-fan-out steady states are genuinely
+  // allocation-free — the invariant the persistent-collective zero-alloc
+  // regression test pins down. 64 levels x 64 entries x 32 B = 128 KiB.
+  static constexpr std::size_t kInitialLevelCapacity = 64;
+  cohort_.reserve(kInitialLevelCapacity);
+  for (std::vector<Entry>& level : buckets_) {
+    level.reserve(kInitialLevelCapacity);
+  }
+}
 
 std::uint32_t EventQueue::acquire_slot() {
   if (!slab_->free_slots.empty()) {

@@ -1,0 +1,133 @@
+// BlockArena: a size-classed free-list allocator for small, frequently
+// recycled runtime objects (Requests, pending-transfer records).
+//
+// The steady-state contract (persistent collectives, PR 6) is "zero heap
+// allocations per start after warm-up". std::make_shared<Request> was the
+// last stubborn allocation on the P2P hot path: one control-block+object
+// heap round trip per isend/irecv. Routing those through an arena turns
+// them into a free-list pop/push — the heap is touched only while a size
+// class grows, i.e. during warm-up.
+//
+// Thread safety: a mutex guards the free lists. On the SimEngine this is an
+// uncontended lock per op; on the ThreadEngine requests allocated by one
+// rank thread may be released by another (the last RequestPtr can die
+// anywhere), so the lock is load-bearing there.
+//
+// Lifetime: allocators hand out blocks that must return to the SAME arena.
+// ArenaAllocator holds a shared_ptr to the arena, and std::allocate_shared
+// stores a copy of the allocator inside the control block — so an arena
+// outlives every object allocated from it even if the owning Endpoint (and
+// its engine) are long gone while user code still holds a RequestPtr.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "src/support/error.hpp"
+
+namespace adapt::support {
+
+class BlockArena {
+ public:
+  BlockArena() = default;
+  BlockArena(const BlockArena&) = delete;
+  BlockArena& operator=(const BlockArena&) = delete;
+  ~BlockArena() {
+    for (auto& list : free_) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    if (cls == kSpill) return ::operator new(bytes);  // oversized: no reuse
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& list = free_[cls];
+      if (!list.empty()) {
+        void* p = list.back();
+        list.pop_back();
+        ++hits_;
+        return p;
+      }
+      ++misses_;
+    }
+    return ::operator new(class_bytes(cls));
+  }
+
+  void deallocate(void* p, std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    if (cls == kSpill) {
+      ::operator delete(p);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_[cls].push_back(p);
+  }
+
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  // Classes are 64-byte steps up to 1 KiB; anything larger is a spill
+  // (plain new/delete, no recycling — the arena serves the runtime's small
+  // uniform object populations, not arbitrary buffers).
+  static constexpr std::size_t kStep = 64;
+  static constexpr std::size_t kClasses = 16;  // 64B, 128B, .. 1KiB
+  static constexpr std::size_t kSpill = kClasses;
+
+  static std::size_t class_of(std::size_t bytes) {
+    if (bytes == 0) return 0;
+    const std::size_t cls = (bytes - 1) / kStep;  // 1..64 -> 0, 65..128 -> 1
+    return cls < kClasses ? cls : kSpill;
+  }
+  static std::size_t class_bytes(std::size_t cls) {
+    return (cls + 1) * kStep;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<void*> free_[kClasses];
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Minimal C++ Allocator over a shared BlockArena, for allocate_shared:
+/// the control block carries a copy (keeping the arena alive past the
+/// engine) and every allocation/deallocation is a free-list hit in steady
+/// state.
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  explicit ArenaAllocator(std::shared_ptr<BlockArena> arena)
+      : arena_(std::move(arena)) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other)  // NOLINT(google-explicit-*)
+      : arena_(other.arena_) {}
+
+  T* allocate(std::size_t n) {
+    ADAPT_CHECK(n == 1) << "BlockArena serves single objects";
+    return static_cast<T*>(arena_->allocate(sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t /*n*/) {
+    arena_->deallocate(p, sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena_;
+  }
+
+  std::shared_ptr<BlockArena> arena_;
+};
+
+}  // namespace adapt::support

@@ -82,6 +82,22 @@ BufferRef BufferPool::acquire(Bytes n) {
   return ref;
 }
 
+void BufferPool::reserve(Bytes n, int count) {
+  ADAPT_CHECK(n >= 0 && count >= 0);
+  const int cls = class_of(n);
+  ADAPT_CHECK(cls < kClasses) << "oversized pool request of " << n << " bytes";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = free_[cls];
+  // Grow the vector past the target too, so put_back never reallocates it.
+  list.reserve(static_cast<std::size_t>(count) * 2);
+  while (list.size() < static_cast<std::size_t>(count)) {
+    detail::BufHeader* h = allocate_block(this, cls);
+    h->refs.store(0, std::memory_order_relaxed);
+    list.push_back(h);
+    cached_bytes_ += static_cast<std::uint64_t>(capacity_of(cls));
+  }
+}
+
 void BufferPool::put_back(detail::BufHeader* h) {
   std::lock_guard<std::mutex> lock(mu_);
   free_[h->size_class].push_back(h);

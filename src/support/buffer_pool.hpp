@@ -113,6 +113,12 @@ class BufferPool {
   /// overwrite every byte (eager send copies).
   BufferRef acquire_raw(Bytes n);
 
+  /// Warm-up: guarantees at least `count` free blocks of capacity >= n, so a
+  /// later burst of `count` acquires is all free-list hits. Persistent init
+  /// calls this with the round's worst-case staging footprint — the mechanism
+  /// behind the zero-allocations-per-start contract.
+  void reserve(Bytes n, int count);
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   /// Bytes currently parked on the free lists.

@@ -1,0 +1,86 @@
+#include "src/tune/plan_cache.hpp"
+
+#include "src/mpi/comm.hpp"
+
+namespace adapt::tune {
+
+const char* plan_op_name(PlanOp op) {
+  switch (op) {
+    case PlanOp::kBcast: return "bcast";
+    case PlanOp::kReduce: return "reduce";
+    case PlanOp::kAllreduce: return "allreduce";
+    case PlanOp::kBarrier: return "barrier";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool plan_live(const CachedPlan& plan) {
+  const auto state = plan.comm.lock();
+  return state && state->alive();
+}
+
+}  // namespace
+
+std::shared_ptr<const CachedPlan> PlanCache::find(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (!plan_live(*it->second)) {
+    // Lazy invalidation: the communicator died since this plan was cached.
+    map_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::insert(const PlanKey& key,
+                                                    CachedPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = map_[key];
+  // First writer wins: concurrent ranks race to init the same plan and the
+  // inputs are deterministic, so any winner's plan is every rank's plan.
+  if (!slot || !plan_live(*slot)) {
+    slot = std::make_shared<const CachedPlan>(std::move(plan));
+  }
+  return slot;
+}
+
+void PlanCache::invalidate_comm(std::uint64_t comm_fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.comm_fingerprint == comm_fingerprint) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+}
+
+int PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(map_.size());
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace adapt::tune

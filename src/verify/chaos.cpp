@@ -120,6 +120,59 @@ std::vector<CaseConfig> chaos_matrix() {
     c.bytes = kib(160);
     add(c);
   }
+  // Persistent handles through the fault fabric: retransmits and rank
+  // deaths must hit mid-start, and every start must individually satisfy
+  // the uniform-error-or-byte-exact contract (rounds the whole job finished
+  // before the failure stay byte-exact; the failing round reports one code
+  // on every live rank — see run_case's persistent chaos classification).
+  {
+    CaseConfig c;
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.root = 1;
+    c.bytes = 3000;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kReduce;
+    c.persistent = true;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kAllreduce;
+    c.persistent = true;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kBarrier;
+    c.persistent = true;
+    c.root = 2;
+    add(c);
+  }
+  {
+    CaseConfig c;  // partitioned persistent bcast under faults
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.partitions = 4;
+    c.root = 0;
+    c.bytes = 4096;
+    c.segment = 256;
+    add(c);
+  }
   return cases;
 }
 

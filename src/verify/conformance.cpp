@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/coll/library.hpp"
+#include "src/coll/persistent.hpp"
 #include "src/obs/export.hpp"
 #include "src/obs/trace.hpp"
 #include "src/coll/topo_tree.hpp"
@@ -16,6 +17,7 @@
 #include "src/runtime/thread_engine.hpp"
 #include "src/support/error.hpp"
 #include "src/support/parallel.hpp"
+#include "src/support/rng.hpp"
 #include "src/topo/presets.hpp"
 #include "src/verify/chaos.hpp"
 #include "src/verify/faulty.hpp"
@@ -142,6 +144,8 @@ std::string repro_string(const CaseConfig& config, const RunSpec& spec,
       << " N=" << config.n_out << " M=" << config.m_out
       << " tree=" << tree_name(config.tree)
       << " data_seed=" << config.data_seed
+      << " persistent=" << (config.persistent ? 1 : 0)
+      << " starts=" << config.starts << " parts=" << config.partitions
       << " engine=" << engine_name(spec.engine)
       << " perturb_seed=" << spec.perturb_seed << " jitter=" << spec.jitter
       << " chaos=" << chaos_name(spec.chaos)
@@ -218,6 +222,15 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
       ok = enum_from_name(value, 3, tree_name, &cfg.tree);
     } else if (key == "data_seed") {
       ok = as_u64(&cfg.data_seed);
+    } else if (key == "persistent") {
+      // Absent on pre-persistent repro lines; those parse to the default.
+      int flag = 0;
+      ok = as_int(&flag) && (flag == 0 || flag == 1);
+      cfg.persistent = flag == 1;
+    } else if (key == "starts") {
+      ok = as_int(&cfg.starts);
+    } else if (key == "parts") {
+      ok = as_int(&cfg.partitions);
     } else if (key == "engine") {
       ok = enum_from_name(value, 2, engine_name, &run.engine);
     } else if (key == "perturb_seed") {
@@ -347,6 +360,31 @@ std::optional<std::string> run_case(const CaseConfig& config,
         std::byte(0xCD));
   }
 
+  // Persistent rows: one handle init, `starts` start/wait rounds. Round r
+  // runs on payloads drawn from data_seed + r and is diffed against its own
+  // oracle, so a schedule that is only right once (stale pipeline counters,
+  // unreset gating state, cross-round tag matches) cannot pass.
+  const int rounds = config.persistent ? std::max(1, config.starts) : 1;
+  std::vector<CaseIo> round_io;
+  std::vector<std::vector<std::vector<std::byte>>> round_observed;
+  std::vector<int> clean_rounds(static_cast<std::size_t>(config.world), 0);
+  if (config.persistent) {
+    ADAPT_CHECK(tree_based(config.collective) ||
+                config.collective == Collective::kBarrier)
+        << "persistent rows cover bcast/reduce/allreduce/barrier";
+    ADAPT_CHECK(config.partitions == 0 || tree_based(config.collective))
+        << "partitioned persistent rows need a data-carrying collective";
+    round_io.push_back(io);
+    for (int r = 1; r < rounds; ++r) {
+      CaseConfig c = config;
+      c.data_seed += static_cast<std::uint64_t>(r);
+      round_io.push_back(make_io(c));
+    }
+    round_observed.assign(
+        static_cast<std::size_t>(rounds),
+        std::vector<std::vector<std::byte>>(static_cast<std::size_t>(p)));
+  }
+
   // Allreduce composes reduce-to-0 + bcast-from-0, so its trees are rooted
   // at local rank 0 regardless of config.root.
   const Rank tree_root =
@@ -425,6 +463,84 @@ std::optional<std::string> run_case(const CaseConfig& config,
     }
   };
 
+  const auto persistent_program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const Rank g = ctx.rank();
+    if (!comm.contains(g)) co_return;
+    const Rank me = comm.local_of(g);
+    const std::size_t mi = static_cast<std::size_t>(me);
+    auto& buf = work[mi];
+    const mpi::MutView bound{buf.data(), static_cast<Bytes>(buf.size())};
+
+    coll::PersistentOpts popts;
+    popts.coll = opts;
+    popts.partitions = config.partitions;
+    // kTopo rows exercise the engine plan cache (one plan shared by every
+    // rank); the explicit tree shapes pin a private, uncached plan.
+    if (config.tree != TreeChoice::kTopo && config.collective != Collective::kBarrier) {
+      popts.tree = &tree;
+    }
+    coll::PersistentOpPtr op;
+    switch (config.collective) {
+      case Collective::kBcast:
+        op = coll::bcast_init(ctx, comm, bound, config.root, popts);
+        break;
+      case Collective::kReduce:
+        op = coll::reduce_init(ctx, comm, bound, config.op, config.dtype,
+                               config.root, popts);
+        break;
+      case Collective::kAllreduce:
+        op = coll::allreduce_init(ctx, comm, bound, config.op, config.dtype,
+                                  popts);
+        break;
+      case Collective::kBarrier:
+        op = coll::barrier_init(ctx, comm, popts);
+        break;
+      default:
+        ADAPT_UNREACHABLE("persistent row on a non-persistent collective");
+    }
+
+    for (int r = 0; r < rounds; ++r) {
+      const std::size_t ri = static_cast<std::size_t>(r);
+      // MPI-4 persistent semantics: the buffer BINDING is fixed at init;
+      // only its contents change — refill with this round's payload.
+      const auto& input = round_io[ri].inputs[mi];
+      if (!input.empty()) std::memcpy(buf.data(), input.data(), input.size());
+      const mpi::ErrCode rc = op->start();
+      ADAPT_CHECK(rc == mpi::ErrCode::kOk) << mpi::err_name(rc);
+      if (config.partitions > 0) {
+        // Seeded out-of-order pready: a deterministic shuffle per
+        // (rank, round), so ranks ready partitions in clashing orders and
+        // the result must not care.
+        std::vector<int> order(static_cast<std::size_t>(config.partitions));
+        for (int i = 0; i < config.partitions; ++i)
+          order[static_cast<std::size_t>(i)] = i;
+        Rng rng(SplitMix64(config.data_seed * 7919 +
+                           static_cast<std::uint64_t>(g) * 131 +
+                           static_cast<std::uint64_t>(r))
+                    .next());
+        for (std::size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1], order[rng.next_below(i)]);
+        }
+        for (const int part : order) {
+          const mpi::ErrCode pc = op->pready(part);
+          ADAPT_CHECK(pc == mpi::ErrCode::kOk) << mpi::err_name(pc);
+        }
+      }
+      co_await op->wait();
+      round_observed[ri][mi] = buf;  // snapshot before the next refill
+      clean_rounds[static_cast<std::size_t>(g)] = r + 1;
+    }
+  };
+
+  // Everything downstream (the chaos wrapper, both engines) runs `body`.
+  const auto body = [&](runtime::Context& ctx) -> sim::Task<> {
+    if (config.persistent) {
+      co_await persistent_program(ctx);
+    } else {
+      co_await program(ctx);
+    }
+  };
+
   // Per-global-rank chaos outcome: the error each rank's collective call
   // surfaced (kOk = completed clean), and whether the rank's wrapper ran to
   // the end (unfinished at the bomb = undetected hang).
@@ -450,14 +566,14 @@ std::optional<std::string> run_case(const CaseConfig& config,
       }
       runtime::SimEngine engine(machine, engine_opts);
       if (!chaos) {
-        engine.run(program);
+        engine.run(body);
       } else {
         const auto chaos_program = [&](runtime::Context& ctx) -> sim::Task<> {
           const Rank g = ctx.rank();
           if (!comm.contains(g)) co_return;
           const std::size_t gi = static_cast<std::size_t>(g);
           try {
-            co_await program(ctx);
+            co_await body(ctx);
           } catch (const mpi::FaultError& e) {
             outcome[gi] = e.code();
           }
@@ -490,7 +606,7 @@ std::optional<std::string> run_case(const CaseConfig& config,
       }
     } else {
       runtime::ThreadEngine engine(machine);
-      engine.run(program);
+      engine.run(body);
     }
   } catch (const std::exception& e) {
     return std::string("engine run failed: ") + e.what();
@@ -535,9 +651,12 @@ std::optional<std::string> run_case(const CaseConfig& config,
              "failure:" +
              codes.str();
     }
-    if (*agreed != mpi::ErrCode::kOk) {
+    if (*agreed != mpi::ErrCode::kOk && !config.persistent) {
       return std::nullopt;  // a uniform, clean error is an accepted outcome
     }
+    // Persistent + uniform error: the failing start surfaced one consistent
+    // code, which is accepted — but every round the whole job completed
+    // BEFORE it must still be byte-exact, so fall through to the diff.
     dead_local.assign(static_cast<std::size_t>(p), 0);
     for (Rank i = 0; i < p; ++i) {
       if (dead_global(comm.global(i))) {
@@ -547,9 +666,35 @@ std::optional<std::string> run_case(const CaseConfig& config,
   }
 
   if (config.collective == Collective::kBarrier) {
-    if (barrier_violated.load()) {
+    // Persistent barrier rounds have no entered-counter instrumentation;
+    // their correctness is round completion + the chaos uniformity gate.
+    if (!config.persistent && barrier_violated.load()) {
       return std::string("barrier: a rank exited before all ") +
              std::to_string(p) + " members entered";
+    }
+    return std::nullopt;
+  }
+  if (config.persistent) {
+    // Per-round byte-exactness. Judge only rounds every live rank finished
+    // cleanly: on a clean run that is all of them; under a chaos error it
+    // is every round before the (uniformly reported) failing one.
+    int judge = rounds;
+    for (Rank i = 0; i < static_cast<Rank>(p); ++i) {
+      if (!dead_local.empty() && dead_local[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      const Rank g = comm.global(i);
+      judge = std::min(judge, clean_rounds[static_cast<std::size_t>(g)]);
+    }
+    for (int r = 0; r < judge; ++r) {
+      const std::size_t ri = static_cast<std::size_t>(r);
+      const std::string diff =
+          diff_buffers(round_io[ri], round_observed[ri], comm,
+                       dead_local.empty() ? nullptr : &dead_local);
+      if (!diff.empty()) {
+        return "persistent round " + std::to_string(r) + " of " +
+               std::to_string(rounds) + ": " + diff;
+      }
     }
     return std::nullopt;
   }
@@ -815,6 +960,170 @@ std::vector<CaseConfig> full_matrix() {
     r.root = 1;
     r.bytes = 4096;
     add(r);
+  }
+
+  // Persistent rows: one init, three start/wait rounds with fresh payloads
+  // each round (CaseConfig::persistent). kTopo rows run through the engine
+  // plan cache; the explicit tree shapes pin a private plan. Partitioned
+  // rows (parts > 0) gate every rank's round data behind seeded
+  // out-of-order pready calls.
+  for (int ci = 0; ci < 3; ++ci) {  // bcast × every comm shape
+    CaseConfig c;
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.world = 12;
+    c.comm = comms[ci];
+    c.root = roots[ci];
+    c.bytes = 3000;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    const std::pair<mpi::Datatype, mpi::ReduceOp> pdtypes[] = {
+        {mpi::Datatype::kInt32, mpi::ReduceOp::kSum},
+        {mpi::Datatype::kDouble, mpi::ReduceOp::kSum},
+        {mpi::Datatype::kInt64, mpi::ReduceOp::kMax},
+    };
+    for (int ci = 0; ci < 3; ++ci) {  // reduce × comm shape × dtype/op
+      CaseConfig c;
+      c.collective = Collective::kReduce;
+      c.persistent = true;
+      c.dtype = pdtypes[ci].first;
+      c.op = pdtypes[ci].second;
+      c.world = 12;
+      c.comm = comms[ci];
+      c.root = roots[ci];
+      c.bytes = 4096;
+      c.segment = 512;
+      add(c);
+    }
+  }
+  for (const auto comm : {CommKind::kWorld, CommKind::kSlice}) {  // allreduce
+    CaseConfig c;
+    c.collective = Collective::kAllreduce;
+    c.persistent = true;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.world = 12;
+    c.comm = comm;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  for (int ci = 0; ci < 3; ++ci) {  // barrier × every comm shape
+    CaseConfig c;
+    c.collective = Collective::kBarrier;
+    c.persistent = true;
+    c.starts = 4;  // dissemination rounds reuse tag blocks round-robin
+    c.world = 12;
+    c.comm = comms[ci];
+    c.root = roots[ci];
+    add(c);
+  }
+  {
+    CaseConfig c;  // rendezvous-sized persistent bcast: bulk-path replay
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 1;
+    c.bytes = kib(192);
+    c.segment = kib(96);
+    add(c);
+  }
+  {
+    CaseConfig c;  // rendezvous-sized persistent reduce
+    c.collective = Collective::kReduce;
+    c.persistent = true;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 1;
+    c.bytes = kib(192);
+    c.segment = kib(96);
+    add(c);
+  }
+  for (const auto tree : {TreeChoice::kChain, TreeChoice::kBinomial}) {
+    CaseConfig c;  // explicit (uncached) tree shapes
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 3;
+    c.bytes = 4096;
+    c.segment = 512;
+    c.tree = tree;
+    add(c);
+  }
+  {
+    CaseConfig c;  // more in-flight sends than posted receives, 5 rounds
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.starts = 5;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 0;
+    c.bytes = 8192;
+    c.segment = 256;
+    c.n_out = 3;
+    c.m_out = 2;
+    add(c);
+  }
+  {
+    CaseConfig c;  // partitioned bcast: root's sends gated on pready
+    c.collective = Collective::kBcast;
+    c.persistent = true;
+    c.partitions = 4;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 1;
+    c.bytes = 4096;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;  // partitioned reduce: every contribution pready-gated
+    c.collective = Collective::kReduce;
+    c.persistent = true;
+    c.partitions = 4;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.world = 12;
+    c.comm = CommKind::kWorld;
+    c.root = 2;
+    c.bytes = 4096;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;  // partitioned allreduce; partitions don't divide segments
+    c.collective = Collective::kAllreduce;
+    c.persistent = true;
+    c.partitions = 3;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.world = 12;
+    c.comm = CommKind::kEven;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;  // partitioned reduce on the slice comm, double payloads
+    c.collective = Collective::kReduce;
+    c.persistent = true;
+    c.partitions = 2;
+    c.dtype = mpi::Datatype::kDouble;
+    c.op = mpi::ReduceOp::kSum;
+    c.world = 12;
+    c.comm = CommKind::kSlice;
+    c.root = 2;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
   }
 
   return cases;

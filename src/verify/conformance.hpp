@@ -106,6 +106,18 @@ struct CaseConfig {
   int m_out = 4;                   ///< ADAPT M (posted receives per parent)
   TreeChoice tree = TreeChoice::kTopo;
   std::uint64_t data_seed = 1;     ///< payload-content seed
+  /// Persistent-collective row (bcast/reduce/allreduce/barrier only): the
+  /// handle is init'ed ONCE, then start/wait replays `starts` rounds. Round
+  /// r refills the bound buffers with payloads drawn from data_seed + r and
+  /// is diffed against its own oracle — proving the cached schedule is
+  /// correct for every round, not just the first. kTopo rows take the
+  /// engine plan-cache path; kBinomial/kChain pin an explicit tree.
+  bool persistent = false;
+  int starts = 3;      ///< start/wait rounds per persistent run
+  /// > 0: partitioned persistent op — every rank declares its round data
+  /// ready piece-wise via pready(p) in a seeded (deterministically shuffled,
+  /// usually out-of-order) partition order after each start.
+  int partitions = 0;
 };
 
 /// One schedule of one case. perturb_seed 0 = the default stable schedule

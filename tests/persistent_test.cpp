@@ -1,0 +1,477 @@
+// Persistent-collective lifecycle tests (PR 6): the MPI-4 shaped error
+// contract (double start, start after comm free, pready misuse), plan-cache
+// sharing and fingerprint-guarded invalidation, overlapping starts of
+// independent handles, per-start schedule identity, and the steady-state
+// allocation-freedom the cached schedule exists to deliver (100 starts,
+// zero heap traffic after warm-up, proven by a counting global operator
+// new).
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/coll/persistent.hpp"
+#include "src/mpi/comm.hpp"
+#include "src/mpi/errors.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/topo/presets.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator (same scheme as hotpath_test): every path into
+// the heap bumps one counter; the steady-state test snapshots it around the
+// measured rounds and asserts the delta is zero.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace adapt::coll {
+namespace {
+
+using mpi::ErrCode;
+using runtime::Context;
+using runtime::SimEngine;
+
+constexpr int kRanks = 8;
+
+topo::Machine test_machine() { return topo::Machine(topo::cori(2), kRanks); }
+
+/// Deterministic per-(rank, round) byte pattern.
+void fill(std::vector<std::byte>& buf, int rank, int round) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((rank * 131 + round * 17 + i * 7) & 0xff);
+  }
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Coroutine programs use EXPECT_* only: gtest ASSERT_* expands to a plain
+// `return`, which is ill-formed inside a coroutine.
+
+// ------------------------------------------------------------------ lifecycle
+
+TEST(Lifecycle, DoubleStartReturnsPendingAndHandleRestarts) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 2048;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    auto op = bcast_init(ctx, world, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+    for (int round = 0; round < 2; ++round) {
+      if (ctx.rank() == 0) fill(mine, 0, round);
+      EXPECT_EQ(op->start(), ErrCode::kOk);
+      EXPECT_TRUE(op->in_flight());
+      // A second start before wait() is the MPI-4 "operation still pending"
+      // misuse, reported as an error code instead of UB.
+      EXPECT_EQ(op->start(), ErrCode::kErrPending);
+      co_await op->wait();
+      EXPECT_EQ(op->rounds_completed(), round + 1);
+      EXPECT_EQ(op->last_error(), ErrCode::kOk);
+    }
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  std::vector<std::byte> expected(static_cast<std::size_t>(kBytes));
+  fill(expected, 0, 1);  // last round's root payload
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+TEST(Lifecycle, PreadyMisuseReturnsPartitionError) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 4096;
+  constexpr int kParts = 4;
+  std::vector<std::vector<std::byte>> plain(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+  std::vector<std::vector<std::byte>> parted(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    const std::size_t me = static_cast<std::size_t>(ctx.rank());
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+
+    // pready on a non-partitioned handle is always misuse.
+    auto op = bcast_init(ctx, world, mpi::MutView{plain[me].data(), kBytes},
+                         /*root=*/0, popts);
+    EXPECT_EQ(op->pready(0), ErrCode::kErrPartition);
+
+    PersistentOpts parts = popts;
+    parts.partitions = kParts;
+    auto pop = bcast_init(ctx, world, mpi::MutView{parted[me].data(), kBytes},
+                          /*root=*/0, parts);
+    EXPECT_EQ(pop->partitions(), kParts);
+    // Inactive handle: the round has not started yet.
+    EXPECT_EQ(pop->pready(0), ErrCode::kErrPartition);
+
+    if (ctx.rank() == 0) fill(parted[me], 0, 0);
+    EXPECT_EQ(pop->start(), ErrCode::kOk);
+    EXPECT_EQ(pop->pready(-1), ErrCode::kErrPartition);     // bad index
+    EXPECT_EQ(pop->pready(kParts), ErrCode::kErrPartition); // bad index
+    EXPECT_EQ(pop->pready(1), ErrCode::kOk);
+    EXPECT_EQ(pop->pready(1), ErrCode::kErrPartition);      // duplicate
+    EXPECT_EQ(pop->pready(0), ErrCode::kOk);
+    EXPECT_EQ(pop->pready(3), ErrCode::kOk);
+    EXPECT_EQ(pop->pready(2), ErrCode::kOk);
+    co_await pop->wait();
+    EXPECT_EQ(pop->last_error(), ErrCode::kOk);
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  std::vector<std::byte> expected(static_cast<std::size_t>(kBytes));
+  fill(expected, 0, 0);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(parted[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+TEST(Lifecycle, StartAfterFreeCommFailsAndDropsCachedPlan) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  std::vector<Rank> members{0, 1, 2, 3, 4, 5};
+  const mpi::Comm comm(members);
+  constexpr Bytes kBytes = 1024;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (!comm.contains(ctx.rank())) co_return;
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    auto op = bcast_init(ctx, comm, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+    if (ctx.rank() == 0) fill(mine, 0, 0);
+    EXPECT_EQ(op->start(), ErrCode::kOk);
+    co_await op->wait();
+    EXPECT_EQ(op->rounds_completed(), 1);
+
+    // MPI_Comm_free: eagerly invalidates the comm's plan-cache entries and
+    // fails every later start with a specific code — never a stale replay.
+    free_comm(ctx, comm);
+    EXPECT_EQ(op->start(), ErrCode::kErrCommFreed);
+    EXPECT_EQ(op->rounds_completed(), 1);
+  };
+  ASSERT_NO_THROW(engine.run(program));
+  EXPECT_EQ(engine.plan_cache().size(), 0);
+
+  std::vector<std::byte> expected(static_cast<std::size_t>(kBytes));
+  fill(expected, 0, 0);
+  for (const Rank r : members) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+// ----------------------------------------------------------------- plan cache
+
+TEST(PlanCacheTest, HandlesWithEqualKeysShareOnePlan) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 4096;
+  std::vector<std::vector<std::byte>> a(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+  std::vector<std::vector<std::byte>> b = a;
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    const std::size_t me = static_cast<std::size_t>(ctx.rank());
+    PersistentOpts popts;
+    popts.coll.segment_size = 512;
+    auto h1 = bcast_init(ctx, world, mpi::MutView{a[me].data(), kBytes},
+                         /*root=*/0, popts);
+    auto h2 = bcast_init(ctx, world, mpi::MutView{b[me].data(), kBytes},
+                         /*root=*/0, popts);
+    auto h3 = bcast_init(ctx, world, mpi::MutView{b[me].data(), kBytes},
+                         /*root=*/1, popts);
+    // Same (op, membership, size bucket, root): one shared immutable plan.
+    EXPECT_EQ(&h1->plan(), &h2->plan());
+    // A different root is a different schedule.
+    EXPECT_NE(&h1->plan(), &h3->plan());
+    co_return;
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  // Two keys; rank 0 populates each (2 misses), everyone else hits. The sim
+  // is deterministic, so the counters are exact: 8 ranks x 3 lookups.
+  EXPECT_EQ(engine.plan_cache().size(), 2);
+  EXPECT_EQ(engine.plan_cache().misses(), 2u);
+  EXPECT_EQ(engine.plan_cache().hits(), 22u);
+}
+
+TEST(PlanCacheTest, FreedCommWithSameFingerprintNeverServesStalePlan) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  std::vector<Rank> members;
+  for (Rank r = 0; r < kRanks; ++r) members.push_back(r);
+  const mpi::Comm comm_a(members);
+  const mpi::Comm comm_b(members);   // same ordered members, new state
+  const mpi::Comm comm_sync(members);
+  // The cache key carries the membership fingerprint; identical member lists
+  // collide on purpose (that is the sharing). Staleness is caught by the
+  // weak CommState guard, which this test drives through the lazy path.
+  ASSERT_EQ(comm_a.fingerprint(), comm_b.fingerprint());
+  constexpr Bytes kBytes = 2048;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    auto bar = barrier_init(ctx, comm_sync);
+    auto h1 = bcast_init(ctx, comm_a, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+
+    // Make sure every rank built h1 before anyone frees the communicator.
+    EXPECT_EQ(bar->start(), ErrCode::kOk);
+    co_await bar->wait();
+
+    // Plain Comm::free (NOT coll::free_comm): the cache entry survives until
+    // a lookup revalidates it — the lazy invalidation path.
+    comm_a.free();
+    auto h2 = bcast_init(ctx, comm_b, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+    EXPECT_NE(&h1->plan(), &h2->plan());
+    EXPECT_EQ(h1->start(), ErrCode::kErrCommFreed);
+
+    if (ctx.rank() == 0) fill(mine, 0, 7);
+    EXPECT_EQ(h2->start(), ErrCode::kOk);
+    co_await h2->wait();
+    EXPECT_EQ(h2->last_error(), ErrCode::kOk);
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  std::vector<std::byte> expected(static_cast<std::size_t>(kBytes));
+  fill(expected, 0, 7);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+// -------------------------------------------------------------- interleaving
+
+TEST(Overlap, IndependentHandlesPipelineAcrossStarts) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBcastBytes = 4096;
+  constexpr std::size_t kElems = 256;
+  constexpr int kRounds = 3;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBcastBytes)));
+  std::vector<std::vector<std::int32_t>> accum(
+      kRanks, std::vector<std::int32_t>(kElems));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    const std::size_t me = static_cast<std::size_t>(ctx.rank());
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    auto bc = bcast_init(ctx, world, mpi::MutView{bufs[me].data(), kBcastBytes},
+                         /*root=*/0, popts);
+    auto ar = allreduce_init(
+        ctx, world,
+        mpi::MutView{reinterpret_cast<std::byte*>(accum[me].data()),
+                     static_cast<Bytes>(kElems * 4)},
+        mpi::ReduceOp::kSum, mpi::Datatype::kInt32, popts);
+
+    for (int round = 0; round < kRounds; ++round) {
+      if (ctx.rank() == 0) fill(bufs[me], 0, round);
+      for (std::size_t i = 0; i < kElems; ++i) {
+        accum[me][i] =
+            static_cast<std::int32_t>(ctx.rank() + round * 1000 + i);
+      }
+      // Both rounds in flight at once: independent handles own disjoint tag
+      // blocks, so overlapping starts pipeline instead of cross-matching.
+      EXPECT_EQ(bc->start(), ErrCode::kOk);
+      EXPECT_EQ(ar->start(), ErrCode::kOk);
+      EXPECT_TRUE(bc->in_flight());
+      EXPECT_TRUE(ar->in_flight());
+      co_await bc->wait();
+      co_await ar->wait();
+      EXPECT_EQ(bc->rounds_completed(), round + 1);
+      EXPECT_EQ(ar->rounds_completed(), round + 1);
+
+      // Check this round's allreduce result right away (every round has a
+      // different expected sum).
+      for (std::size_t i = 0; i < kElems; ++i) {
+        const std::int32_t want = static_cast<std::int32_t>(
+            kRanks * (kRanks - 1) / 2 + kRanks * (round * 1000) +
+            kRanks * static_cast<std::int32_t>(i));
+        EXPECT_EQ(accum[me][i], want) << "round " << round << " elem " << i;
+        if (accum[me][i] != want) co_return;
+      }
+    }
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  std::vector<std::byte> expected(static_cast<std::size_t>(kBcastBytes));
+  fill(expected, 0, kRounds - 1);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+// --------------------------------------------------------- schedule identity
+
+TEST(ScheduleIdentity, EveryStartReplaysTheSameTransferSchedule) {
+  topo::Machine machine = test_machine();
+  runtime::SimEngineOptions options;
+  options.recorder = std::make_shared<obs::Recorder>();
+  SimEngine engine(machine, options);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 4096;
+  constexpr int kRounds = 5;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    PersistentOpts popts;
+    popts.coll.segment_size = 512;
+    auto op = bcast_init(ctx, world, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+    auto bar = barrier_init(ctx, world);
+    for (int round = 0; round < kRounds; ++round) {
+      if (ctx.rank() == 0) fill(mine, 0, round);
+      EXPECT_EQ(op->start(), ErrCode::kOk);
+      co_await op->wait();
+      // The barrier fences rounds: every round-r data transfer is posted
+      // (and delivered) before any rank can post a round-r+1 transfer, so
+      // the recorder's chronological transfer list chunks cleanly by round.
+      EXPECT_EQ(bar->start(), ErrCode::kOk);
+      co_await bar->wait();
+    }
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  // Data transfers only: the barrier's zero-byte frames are the fences, not
+  // part of the replayed payload schedule.
+  std::size_t count = 0;
+  for (const auto& t : options.recorder->transfers()) {
+    if (t.bytes > 0) ++count;
+  }
+  ASSERT_GT(count, 0u);
+  ASSERT_EQ(count % kRounds, 0u) << "rounds posted different transfer counts";
+  // Chunk into per-round signatures of (src, dst, bytes, kind) sequences.
+  const std::size_t per_round = count / kRounds;
+  std::vector<std::string> sigs;
+  std::size_t i = 0;
+  std::string chunk;
+  for (const auto& t : options.recorder->transfers()) {
+    if (t.bytes == 0) continue;
+    chunk += std::to_string(t.src) + ">" + std::to_string(t.dst) + ":" +
+             std::to_string(t.bytes) + "/" + std::to_string(t.kind) + ";";
+    if (++i % per_round == 0) {
+      sigs.push_back(chunk);
+      chunk.clear();
+    }
+  }
+  ASSERT_EQ(sigs.size(), static_cast<std::size_t>(kRounds));
+  // Round 0 starts from a cold, perfectly synchronised state; rounds 1+ are
+  // the steady state and must replay the identical schedule hash-for-hash.
+  for (std::size_t r = 2; r < sigs.size(); ++r) {
+    EXPECT_EQ(fnv1a64(sigs[r]), fnv1a64(sigs[1]))
+        << "round " << r << " diverged from round 1";
+  }
+}
+
+// ------------------------------------------------------- allocation freedom
+
+TEST(AllocationFree, HundredStartsAllocateNothingAfterWarmup) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);  // no recorder: tracing buffers would allocate
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 4096;
+  constexpr int kWarm = 120;
+  constexpr int kMeasured = 100;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    auto op = bcast_init(ctx, world, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+    auto bar = barrier_init(ctx, world);
+    // One flat loop, no helper coroutine: a nested coroutine frame would
+    // itself heap-allocate per call and poison the measurement. Rounds
+    // 0..kWarm-1 warm the event slab, the flow/pending/request pools, the
+    // route cache, and the matcher buckets to steady-state depth; the
+    // counter snapshots bracket the measured rounds.
+    for (int r = 0; r < kWarm + kMeasured; ++r) {
+      if (r == kWarm && ctx.rank() == 0) before = g_alloc_count.load();
+      if (ctx.rank() == 0) fill(mine, 0, 0);
+      EXPECT_EQ(op->start(), ErrCode::kOk);
+      co_await op->wait();
+      EXPECT_EQ(bar->start(), ErrCode::kOk);
+      co_await bar->wait();
+    }
+    // Rank 0 exits the final barrier only after every rank entered it, so
+    // everything between the snapshots is steady-state replay.
+    if (ctx.rank() == 0) after = g_alloc_count.load();
+  };
+  ASSERT_NO_THROW(engine.run(program));
+  EXPECT_EQ(after - before, 0u)
+      << "persistent start/wait rounds touched the heap in steady state";
+}
+
+}  // namespace
+}  // namespace adapt::coll
