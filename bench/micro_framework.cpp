@@ -310,6 +310,60 @@ BENCHMARK(BM_SimulatedBcastTraceEnabled)
     ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
+// Zero-overhead guard for the recovery layer (PR 7), mirroring the fault and
+// trace guards above: with SimEngineOptions::recovery unset the engine
+// creates no RecoveryService, wires no give-up hooks, and the frame dispatch
+// never sees a recovery kind — the run must be indistinguishable from
+// BM_SimulatedBcast. The enabled variant (reliability + recovery, fault-free
+// fabric) bounds the full price of arming self-healing without any failure.
+void BM_SimulatedBcastRecoveryDisabled(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;  // options.recovery stays unset
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(engine.simulator().events_processed());
+  }
+}
+BENCHMARK(BM_SimulatedBcastRecoveryDisabled)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedBcastRecoveryEnabled(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;
+    options.reliability = mpi::ReliabilityConfig{};  // lossless fabric
+    options.recovery = runtime::RecoveryOptions{};
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(engine.simulator().events_processed());
+  }
+}
+// Recovery tracks membership in 64-bit masks, so the enabled variant tops
+// out at 64 ranks (the disabled variant has no such cap — nothing is armed).
+BENCHMARK(BM_SimulatedBcastRecoveryEnabled)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -22,9 +22,17 @@
 // handle once per message size (planning, tree, tuner decision all happen
 // there, cached engine-wide in the plan cache) and every timed iteration
 // just replays it.
+//
+// Recovery: --recover runs the self-healing demo instead of the size sweep —
+// a rank is killed mid-collective (--kill=RANK, --kill-at=MICROS) and the
+// survivors revoke, agree on the failure set, shrink, and re-issue on the
+// survivor communicator. Combine with --trace to see the revoke/agree/shrink
+// protocol events in Perfetto. See DESIGN.md §13 for the recovery model.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,7 +40,10 @@
 #include "src/bench/imb.hpp"
 #include "src/coll/library.hpp"
 #include "src/coll/persistent.hpp"
+#include "src/coll/selfheal.hpp"
 #include "src/gpu/gpu_coll.hpp"
+#include "src/mpi/comm_ft.hpp"
+#include "src/mpi/errors.hpp"
 #include "src/obs/export.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
@@ -41,6 +52,125 @@
 #include "src/tune/tuner.hpp"
 
 using namespace adapt;
+
+namespace {
+
+/// `adaptsim --recover`: one engine run with a seeded rank death and the
+/// self-healing wrapper healing around it. Prints the per-rank outcome
+/// (error code, attempt count, survivor membership) instead of timings.
+int run_recover_demo(const bench::Cli& cli, const topo::Machine& machine,
+                     const mpi::Comm& world, const std::string& op,
+                     Bytes msg) {
+  const int ranks = world.size();
+  if (ranks > 64) {
+    std::cerr << "--recover tracks membership in 64-bit masks; use "
+                 "--ranks 64 or fewer (got " << ranks << ")\n";
+    return 1;
+  }
+  const Rank victim = static_cast<Rank>(cli.get_int("kill", 1));
+  // Default lands while the victim still holds undelivered segments of the
+  // default 64 KB message, so the survivors must detect, shrink, and retry
+  // (attempt 2 on the survivor communicator) rather than coast to a finish.
+  const TimeNs kill_at = microseconds(cli.get_int("kill-at", 5));
+  if (victim < 0 || victim >= ranks) {
+    std::cerr << "--kill must name a rank in [0, " << ranks << ")\n";
+    return 1;
+  }
+
+  runtime::SimEngineOptions options;
+  // Failure detection rides on the retransmit layer: a peer whose acks stop
+  // coming exhausts the retry budget and is reported to the detector, so
+  // tighten the timeouts from their WAN-safe defaults to demo scale.
+  mpi::ReliabilityConfig reliability;
+  reliability.ack_timeout = microseconds(100);
+  reliability.per_byte = 2;
+  reliability.backoff = 2.0;
+  reliability.max_retries = 6;
+  options.reliability = reliability;
+  options.recovery = runtime::RecoveryOptions{};
+  net::FaultPlan::Death death;
+  death.rank = victim;
+  death.at = kill_at;
+  options.faults.deaths.push_back(death);
+  std::shared_ptr<obs::Recorder> recorder;
+  if (cli.has("trace")) {
+    recorder = std::make_shared<obs::Recorder>();
+    options.recorder = recorder;
+  }
+  runtime::SimEngine engine(machine, options);
+
+  std::cout << "recover demo: " << op << " of " << format_bytes(msg) << " on "
+            << ranks << " ranks, killing rank " << victim << " at "
+            << kill_at / 1000 << " µs\n\n";
+
+  struct RankOut {
+    mpi::ErrCode code = mpi::ErrCode::kOk;
+    int attempts = 0;
+    std::uint64_t survivors = 0;
+    TimeNs finish = 0;
+  };
+  std::vector<RankOut> outs(static_cast<std::size_t>(ranks));
+  std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(ranks));
+  coll::ResilientOpts opts;
+  opts.coll.segment_size = std::min<Bytes>(msg, kib(16));
+
+  const auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    auto& buf = bufs[r];
+    buf.assign(static_cast<std::size_t>(msg),
+               static_cast<std::byte>(ctx.rank() + 1));
+    const mpi::MutView view{buf.data(), static_cast<Bytes>(buf.size())};
+    try {
+      // Plain if/else, not a conditional expression: GCC 12 miscompiles
+      // `cond ? co_await a : co_await b` (the unselected arm's frame slot
+      // clobbers the result).
+      coll::ResilientResult res;
+      if (op == "bcast") {
+        res = co_await coll::resilient_bcast(ctx, world, view, 0, opts);
+      } else {
+        res = co_await coll::resilient_allreduce(ctx, world, view,
+                                                 mpi::ReduceOp::kBor,
+                                                 mpi::Datatype::kUint8, opts);
+      }
+      outs[r].code = res.code;
+      outs[r].attempts = res.attempts;
+      outs[r].survivors = mpi::member_mask(res.comm);
+    } catch (const mpi::FaultError& e) {
+      outs[r].code = e.code();  // the victim's own teardown lands here
+    }
+    outs[r].finish = ctx.now();
+  };
+  engine.run(program);
+
+  Table table({"rank", "code", "attempts", "survivors", "finish(ms)"});
+  for (Rank g = 0; g < ranks; ++g) {
+    const RankOut& o = outs[static_cast<std::size_t>(g)];
+    std::ostringstream survivors;
+    if (o.survivors != 0) survivors << "0x" << std::hex << o.survivors;
+    std::ostringstream finish;
+    finish << std::fixed << std::setprecision(2)
+           << static_cast<double>(o.finish) / 1e6;
+    table.add_row({std::to_string(g), mpi::err_name(o.code),
+                   o.attempts != 0 ? std::to_string(o.attempts) : "",
+                   survivors.str(), finish.str()});
+  }
+  table.print(std::cout);
+  std::cout << "\nrank " << victim << " reports its own death; every "
+            << "survivor agrees on the failure set, shrinks, and finishes "
+            << "on the survivor communicator.\n";
+  if (recorder) {
+    const std::string path = cli.get("trace", "adaptsim.trace.json");
+    if (!obs::write_trace_file(*recorder, path)) {
+      std::cerr << "cannot write --trace file " << path << "\n";
+      return 1;
+    }
+    std::cout << "trace: " << path << "  — load at ui.perfetto.dev and look "
+              << "for the revoke/agree/recover_retry spans\n";
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::Cli cli(argc, argv);
@@ -64,6 +194,8 @@ int main(int argc, char** argv) {
                         gpu ? topo::PlacementPolicy::kByGpu
                             : topo::PlacementPolicy::kByCore);
   const mpi::Comm world = mpi::Comm::world(ranks);
+
+  if (cli.has("recover")) return run_recover_demo(cli, machine, world, op, min_msg);
 
   std::shared_ptr<coll::MpiLibrary> lib;
   net::GpuConfig gpu_config;

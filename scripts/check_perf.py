@@ -33,6 +33,15 @@ import argparse
 import json
 import sys
 
+# (disabled variant, reference) benchmark-name pairs for the intra-run
+# disabled-path guard; per-arg suffixes ("/64", "/512") are matched
+# automatically.
+DISABLED_PAIRS = [
+    ("BM_SimulatedBcastFaultsDisabled", "BM_SimulatedBcast"),
+    ("BM_SimulatedBcastTraceDisabled", "BM_SimulatedBcast"),
+    ("BM_SimulatedBcastRecoveryDisabled", "BM_SimulatedBcast"),
+]
+
 
 def load_benchmarks(path):
     with open(path) as f:
@@ -107,6 +116,9 @@ def main():
                     help="steady mode: persistent/percall speedup floor")
     ap.add_argument("--threshold", type=float, default=0.4,
                     help="fail when fresh throughput < threshold * baseline")
+    ap.add_argument("--disabled-ratio", type=float, default=0.8,
+                    help="intra-run floor for each XDisabled benchmark vs "
+                         "its reference (same machine, same process)")
     ap.add_argument("--max-allocs", type=float, default=None,
                     help="allocation-counter ceiling (default 0.001 for "
                          "micro mode, 0.1 for steady mode)")
@@ -132,6 +144,28 @@ def main():
         else:
             if allocs is not None:
                 print(f"{name}: allocs_per_item={allocs:.6f} ok")
+
+    # Disabled-path guards: each "...Disabled" variant runs in the same
+    # process on the same machine as its reference benchmark, so the ratio
+    # is machine-independent and can be pinned far tighter than the
+    # cross-machine baseline tripwire. A disabled subsystem (fault injection,
+    # tracing, recovery) must cost nothing but a null-pointer test.
+    for disabled, reference in DISABLED_PAIRS:
+        for name, run in sorted(fresh.items()):
+            if not name.startswith(disabled + "/"):
+                continue
+            ref = fresh.get(reference + name[len(disabled):])
+            if ref is None:
+                continue
+            ratio = ref["real_time"] / run["real_time"]
+            marker = "ok" if ratio >= args.disabled_ratio else "REGRESSED"
+            print(f"{name}: time ratio vs {reference} (same run) = "
+                  f"{ratio:.3f} {marker}")
+            if ratio < args.disabled_ratio:
+                failures.append(
+                    f"{name}: {1 / ratio:.3f}x slower than {reference} in "
+                    f"the same run (floor {args.disabled_ratio}) — the "
+                    f"disabled path is no longer free")
 
     common = sorted(set(baseline) & set(fresh))
     if not common:

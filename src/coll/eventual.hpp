@@ -1,0 +1,57 @@
+// Eventually-consistent collectives (Iakymchuk et al.: trade byte-exactness
+// for progress under churn).
+//
+// Instead of a schedule that every member must execute, each rank runs a
+// flat, direct exchange bounded by a *staleness deadline*: whatever reached
+// it by the deadline is folded (in rank order — deterministic and
+// order-insensitive for commutative ops), the rest is dropped, and the op
+// reports exactly which members contributed. A dead or slow peer costs its
+// contribution, never progress: every live rank completes within the
+// staleness bound, unconditionally.
+//
+// The conformance contract is therefore *bounded staleness*, not
+// byte-exactness: `result == fold(contributions of result.contributors)`,
+// finish_time - start_time <= staleness (+ scheduling slack), and
+// contributors always includes the caller. Under no churn the exchange
+// normally completes early with every member contributing (complete = true).
+//
+// The ops hold the recovery layer's poison shield while running: failure
+// notices must not wipe out a deadline-bounded exchange that can absorb the
+// loss by itself.
+#pragma once
+
+#include <cstdint>
+
+#include "src/coll/coll.hpp"
+
+namespace adapt::coll {
+
+struct EcOpts {
+  /// Staleness deadline; 0 = RecoveryOptions::staleness_bound (or 30 ms
+  /// without a recovery service).
+  TimeNs staleness = 0;
+};
+
+struct EcResult {
+  /// Global-rank mask of members whose contribution is folded into the
+  /// result (always includes the caller; for bcast: the root when its
+  /// payload arrived in time).
+  std::uint64_t contributors = 0;
+  bool complete = false;  ///< every member contributed before the deadline
+};
+
+/// Eventually-consistent allreduce: fold of whoever's contribution arrives
+/// within the staleness bound. `op` should be commutative+associative (the
+/// fold order is the member order).
+sim::Task<EcResult> ec_allreduce(runtime::Context& ctx, const mpi::Comm& comm,
+                                 mpi::MutView accum, mpi::ReduceOp op,
+                                 mpi::Datatype dtype, const EcOpts& opts = {});
+
+/// Eventually-consistent broadcast from global rank `root`: non-root members
+/// either receive the payload within the bound (complete = true, buffer
+/// overwritten) or time out (complete = false, buffer untouched).
+sim::Task<EcResult> ec_bcast(runtime::Context& ctx, const mpi::Comm& comm,
+                             mpi::MutView buffer, Rank root,
+                             const EcOpts& opts = {});
+
+}  // namespace adapt::coll

@@ -209,11 +209,15 @@ PersistentOp::~PersistentOp() {
 mpi::ErrCode PersistentOp::start() {
   if (in_flight_) return mpi::ErrCode::kErrPending;
   if (!comm_.alive()) {
-    // Freed communicator: also drop any cached plans keyed by it, so the
-    // cache cannot serve this plan to a future lookalike lookup.
+    // Either way no new round may start, but the codes differ: a freed
+    // communicator is a programming error (handle gone for good), a revoked
+    // one is the recovery layer saying "shrink and re-init" — recoverable.
+    // Both drop any cached plans keyed by it, so the cache cannot serve this
+    // plan to a future lookalike lookup.
     if (tune::PlanCache* cache = ctx_->plan_cache())
       cache->invalidate_comm(comm_.fingerprint());
-    return mpi::ErrCode::kErrCommFreed;
+    return comm_.state()->freed ? mpi::ErrCode::kErrCommFreed
+                                : mpi::ErrCode::kErrRevoked;
   }
   reset_round();
   in_flight_ = true;
@@ -303,6 +307,43 @@ mpi::ErrCode PersistentOp::pready(int p) {
       break;  // unreachable: barrier_init rejects partitions
   }
   check_round_done();
+  return mpi::ErrCode::kOk;
+}
+
+mpi::ErrCode PersistentOp::parrived(int p, bool* flag) const {
+  ADAPT_CHECK(flag != nullptr);
+  *flag = false;
+  if (partitions_ <= 0 || !in_flight_) return mpi::ErrCode::kErrPartition;
+  if (p < 0 || p >= partitions_) return mpi::ErrCode::kErrPartition;
+  if (error_ != mpi::ErrCode::kOk) return mpi::ErrCode::kOk;  // round dying
+  const int S = segs_.count();
+  const int first = static_cast<int>(
+      (static_cast<std::int64_t>(p) * S) / partitions_);
+  const int end = static_cast<int>(
+      (static_cast<std::int64_t>(p + 1) * S) / partitions_);
+  bool arrived = true;
+  for (int s = first; s < end && arrived; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    switch (kind_) {
+      case Kind::kBcast:
+      case Kind::kAllreduce:
+        // The bcast stage delivers the final bytes everywhere.
+        arrived = received_[si] != 0;
+        break;
+      case Kind::kReduce:
+        // contributed_ only advances once the local data is folded in, so
+        // reaching the child count implies local_ready_ too.
+        arrived = edges_.kids_global.empty()
+                      ? local_ready_[si] != 0
+                      : contributed_[si] ==
+                            static_cast<int>(edges_.kids_global.size());
+        break;
+      case Kind::kBarrier:
+        arrived = false;  // unreachable: barrier_init rejects partitions
+        break;
+    }
+  }
+  *flag = arrived;
   return mpi::ErrCode::kOk;
 }
 

@@ -67,6 +67,16 @@ class PersistentOp {
   /// Declares partition `p`'s data ready for the active round.
   mpi::ErrCode pready(int p);
 
+  /// Queries whether partition `p`'s *incoming* data has fully arrived at
+  /// this rank for the active round (MPI_Parrived shape): for bcast and the
+  /// bcast stage of allreduce every segment of the partition has been
+  /// received; for reduce every child contribution for the partition has
+  /// been folded into the local accumulator (a leaf's partition arrives when
+  /// its own pready lands). Validation mirrors pready: an inactive handle, a
+  /// non-partitioned op, or an out-of-range index is kErrPartition. A round
+  /// that already failed reports false without error.
+  mpi::ErrCode parrived(int p, bool* flag) const;
+
   /// Awaitable round completion; throws mpi::FaultError on a failed round.
   struct [[nodiscard]] Awaiter {
     PersistentOp* op;

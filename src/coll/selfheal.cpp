@@ -1,0 +1,215 @@
+#include "src/coll/selfheal.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "src/coll/detail.hpp"
+#include "src/runtime/recovery.hpp"
+#include "src/tune/tuner.hpp"
+
+namespace adapt::coll {
+
+namespace {
+
+/// Heartbeat interest for the duration of the wrapper: while any rank holds
+/// it, the ring-ping detector runs, so even a rank nobody sends to (a dead
+/// bcast root) is eventually suspected.
+struct HeartbeatGuard {
+  runtime::Recovery* rec;
+  explicit HeartbeatGuard(runtime::Recovery* r) : rec(r) {
+    if (rec) rec->acquire_heartbeats();
+  }
+  HeartbeatGuard(const HeartbeatGuard&) = delete;
+  HeartbeatGuard& operator=(const HeartbeatGuard&) = delete;
+  ~HeartbeatGuard() {
+    if (rec) rec->release_heartbeats();
+  }
+};
+
+void recover_instant(runtime::Context& ctx, const char* what,
+                     std::int64_t arg) {
+  if (obs::Recorder* rec = ctx.recorder()) {
+    rec->instant(obs::rank_pid(ctx.rank()), obs::kTidProgress,
+                 obs::Cat::kProto, what, rec->now(), arg);
+  }
+}
+
+/// Pre-attempt snapshot of the caller's buffer, restored before every retry
+/// so re-issued attempts are byte-exact replays (synthetic buffers have no
+/// bytes to save).
+class BufferSnapshot {
+ public:
+  explicit BufferSnapshot(mpi::MutView buffer) : buffer_(buffer) {
+    if (!buffer_.synthetic() && buffer_.size > 0) {
+      saved_.assign(buffer_.data, buffer_.data + buffer_.size);
+    }
+  }
+  void restore() const {
+    if (!saved_.empty()) {
+      std::memcpy(buffer_.data, saved_.data(),
+                  static_cast<std::size_t>(buffer_.size));
+    }
+  }
+
+ private:
+  mpi::MutView buffer_;
+  std::vector<std::byte> saved_;
+};
+
+/// The retry loop shared by the resilient personalities. `issue(cur)` runs
+/// one attempt of the collective on communicator `cur` and throws FaultError
+/// on local failure; `root` is the global data-source rank for bcast (-1 for
+/// rootless semantics, where any survivor set can finish).
+template <typename Issue>
+sim::Task<ResilientResult> run_resilient(runtime::Context& ctx,
+                                         const mpi::Comm& comm, Rank root,
+                                         const BufferSnapshot& snapshot,
+                                         const ResilientOpts& opts,
+                                         Issue issue) {
+  runtime::Recovery* rec = ctx.recovery();
+  ResilientResult res;
+  res.comm = comm;
+  const int max_attempts =
+      opts.max_attempts > 0 ? opts.max_attempts
+                            : (rec ? rec->options().max_attempts : 1);
+  const double backoff =
+      opts.backoff > 0 ? opts.backoff : (rec ? rec->options().backoff : 2.0);
+  TimeNs delay = opts.backoff_base > 0
+                     ? opts.backoff_base
+                     : (rec ? rec->options().backoff_base : microseconds(200));
+  HeartbeatGuard hb(rec);
+  mpi::Comm cur = comm;
+  for (int attempt = 1;; ++attempt) {
+    res.attempts = attempt;
+    // Re-arm the endpoint: a failure notice may have poisoned it to unblock
+    // the previous attempt (or while we idled). Watchdog poison is terminal
+    // and stays.
+    if (rec) rec->clear_poison();
+    if (attempt > 1) snapshot.restore();
+    mpi::ErrCode local = mpi::ErrCode::kOk;
+    bool issued = true;
+    if (rec && attempt > 1) {
+      // Ready barrier before re-issuing: a fast survivor's data frames must
+      // not reach a peer that has not cleared its poison yet — the channel
+      // acks the frame and the poisoned endpoint drops it, so the bytes are
+      // gone with no retransmit coming. Agreement frames bypass the endpoint,
+      // and a rank only contributes after clear_poison above, so once this
+      // round decides every member is re-armed.
+      recover_instant(ctx, "recover_sync", attempt);
+      const mpi::AgreeResult ready = co_await mpi::comm_agree(ctx, cur, 1u);
+      if (ready.excluded) {
+        res.code = mpi::ErrCode::kErrProcFailed;
+        res.failed |= ready.failed;
+        co_return res;
+      }
+      res.failed |= ready.failed;
+      if (ready.failed != 0) {
+        // A member died between the previous fate agreement and now. Skip
+        // the issue (its schedule would just fail) and fall through to the
+        // shared shrink/backoff path with a failed-attempt verdict; the next
+        // iteration re-syncs on the shrunk membership.
+        issued = false;
+        local = mpi::ErrCode::kErrProcFailed;
+      }
+    }
+    if (issued) {
+      try {
+        co_await issue(cur);
+      } catch (const mpi::FaultError& e) {
+        local = e.code();
+      }
+    }
+    if (!rec) {
+      // No recovery service: single shot, PR 2 semantics as a code.
+      res.code = local;
+      co_return res;
+    }
+    // Agree on the attempt's fate: AND of "I completed" bits, OR of failure
+    // views. The agreement itself survives participant death.
+    recover_instant(ctx, "recover_agree", attempt);
+    const mpi::AgreeResult agree = co_await mpi::comm_agree(
+        ctx, cur, local == mpi::ErrCode::kOk ? 1u : 0u);
+    if (agree.excluded) {
+      // The survivors declared *us* failed; they will shrink us away.
+      res.code = mpi::ErrCode::kErrProcFailed;
+      res.failed |= agree.failed;
+      co_return res;
+    }
+    res.failed |= agree.failed;
+    if (agree.flags & 1u) {
+      // Every live participant completed this attempt — the buffer holds the
+      // failure-free result over `cur`. Clear any poison a post-completion
+      // notice left behind before handing the endpoint back.
+      rec->clear_poison();
+      res.code = mpi::ErrCode::kOk;
+      res.comm = cur;
+      co_return res;
+    }
+    // Failed attempt: retire the stale topology and drop to the survivors.
+    if (agree.failed != 0) {
+      mpi::comm_revoke(ctx, cur);
+      cur = mpi::comm_shrink(cur, agree.failed);
+    }
+    res.comm = cur;
+    if (root >= 0 && !cur.contains(root)) {
+      // The data source died: unrecoverable, uniformly reported (every
+      // survivor derives this from the same agreed failure set).
+      res.code = mpi::ErrCode::kErrProcFailed;
+      co_return res;
+    }
+    if (attempt >= max_attempts) {
+      res.code = mpi::ErrCode::kErrProcFailed;
+      co_return res;
+    }
+    recover_instant(ctx, "recover_retry", attempt + 1);
+    co_await ctx.sleep_for(delay);
+    delay = static_cast<TimeNs>(static_cast<double>(delay) * backoff);
+  }
+}
+
+}  // namespace
+
+sim::Task<ResilientResult> resilient_bcast(runtime::Context& ctx,
+                                           const mpi::Comm& comm,
+                                           mpi::MutView buffer, Rank root,
+                                           const ResilientOpts& opts) {
+  ADAPT_CHECK(comm.contains(root)) << "bcast root not in the communicator";
+  ADAPT_CHECK(comm.contains(ctx.rank()));
+  detail::CollSpan span(ctx, "resilient_bcast", "adapt", buffer.size);
+  const BufferSnapshot snapshot(buffer);
+  co_return co_await run_resilient(
+      ctx, comm, root, snapshot, opts,
+      [&ctx, buffer, root, &opts](const mpi::Comm& cur) -> sim::Task<> {
+        // Fresh schedule on the (possibly shrunk) membership: the paper's
+        // topology-aware default over the survivors.
+        const Rank root_local = cur.local_of(root);
+        const Tree tree = tune::decision_tree(ctx.machine(), cur, root_local,
+                                              tune::Decision{});
+        co_await bcast(ctx, cur, buffer, root_local, tree, opts.style,
+                       opts.coll);
+      });
+}
+
+sim::Task<ResilientResult> resilient_allreduce(runtime::Context& ctx,
+                                               const mpi::Comm& comm,
+                                               mpi::MutView accum,
+                                               mpi::ReduceOp op,
+                                               mpi::Datatype dtype,
+                                               const ResilientOpts& opts) {
+  ADAPT_CHECK(comm.contains(ctx.rank()));
+  detail::CollSpan span(ctx, "resilient_allreduce", "adapt", accum.size);
+  const BufferSnapshot snapshot(accum);
+  co_return co_await run_resilient(
+      ctx, comm, /*root=*/-1, snapshot, opts,
+      [&ctx, accum, op, dtype, &opts](const mpi::Comm& cur) -> sim::Task<> {
+        // Reduce to the lowest survivor, then broadcast back on one tree —
+        // the same composition the persistent allreduce uses.
+        const Tree tree =
+            tune::decision_tree(ctx.machine(), cur, 0, tune::Decision{});
+        co_await reduce(ctx, cur, accum, op, dtype, 0, tree, opts.style,
+                        opts.coll);
+        co_await bcast(ctx, cur, accum, 0, tree, opts.style, opts.coll);
+      });
+}
+
+}  // namespace adapt::coll

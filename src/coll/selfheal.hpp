@@ -1,0 +1,68 @@
+// Self-healing collective wrappers (ULFM-style retry loop).
+//
+// On an engine with recovery enabled (SimEngineOptions::recovery), a
+// resilient collective survives rank death:
+//
+//   attempt:  clear endpoint poison, (re)build the schedule on the current
+//             communicator, issue the collective;
+//   agree:    fault-tolerant agreement on "did everyone complete?" plus the
+//             union of failure views (mpi::comm_agree — itself survives
+//             participant death);
+//   recover:  on failure, revoke the stale communicator (plan-cache entries
+//             die with it via the weak CommState guard), shrink to the agreed
+//             survivors, restore the caller's buffer to its pre-attempt
+//             bytes, back off exponentially in virtual time, and retry —
+//             bounded by the attempt budget.
+//
+// The result is *byte-exact on the survivor communicator*: a successful
+// attempt ran entirely on `result.comm`, so the bytes equal the failure-free
+// oracle over exactly that membership. A dead bcast root is unrecoverable —
+// the data source is gone — and reports a uniform kErrProcFailed instead.
+//
+// Without recovery (ThreadEngine, or recovery off) the wrappers degrade to a
+// single attempt whose error code is returned instead of thrown.
+#pragma once
+
+#include <cstdint>
+
+#include "src/coll/coll.hpp"
+#include "src/mpi/comm_ft.hpp"
+
+namespace adapt::coll {
+
+struct ResilientOpts {
+  CollOpts coll;
+  Style style = Style::kAdapt;
+  int max_attempts = 0;     ///< 0 = RecoveryOptions::max_attempts
+  TimeNs backoff_base = 0;  ///< 0 = RecoveryOptions::backoff_base
+  double backoff = 0.0;     ///< 0 = RecoveryOptions::backoff
+};
+
+struct ResilientResult {
+  mpi::ErrCode code = mpi::ErrCode::kOk;
+  /// The communicator the final attempt ran on: the original when attempt 1
+  /// succeeded, the shrunk survivor communicator after recovery. On success
+  /// the buffer holds the failure-free result over exactly these members.
+  mpi::Comm comm = mpi::Comm::world(1);
+  int attempts = 0;          ///< collective issues (>= 1)
+  std::uint64_t failed = 0;  ///< cumulative agreed failure set (global ranks)
+};
+
+/// Self-healing broadcast from global rank `root`. If the root itself is in
+/// the agreed failure set, every survivor returns kErrProcFailed uniformly.
+sim::Task<ResilientResult> resilient_bcast(runtime::Context& ctx,
+                                           const mpi::Comm& comm,
+                                           mpi::MutView buffer, Rank root,
+                                           const ResilientOpts& opts = {});
+
+/// Self-healing allreduce (reduce to the lowest survivor + bcast back, one
+/// topology-aware tree). On success every survivor holds the reduction over
+/// exactly `result.comm`'s members' original contributions.
+sim::Task<ResilientResult> resilient_allreduce(runtime::Context& ctx,
+                                               const mpi::Comm& comm,
+                                               mpi::MutView accum,
+                                               mpi::ReduceOp op,
+                                               mpi::Datatype dtype,
+                                               const ResilientOpts& opts = {});
+
+}  // namespace adapt::coll

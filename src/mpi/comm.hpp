@@ -22,14 +22,16 @@
 
 namespace adapt::mpi {
 
-/// Shared, mostly-immutable communicator state. `freed` is the only mutable
-/// member; it flips once (Comm::free) and is only ever read afterwards.
+/// Shared, mostly-immutable communicator state. `freed` and `revoked` are
+/// the only mutable members; each flips once (Comm::free / Comm::revoke) and
+/// is only ever read afterwards.
 struct CommState {
   std::vector<Rank> members;
   std::uint64_t fingerprint = 0;  ///< FNV-1a over the ordered member list
   bool freed = false;
+  bool revoked = false;  ///< ULFM revocation: schedules on it are stale
 
-  bool alive() const { return !freed; }
+  bool alive() const { return !freed && !revoked; }
 };
 
 class Comm {
@@ -62,6 +64,13 @@ class Comm {
   /// kErrCommFreed, and plan-cache entries guarded by this state go stale.
   void free() const { state_->freed = true; }
   bool alive() const { return state_->alive(); }
+
+  /// ULFM MPI_Comm_revoke, local half: marks every copy revoked so cached
+  /// plans guarded by this state go stale and persistent start()s fail with
+  /// kErrRevoked. Propagation to other ranks is the recovery layer's job
+  /// (mpi::comm_revoke floods a kRevoke frame).
+  void revoke() const { state_->revoked = true; }
+  bool revoked() const { return state_->revoked; }
 
   /// The shared lifecycle state, for weak guards (plan cache, persistent
   /// handles). Never null.

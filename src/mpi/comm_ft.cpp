@@ -1,0 +1,93 @@
+#include "src/mpi/comm_ft.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "src/runtime/recovery.hpp"
+#include "src/support/error.hpp"
+#include "src/tune/plan_cache.hpp"
+
+namespace adapt::mpi {
+
+namespace {
+// Fixed low tags for the fallback agreement (user collective tags start at
+// 1 << 20, user P2P traffic conventionally uses small tags — this region is
+// reserved here). Sequential agreements on one communicator stay ordered by
+// the per-(src, tag) FIFO; concurrent agreements on different communicators
+// are safe under the usual collective-ordering contract.
+constexpr Tag kAgreeContribTag = 0xF0000;
+constexpr Tag kAgreeResultTag = 0xF0001;
+}  // namespace
+
+std::uint64_t member_mask(const Comm& comm) {
+  std::uint64_t mask = 0;
+  for (Rank g : comm.members()) {
+    ADAPT_CHECK(g >= 0 && g < 64)
+        << "fault-tolerant comm ops track membership in 64-bit masks";
+    mask |= 1ull << g;
+  }
+  return mask;
+}
+
+void comm_revoke(runtime::Context& ctx, const Comm& comm) {
+  comm.revoke();
+  // The weak CommState guard already makes cached plans unusable; eager
+  // invalidation also frees their slots.
+  if (tune::PlanCache* cache = ctx.plan_cache()) {
+    cache->invalidate_comm(comm.fingerprint());
+  }
+  if (runtime::Recovery* rec = ctx.recovery()) {
+    rec->revoke(comm.fingerprint());
+  }
+}
+
+sim::Task<AgreeResult> comm_agree(runtime::Context& ctx, const Comm& comm,
+                                  std::uint64_t flags) {
+  if (runtime::Recovery* rec = ctx.recovery()) {
+    const runtime::AgreeOutcome out =
+        co_await rec->agree(comm.fingerprint(), member_mask(comm), flags);
+    co_return AgreeResult{out.flags, out.failed, out.excluded};
+  }
+  // Failure-free fallback: gather contributions at the lowest member, AND
+  // them, broadcast the decision. (Engines without a recovery service have
+  // no failure injection either — ThreadEngine, or SimEngine with recovery
+  // off — so a plain linear exchange is correct and keeps the protocol
+  // identical across engines for the fuzz tests.)
+  const Rank me = ctx.rank();
+  const Rank coord = comm.global(0);
+  std::uint64_t payload[2] = {flags, 0};
+  const MutView recv_view{reinterpret_cast<std::byte*>(payload),
+                          static_cast<Bytes>(sizeof payload)};
+  if (me == coord) {
+    std::uint64_t acc_flags = flags;
+    std::uint64_t acc_view = 0;
+    for (int i = 1; i < comm.size(); ++i) {
+      co_await ctx.recv(comm.global(i), kAgreeContribTag, recv_view);
+      acc_flags &= payload[0];
+      acc_view |= payload[1];
+    }
+    payload[0] = acc_flags;
+    payload[1] = acc_view;
+    for (int i = 1; i < comm.size(); ++i) {
+      co_await ctx.send(comm.global(i), kAgreeResultTag,
+                        recv_view.as_const());
+    }
+    co_return AgreeResult{acc_flags, acc_view, false};
+  }
+  co_await ctx.send(coord, kAgreeContribTag, recv_view.as_const());
+  co_await ctx.recv(coord, kAgreeResultTag, recv_view);
+  co_return AgreeResult{payload[0], payload[1], false};
+}
+
+Comm comm_shrink(const Comm& comm, std::uint64_t failed_mask) {
+  std::vector<Rank> survivors;
+  survivors.reserve(comm.members().size());
+  for (Rank g : comm.members()) {
+    if (g < 64 && ((failed_mask >> g) & 1u)) continue;
+    survivors.push_back(g);
+  }
+  ADAPT_CHECK(!survivors.empty()) << "comm_shrink left no survivors";
+  return Comm(std::move(survivors));
+}
+
+}  // namespace adapt::mpi

@@ -1,0 +1,54 @@
+// ULFM-style fault-tolerant communicator operations.
+//
+//   comm_revoke  — MPI_Comm_revoke: marks the communicator stale everywhere
+//                  (local flag + plan-cache invalidation + kRevoke flood).
+//   comm_agree   — MPIX_Comm_agree: fault-tolerant agreement on a flag word
+//                  AND the failure set, surviving participant death
+//                  mid-protocol (see runtime::RecoveryService). On engines
+//                  without a recovery service (ThreadEngine, recovery off) it
+//                  degrades to a plain failure-free gather+bcast over
+//                  dedicated low tags.
+//   comm_shrink  — MPIX_Comm_shrink: a fresh communicator over the survivors
+//                  in original rank order (ranks remap densely).
+#pragma once
+
+#include <cstdint>
+
+#include "src/mpi/comm.hpp"
+#include "src/runtime/context.hpp"
+#include "src/sim/task.hpp"
+
+namespace adapt::mpi {
+
+/// Agreement outcome (mirrors runtime::AgreeOutcome for callers that only
+/// include this header).
+struct AgreeResult {
+  std::uint64_t flags = 0;   ///< bitwise AND over live participants' flags
+  std::uint64_t failed = 0;  ///< agreed failure set (global-rank bitmask)
+  bool excluded = false;     ///< this rank itself was declared failed
+};
+
+/// Global-rank membership bitmask; recovery mode caps worlds at 64 ranks.
+std::uint64_t member_mask(const Comm& comm);
+
+/// Revokes `comm`: every copy's schedules go stale (plan-cache entries
+/// guarded by the shared CommState are invalidated eagerly as well), and —
+/// when a recovery service is present — a kRevoke flood tells every other
+/// rank, unblocking any of them still pumping data on the dead topology.
+/// Idempotent.
+void comm_revoke(runtime::Context& ctx, const Comm& comm);
+
+/// Agreement over `comm`'s membership. Every member must call it in the same
+/// collective order. `flags` contributes to a bitwise AND across live
+/// participants; the result also carries the agreed failure set. Without a
+/// recovery service this is a plain gather+bcast through the lowest member
+/// (no failures can occur there by construction).
+sim::Task<AgreeResult> comm_agree(runtime::Context& ctx, const Comm& comm,
+                                  std::uint64_t flags);
+
+/// New communicator over `comm`'s members minus `failed_mask`, in original
+/// order. Pure local construction — every rank that feeds it the same agreed
+/// mask derives the same membership (and fingerprint).
+Comm comm_shrink(const Comm& comm, std::uint64_t failed_mask);
+
+}  // namespace adapt::mpi

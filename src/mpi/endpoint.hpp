@@ -125,6 +125,13 @@ class Endpoint {
   bool poisoned() const { return poisoned_ != ErrCode::kOk; }
   ErrCode poison_code() const { return poisoned_; }
 
+  /// Re-arms a poisoned endpoint (recovery layer only): every pending request
+  /// at poison time already failed — that is final — but *future* isend/irecv
+  /// succeed again. A self-healing retry wrapper clears the poison before
+  /// re-issuing its collective on the survivor communicator; without recovery
+  /// poison stays terminal, exactly the PR 2 contract.
+  void clear_poison() { poisoned_ = ErrCode::kOk; }
+
   /// True while any issued request is incomplete (failure-detector probe).
   bool has_pending() const;
 

@@ -24,6 +24,7 @@ enum class ErrCode : int {
   kErrRetryExhausted,  ///< retransmit budget spent without an ack
   kErrProcFailed,      ///< a peer (or the whole operation) was declared failed
   kErrWatchdog,        ///< the harness watchdog poisoned a wedged run
+  kErrRevoked,         ///< the communicator was revoked (ULFM recovery)
   // Persistent-collective lifecycle (detected locally, never floods the job).
   kErrPending,    ///< start() on a handle whose previous round isn't waited
   kErrCommFreed,  ///< start() after the communicator was freed (stale plan)
@@ -40,6 +41,7 @@ inline const char* err_name(ErrCode code) {
     case ErrCode::kErrRetryExhausted: return "err_retry_exhausted";
     case ErrCode::kErrProcFailed: return "err_proc_failed";
     case ErrCode::kErrWatchdog: return "err_watchdog";
+    case ErrCode::kErrRevoked: return "err_revoked";
     case ErrCode::kErrPending: return "err_pending";
     case ErrCode::kErrCommFreed: return "err_comm_freed";
     case ErrCode::kErrPartition: return "err_partition";

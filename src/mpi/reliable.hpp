@@ -42,12 +42,33 @@ struct ReliabilityConfig {
   int max_retries = 8;   ///< retransmissions before giving up
 };
 
+/// Recovery-protocol payload, meaningful only for the kFailNotice / kRevoke /
+/// kAgree frame kinds (see runtime::RecoveryService). Kept inline in the
+/// Frame: the recovery kinds are control frames (wire_bytes = 0), so the
+/// extra bytes never touch the data path and are copied only when recovery
+/// frames actually flow.
+struct RecoveryInfo {
+  Rank about = -1;               ///< kFailNotice: the rank declared failed
+  std::uint64_t fingerprint = 0; ///< kRevoke/kAgree: communicator identity
+  std::uint32_t seq = 0;         ///< kAgree: per-comm agreement instance
+  std::uint8_t phase = 0;        ///< kAgree: 0 = contribution, 1 = result
+  std::uint64_t flags = 0;       ///< kAgree: contribution / decided flags
+  std::uint64_t view = 0;        ///< kAgree: sender's failed-rank bitmask
+};
+
 /// One protocol message. kEager carries a full envelope; kRts carries the
 /// envelope metadata only (no payload, no grant — the receiving transport
 /// synthesises the grant); kCts/kBulk reference their rendezvous by the RTS
-/// frame's sequence number; kAbort broadcasts an operation failure.
+/// frame's sequence number; kAbort broadcasts an operation failure. The
+/// recovery kinds (ULFM-style layer, PR 7) are alpha-only control frames:
+/// kPing is a heartbeat probe whose retry exhaustion *is* the failure
+/// detector, kFailNotice gossips a detected failure, kRevoke floods a
+/// communicator revocation, and kAgree carries the fault-tolerant agreement
+/// protocol (contributions up to the coordinator, decided results back).
 struct Frame {
-  enum class Kind { kEager, kRts, kCts, kBulk, kAbort };
+  enum class Kind {
+    kEager, kRts, kCts, kBulk, kAbort, kPing, kFailNotice, kRevoke, kAgree
+  };
   Kind kind = Kind::kEager;
   Envelope env;
   std::uint64_t rdvz = 0;
@@ -55,6 +76,7 @@ struct Frame {
   Bytes wire_bytes = 0;  ///< bytes the fabric charges for this frame
   MemSpace src_space = MemSpace::kHost;
   MemSpace dst_space = MemSpace::kHost;
+  RecoveryInfo rec;      ///< recovery kinds only; defaulted otherwise
 };
 
 inline const char* frame_kind_name(Frame::Kind kind) {
@@ -64,6 +86,10 @@ inline const char* frame_kind_name(Frame::Kind kind) {
     case Frame::Kind::kCts: return "cts";
     case Frame::Kind::kBulk: return "bulk";
     case Frame::Kind::kAbort: return "abort";
+    case Frame::Kind::kPing: return "ping";
+    case Frame::Kind::kFailNotice: return "fail_notice";
+    case Frame::Kind::kRevoke: return "revoke";
+    case Frame::Kind::kAgree: return "agree";
   }
   return "?";
 }

@@ -33,6 +33,8 @@ class PlanCache;  // defined in src/tune/plan_cache.hpp
 
 namespace adapt::runtime {
 
+class Recovery;  // defined in src/runtime/recovery.hpp
+
 class Context {
  public:
   virtual ~Context() = default;
@@ -84,6 +86,12 @@ class Context {
   /// The engine's persistent-collective plan cache, or nullptr on engines
   /// without one (persistent init then builds an uncached private plan).
   virtual tune::PlanCache* plan_cache() { return nullptr; }
+
+  /// This rank's recovery facade (failure views, agreement, revocation), or
+  /// nullptr when the engine runs without recovery — callers then keep the
+  /// PR 2 fail-stop semantics (mpi::comm_agree falls back to a plain
+  /// failure-free gather+bcast, self-healing wrappers become single-shot).
+  virtual Recovery* recovery() { return nullptr; }
 
   // -- P2P conveniences ----------------------------------------------------
   mpi::RequestPtr isend(Rank dst, Tag tag, mpi::ConstView data,

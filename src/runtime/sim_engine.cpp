@@ -156,6 +156,7 @@ class SimEngine::SimTransport final : public mpi::Transport {
                 mpi::PostedRecv pending = it->second;
                 rdvz_recv_.erase(it);
                 pending.request->mark_failed(code);
+                if (engine_.recovery_) return;  // the give-up hook reported it
                 engine_.initiate_abort(self, mpi::ErrCode::kErrProcFailed);
               });
         };
@@ -198,6 +199,23 @@ class SimEngine::SimTransport final : public mpi::Transport {
       }
       case Kind::kAbort:
         engine_.poison_rank(self, frame.code);
+        break;
+      // Recovery-protocol frames (only ever submitted when the recovery
+      // service exists; the null checks are belt-and-braces).
+      case Kind::kPing:
+        break;  // liveness probe: the channel-level ack is the answer
+      case Kind::kFailNotice:
+        if (engine_.recovery_) engine_.recovery_->on_notice(self, frame.rec.about);
+        break;
+      case Kind::kRevoke:
+        if (engine_.recovery_) {
+          engine_.recovery_->on_revoke(self, frame.rec.fingerprint);
+        }
+        break;
+      case Kind::kAgree:
+        if (engine_.recovery_) {
+          engine_.recovery_->on_agree(self, from, frame.rec);
+        }
         break;
     }
   }
@@ -260,10 +278,13 @@ class SimEngine::SimTransport final : public mpi::Transport {
 
   /// Local failure of one operation: fail its request with the specific
   /// code, then escalate to a job-wide abort (every surviving rank must see
-  /// the same outcome, not a one-sided error).
+  /// the same outcome, not a one-sided error). Under recovery the escalation
+  /// is skipped: the channel give-up hook already reported the suspect, and
+  /// the failure-notification gossip replaces the abort flood.
   void fail_op(Rank origin, mpi::ErrCode code,
                const std::function<void(mpi::ErrCode)>& on_failed) {
     if (on_failed) on_failed(code);
+    if (engine_.recovery_) return;
     engine_.initiate_abort(origin, mpi::ErrCode::kErrProcFailed);
   }
 
@@ -499,6 +520,10 @@ class SimEngine::SimContext final : public Context {
   support::BufferPool* pool() override { return &engine_.pool_; }
   tune::Tuner* tuner() override { return engine_.options_.tuning.get(); }
   tune::PlanCache* plan_cache() override { return engine_.plan_cache_.get(); }
+  Recovery* recovery() override {
+    return engine_.recovery_ ? &engine_.recovery_->rank_facade(rank_)
+                             : nullptr;
+  }
 
  private:
   SimEngine& engine_;
@@ -537,9 +562,25 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
           [this, r](Rank from, const mpi::Frame& frame) {
             transport_->on_frame(r, from, frame);
           },
-          /*give_up=*/nullptr));
+          // With recovery on, every give-up — collective traffic, protocol
+          // frames, heartbeats — reports the unreachable peer as a suspect.
+          // The per-frame on_failed (passed at submit) still fails the
+          // specific operation; this hook is the *detector*.
+          options_.recovery
+              ? mpi::ReliableChannel::GiveUp(
+                    [this, r](Rank peer, const mpi::Frame&, mpi::ErrCode) {
+                      if (recovery_) recovery_->on_give_up(r, peer);
+                    })
+              : mpi::ReliableChannel::GiveUp(nullptr)));
     }
   }
+  if (options_.recovery) {
+    ADAPT_CHECK(options_.reliability)
+        << "SimEngineOptions::recovery requires the reliability layer (the "
+           "recovery protocol rides on reliable frames)";
+    recovery_ = std::make_unique<RecoveryService>(*this, *options_.recovery);
+  }
+  abort_flooded_.assign(static_cast<std::size_t>(n), 0);
 
   const mpi::EndpointCosts costs{machine_.spec().cpu_overhead,
                                  machine_.spec().unexpected_overhead,
@@ -606,8 +647,12 @@ void SimEngine::initiate_abort(Rank origin, mpi::ErrCode code) {
   // Notify peers over the reliable channel *before* poisoning the origin
   // (poison drops incoming traffic, not outgoing frames). Without channels
   // there is no way to notify anyone — the failure stays local and the
-  // watchdog picks up the survivors.
-  if (!channels_.empty()) {
+  // watchdog picks up the survivors. The flood runs at most once per origin:
+  // the poison test above covers repeat calls in fail-stop mode, but once
+  // recovery can clear poison the explicit guard keeps a rank that observes
+  // two failures from re-flooding and inflating retransmit counters.
+  if (!channels_.empty() && !abort_flooded_[static_cast<std::size_t>(origin)]) {
+    abort_flooded_[static_cast<std::size_t>(origin)] = 1;
     for (Rank r = 0; r < machine_.nranks(); ++r) {
       if (r == origin) continue;
       mpi::Frame abort_frame;

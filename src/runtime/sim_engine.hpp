@@ -17,6 +17,7 @@
 #include "src/noise/noise.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/context.hpp"
+#include "src/runtime/recovery.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/buffer_pool.hpp"
 #include "src/topo/hardware.hpp"
@@ -47,6 +48,14 @@ struct SimEngineOptions {
   /// timeout + exponential-backoff retransmit, duplicate suppression) on
   /// every P2P message. Unset = the seed's perfect-delivery protocols.
   std::optional<mpi::ReliabilityConfig> reliability;
+  /// Enables the ULFM-style recovery layer (requires `reliability`, and at
+  /// most 64 ranks): local failures become gossiped notifications instead of
+  /// an unconditional job-wide abort, Context::recovery() exposes the
+  /// failure views / agreement / revocation facade, and self-healing
+  /// collective wrappers can retry on survivor communicators. Unset (the
+  /// default) keeps PR 2 fail-stop semantics byte-identical — no extra
+  /// frames, timers, or branches on the hot path.
+  std::optional<RecoveryOptions> recovery;
   /// Trace/metrics recorder observing this run (see src/obs). Hooks are
   /// installed only when set AND enabled(); otherwise every instrumented
   /// hot path pays exactly one null-pointer test. The engine shares
@@ -85,6 +94,8 @@ class SimEngine final : public Engine {
   obs::Recorder* recorder() { return obs_; }
   /// The engine's persistent-collective plan cache (never null).
   tune::PlanCache& plan_cache() { return *plan_cache_; }
+  /// The recovery service; null unless SimEngineOptions::recovery is set.
+  RecoveryService* recovery() { return recovery_.get(); }
 
   /// Declares rank `origin`'s current operation failed: reliably floods an
   /// abort notice to every other rank (each poisons itself on receipt), then
@@ -135,6 +146,10 @@ class SimEngine final : public Engine {
   std::vector<TimeNs> progress_busy_until_;  // progress context
   std::unique_ptr<gpu::GpuRuntime> gpu_;
   std::unique_ptr<tune::PlanCache> plan_cache_;
+  std::unique_ptr<RecoveryService> recovery_;
+  /// Per-origin abort-flood guard: initiate_abort floods kAbort at most once
+  /// per origin, however many poisoned endpoints it later observes.
+  std::vector<char> abort_flooded_;
 };
 
 }  // namespace adapt::runtime

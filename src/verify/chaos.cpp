@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/support/error.hpp"
 #include "src/support/rng.hpp"
 
 namespace adapt::verify {
@@ -178,6 +179,9 @@ std::vector<CaseConfig> chaos_matrix() {
 
 Report run_chaos_matrix(const std::vector<CaseConfig>& cases,
                         const ChaosOptions& options) {
+  ADAPT_CHECK(options.wd_detect > 0 && options.wd_detect < options.wd_quiesce &&
+              options.wd_quiesce < options.wd_bomb)
+      << "chaos watchdog cascade must be strictly increasing";
   detail::MatrixDriver driver;
   driver.jobs = options.jobs;
   driver.fault = options.fault;
@@ -197,6 +201,9 @@ Report run_chaos_matrix(const std::vector<CaseConfig>& cases,
             spec.engine = EngineKind::kSim;
             spec.chaos = cls;
             spec.chaos_seed = static_cast<std::uint64_t>(s);
+            spec.wd_detect = options.wd_detect;
+            spec.wd_quiesce = options.wd_quiesce;
+            spec.wd_bomb = options.wd_bomb;
             specs.push_back(spec);
             if (options.perturb) {
               // Fault fates are schedule-independent by construction, so the

@@ -41,6 +41,13 @@ struct ChaosOptions {
   bool perturb = true;
   bool shrink = true;
   Fault fault = Fault::kNone;  ///< kNoRetransmit = classifier self-test
+  /// Watchdog cascade stamped onto every generated RunSpec (virtual time):
+  /// local detection → quiesce → kErrWatchdog bomb. The defaults suit
+  /// fail-stop runs; recovery suites raise them to leave room for the
+  /// revoke/agree/shrink/retry cascade. Must be strictly increasing.
+  TimeNs wd_detect = milliseconds(200);
+  TimeNs wd_quiesce = milliseconds(300);
+  TimeNs wd_bomb = milliseconds(400);
   int jobs = 1;  ///< case-level parallelism; see MatrixOptions::jobs
   std::function<void(const std::string&)> log;
   std::function<void(const std::string&)> on_run;  ///< see MatrixOptions

@@ -149,7 +149,10 @@ std::string repro_string(const CaseConfig& config, const RunSpec& spec,
       << " engine=" << engine_name(spec.engine)
       << " perturb_seed=" << spec.perturb_seed << " jitter=" << spec.jitter
       << " chaos=" << chaos_name(spec.chaos)
-      << " chaos_seed=" << spec.chaos_seed << " fault=" << fault_name(fault);
+      << " chaos_seed=" << spec.chaos_seed
+      << " wd_detect=" << spec.wd_detect
+      << " wd_quiesce=" << spec.wd_quiesce << " wd_bomb=" << spec.wd_bomb
+      << " fault=" << fault_name(fault);
   return out.str();
 }
 
@@ -241,6 +244,12 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
       ok = enum_from_name(value, 3, chaos_name, &run.chaos);
     } else if (key == "chaos_seed") {
       ok = as_u64(&run.chaos_seed);
+    } else if (key == "wd_detect") {
+      ok = as_int(&run.wd_detect) && run.wd_detect > 0;
+    } else if (key == "wd_quiesce") {
+      ok = as_int(&run.wd_quiesce) && run.wd_quiesce > 0;
+    } else if (key == "wd_bomb") {
+      ok = as_int(&run.wd_bomb) && run.wd_bomb > 0;
     } else if (key == "fault") {
       ok = enum_from_name(value, 3, fault_name, &flt);
     } else {
@@ -308,20 +317,6 @@ std::string diff_buffers(const CaseIo& io,
   }
   return {};
 }
-
-}  // namespace
-
-namespace {
-
-// Chaos watchdog timeline (virtual time). Local detection fires first: any
-// rank still holding pending requests is presumed partitioned and initiates
-// a job-wide abort. Quiesce gives late abort floods time to land before a
-// rank's outcome is judged. The bomb is the backstop: a rank still
-// unfinished then is stamped kErrWatchdog, which the classifier always
-// treats as a failure — the runtime should have detected the fault itself.
-constexpr TimeNs kChaosLocalDetect = milliseconds(200);
-constexpr TimeNs kChaosQuiesce = milliseconds(300);
-constexpr TimeNs kChaosBomb = milliseconds(400);
 
 }  // namespace
 
@@ -579,15 +574,15 @@ std::optional<std::string> run_case(const CaseConfig& config,
           }
           // Quiesce: an abort flood may still be in flight toward a rank
           // that finished clean; give it time to land before judging.
-          if (ctx.now() < kChaosQuiesce) {
-            co_await ctx.sleep_for(kChaosQuiesce - ctx.now());
+          if (ctx.now() < spec.wd_quiesce) {
+            co_await ctx.sleep_for(spec.wd_quiesce - ctx.now());
           }
           if (outcome[gi] == mpi::ErrCode::kOk && ctx.endpoint().poisoned()) {
             outcome[gi] = ctx.endpoint().poison_code();
           }
           finished[gi] = 1;
         };
-        engine.simulator().at(kChaosLocalDetect, [&] {
+        engine.simulator().at(spec.wd_detect, [&] {
           for (Rank g : members) {
             mpi::Endpoint& ep = engine.endpoint(g);
             if (!ep.poisoned() && ep.has_pending()) {
@@ -595,7 +590,7 @@ std::optional<std::string> run_case(const CaseConfig& config,
             }
           }
         });
-        engine.simulator().at(kChaosBomb, [&] {
+        engine.simulator().at(spec.wd_bomb, [&] {
           for (Rank g : members) {
             if (!finished[static_cast<std::size_t>(g)]) {
               engine.poison_rank(g, mpi::ErrCode::kErrWatchdog);

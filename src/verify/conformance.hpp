@@ -136,6 +136,18 @@ struct RunSpec {
   TimeNs jitter = 0;
   ChaosClass chaos = ChaosClass::kOff;
   std::uint64_t chaos_seed = 0;
+  /// Chaos watchdog cascade (virtual time; chaos runs only). Local
+  /// detection fires first: any rank still holding pending requests is
+  /// presumed partitioned and initiates a job-wide abort. Quiesce gives
+  /// late abort floods time to land before a rank's outcome is judged. The
+  /// bomb is the backstop: a rank still unfinished then is stamped
+  /// kErrWatchdog, which the classifier always treats as a failure — the
+  /// runtime should have detected the fault itself. Recovery rows raise
+  /// these (a revoke/agree/shrink/retry cascade legitimately runs past the
+  /// fail-stop defaults).
+  TimeNs wd_detect = milliseconds(200);
+  TimeNs wd_quiesce = milliseconds(300);
+  TimeNs wd_bomb = milliseconds(400);
 };
 
 /// Members of the case's communicator as global ranks of `world`.

@@ -1,0 +1,512 @@
+#include "src/verify/recovery.hpp"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/coll/eventual.hpp"
+#include "src/coll/selfheal.hpp"
+#include "src/mpi/comm_ft.hpp"
+#include "src/mpi/errors.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/support/error.hpp"
+#include "src/support/rng.hpp"
+#include "src/topo/presets.hpp"
+#include "src/verify/chaos.hpp"
+
+namespace adapt::verify {
+
+const char* recovery_op_name(RecoveryOp op) {
+  switch (op) {
+    case RecoveryOp::kBcast: return "resilient_bcast";
+    case RecoveryOp::kAllreduce: return "resilient_allreduce";
+    case RecoveryOp::kEcBcast: return "ec_bcast";
+    case RecoveryOp::kEcAllreduce: return "ec_allreduce";
+  }
+  return "?";
+}
+
+net::FaultPlan make_recovery_plan(std::uint64_t seed, bool kill, int world) {
+  net::FaultPlan plan;
+  // Distinct stream from make_chaos_plan so the two matrices never replay
+  // each other's schedules.
+  Rng rng(SplitMix64(seed * 11 + (kill ? 5 : 3) +
+                     static_cast<std::uint64_t>(world) * 0x20003ULL)
+              .next());
+  plan.seed = rng.next_u64() | 1;
+  plan.drop = 0.02 + 0.08 * rng.next_double();
+  plan.corrupt = 0.05 * rng.next_double();
+  plan.max_delay = rng.next_time(0, microseconds(5));
+  if (kill) {
+    net::FaultPlan::Death death;
+    death.rank = static_cast<Rank>(rng.next_below(
+        static_cast<std::size_t>(world)));
+    death.at = rng.next_time(microseconds(200), milliseconds(4));
+    plan.deaths.push_back(death);
+  }
+  return plan;
+}
+
+std::string recovery_repro(const RecoveryCase& c) {
+  std::ostringstream out;
+  out << "op=" << recovery_op_name(c.op) << " world=" << c.world
+      << " bytes=" << c.bytes << " seg=" << c.segment
+      << " data_seed=" << c.data_seed << " chaos_seed=" << c.chaos_seed
+      << " kill=" << (c.kill ? 1 : 0) << " staleness=" << c.staleness;
+  return out.str();
+}
+
+namespace {
+
+bool resilient(RecoveryOp op) {
+  return op == RecoveryOp::kBcast || op == RecoveryOp::kAllreduce;
+}
+
+bool bcast_like(RecoveryOp op) {
+  return op == RecoveryOp::kBcast || op == RecoveryOp::kEcBcast;
+}
+
+/// Broadcast payloads: a per-rank pattern, so a non-root buffer that was
+/// never overwritten is distinguishable from the root's data.
+std::byte bcast_byte(std::uint64_t data_seed, Rank r, Bytes i) {
+  return static_cast<std::byte>(
+      (data_seed * 131 + static_cast<std::uint64_t>(r) * 257 +
+       static_cast<std::uint64_t>(i) * 13) &
+      0xff);
+}
+
+/// Reduce payloads: rank r contributes the constant byte 1 << (r % 8) under
+/// ReduceOp::kBor, so "the fold over member set S" is exactly the OR of
+/// their bits — checkable for ANY agreed/reported membership.
+std::byte reduce_byte(Rank r) {
+  return static_cast<std::byte>(1u << (r % 8));
+}
+
+struct RankOut {
+  char finished = 0;
+  char bombed = 0;
+  mpi::ErrCode code = mpi::ErrCode::kOk;
+  int attempts = 0;
+  /// Resilient: final communicator membership. EC: reported contributors.
+  std::uint64_t mask = 0;
+  std::uint64_t failed = 0;
+  bool complete = false;
+  TimeNs start = 0;
+  TimeNs finish = 0;
+  std::vector<std::byte> buf;
+
+  bool operator==(const RankOut&) const = default;
+};
+
+struct Outcome {
+  std::vector<RankOut> ranks;
+  std::uint64_t trace_hash = 0;
+  std::string trace_json;  ///< the hashed trace, kept for failure artifacts
+};
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Outcome run_once(const RecoveryCase& rc, const net::FaultPlan& plan) {
+  const topo::Machine machine(topo::cori(2), rc.world);
+  const mpi::Comm comm = mpi::Comm::world(rc.world);
+
+  runtime::SimEngineOptions opts;
+  opts.faults = plan;
+  opts.reliability = chaos_reliability();
+  runtime::RecoveryOptions ro;
+  ro.staleness_bound = rc.staleness;
+  opts.recovery = ro;
+  auto recorder = std::make_shared<obs::Recorder>();
+  opts.recorder = recorder;
+  runtime::SimEngine engine(machine, opts);
+
+  Outcome out;
+  out.ranks.resize(static_cast<std::size_t>(rc.world));
+  std::vector<std::vector<std::byte>> bufs(
+      static_cast<std::size_t>(rc.world));
+  for (Rank r = 0; r < rc.world; ++r) {
+    auto& buf = bufs[static_cast<std::size_t>(r)];
+    buf.resize(static_cast<std::size_t>(rc.bytes));
+    for (Bytes i = 0; i < rc.bytes; ++i) {
+      buf[static_cast<std::size_t>(i)] = bcast_like(rc.op)
+                                             ? bcast_byte(rc.data_seed, r, i)
+                                             : reduce_byte(r);
+    }
+  }
+
+  coll::ResilientOpts res_opts;
+  res_opts.coll.segment_size = rc.segment;
+  coll::EcOpts ec_opts;
+  ec_opts.staleness = rc.staleness;
+
+  const auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+    const Rank g = ctx.rank();
+    RankOut& r = out.ranks[static_cast<std::size_t>(g)];
+    auto& buf = bufs[static_cast<std::size_t>(g)];
+    const mpi::MutView view{buf.data(), static_cast<Bytes>(buf.size())};
+    r.start = ctx.now();
+    try {
+      switch (rc.op) {
+        case RecoveryOp::kBcast: {
+          const coll::ResilientResult res =
+              co_await coll::resilient_bcast(ctx, comm, view, 0, res_opts);
+          r.code = res.code;
+          r.attempts = res.attempts;
+          r.mask = mpi::member_mask(res.comm);
+          r.failed = res.failed;
+          break;
+        }
+        case RecoveryOp::kAllreduce: {
+          const coll::ResilientResult res = co_await coll::resilient_allreduce(
+              ctx, comm, view, mpi::ReduceOp::kBor, mpi::Datatype::kUint8,
+              res_opts);
+          r.code = res.code;
+          r.attempts = res.attempts;
+          r.mask = mpi::member_mask(res.comm);
+          r.failed = res.failed;
+          break;
+        }
+        case RecoveryOp::kEcBcast: {
+          const coll::EcResult res =
+              co_await coll::ec_bcast(ctx, comm, view, 0, ec_opts);
+          r.mask = res.contributors;
+          r.complete = res.complete;
+          break;
+        }
+        case RecoveryOp::kEcAllreduce: {
+          const coll::EcResult res = co_await coll::ec_allreduce(
+              ctx, comm, view, mpi::ReduceOp::kBor, mpi::Datatype::kUint8,
+              ec_opts);
+          r.mask = res.contributors;
+          r.complete = res.complete;
+          break;
+        }
+      }
+    } catch (const mpi::FaultError& e) {
+      r.code = e.code();
+    }
+    r.finish = ctx.now();
+    r.finished = 1;
+  };
+
+  engine.simulator().at(rc.wd_bomb, [&] {
+    for (Rank g = 0; g < rc.world; ++g) {
+      RankOut& r = out.ranks[static_cast<std::size_t>(g)];
+      if (!r.finished) {
+        r.bombed = 1;
+        engine.poison_rank(g, mpi::ErrCode::kErrWatchdog);
+      }
+    }
+  });
+  engine.run(program);
+
+  for (Rank g = 0; g < rc.world; ++g) {
+    out.ranks[static_cast<std::size_t>(g)].buf =
+        std::move(bufs[static_cast<std::size_t>(g)]);
+  }
+  std::ostringstream os;
+  obs::write_trace_json(*recorder, os);
+  out.trace_json = os.str();
+  out.trace_hash = fnv1a64(out.trace_json);
+  return out;
+}
+
+/// Checks `buf` is uniformly the fold (OR) over `members`' reduce bytes.
+std::string check_fold(const std::vector<std::byte>& buf,
+                       std::uint64_t members, Rank rank) {
+  std::uint8_t want = 0;
+  for (Rank r = 0; r < 64; ++r) {
+    if ((members >> r) & 1u) want |= static_cast<std::uint8_t>(1u << (r % 8));
+  }
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != std::byte(want)) {
+      std::ostringstream os;
+      os << "rank " << rank << ": byte " << i << " is 0x" << std::hex
+         << static_cast<int>(buf[i]) << ", want fold 0x"
+         << static_cast<int>(want);
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string check_bcast_bytes(const std::vector<std::byte>& buf,
+                              std::uint64_t data_seed, Rank pattern_rank,
+                              Rank rank) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const std::byte want =
+        bcast_byte(data_seed, pattern_rank, static_cast<Bytes>(i));
+    if (buf[i] != want) {
+      std::ostringstream os;
+      os << "rank " << rank << ": byte " << i << " is 0x" << std::hex
+         << static_cast<int>(buf[i]) << ", want 0x" << static_cast<int>(want)
+         << " (rank " << std::dec << pattern_rank << "'s payload)";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string classify(const RecoveryCase& rc, const net::FaultPlan& plan,
+                     const Outcome& out) {
+  std::uint64_t dead_mask = 0;
+  for (const auto& d : plan.deaths) dead_mask |= 1ull << d.rank;
+  const std::uint64_t world_mask =
+      rc.world == 64 ? ~0ull : (1ull << rc.world) - 1;
+  const std::uint64_t live_mask = world_mask & ~dead_mask;
+  const bool root_dead = (dead_mask >> 0) & 1u;
+
+  const auto live = [&](Rank g) { return (live_mask >> g) & 1u; };
+  const RankOut* first = nullptr;
+  for (Rank g = 0; g < rc.world; ++g) {
+    if (!live(g)) continue;
+    const RankOut& r = out.ranks[static_cast<std::size_t>(g)];
+    if (!r.finished) return "live rank never finished";
+    if (r.bombed) {
+      return "watchdog bomb fired on live rank " + std::to_string(g) +
+             " — recovery never completed";
+    }
+    if (!first) first = &r;
+  }
+  ADAPT_CHECK(first != nullptr) << "recovery case with no live ranks";
+
+  if (resilient(rc.op)) {
+    for (Rank g = 0; g < rc.world; ++g) {
+      if (!live(g)) continue;
+      const RankOut& r = out.ranks[static_cast<std::size_t>(g)];
+      if (r.code != first->code || r.mask != first->mask ||
+          r.attempts != first->attempts) {
+        std::ostringstream os;
+        os << "live ranks disagree: rank " << g << " code="
+           << mpi::err_name(r.code) << " comm=0x" << std::hex << r.mask
+           << std::dec << " attempts=" << r.attempts << " vs code="
+           << mpi::err_name(first->code) << " comm=0x" << std::hex
+           << first->mask << std::dec << " attempts=" << first->attempts;
+        return os.str();
+      }
+      if ((r.failed & ~dead_mask) != 0) {
+        std::ostringstream os;
+        os << "rank " << g << "'s agreed failure set 0x" << std::hex
+           << r.failed << " names a live rank";
+        return os.str();
+      }
+      if ((r.mask & live_mask) != live_mask) {
+        std::ostringstream os;
+        os << "survivor communicator 0x" << std::hex << r.mask
+           << " excludes a live rank";
+        return os.str();
+      }
+    }
+    if (first->code == mpi::ErrCode::kOk) {
+      for (Rank g = 0; g < rc.world; ++g) {
+        if (!live(g)) continue;
+        const RankOut& r = out.ranks[static_cast<std::size_t>(g)];
+        const std::string diff =
+            rc.op == RecoveryOp::kBcast
+                ? check_bcast_bytes(r.buf, rc.data_seed, 0, g)
+                : check_fold(r.buf, r.mask, g);
+        if (!diff.empty()) return "survivor result wrong: " + diff;
+      }
+      if (rc.op == RecoveryOp::kBcast && !((first->mask >> 0) & 1u)) {
+        return "bcast reported success on a communicator without the root";
+      }
+      if (!rc.kill && first->attempts != 1) {
+        return "soft faults alone cost " + std::to_string(first->attempts) +
+               " attempts — the reliability layer should have healed them";
+      }
+    } else {
+      if (first->code != mpi::ErrCode::kErrProcFailed) {
+        return std::string("unexpected uniform error ") +
+               mpi::err_name(first->code);
+      }
+      if (!rc.kill) return "resilient op failed with no death injected";
+      if (rc.op == RecoveryOp::kAllreduce) {
+        return "resilient_allreduce failed to complete on the survivors";
+      }
+      if (!root_dead) {
+        return "resilient_bcast failed although the root survived";
+      }
+      // Dead bcast root, uniformly reported: the accepted unrecoverable case.
+    }
+    return {};
+  }
+
+  // EC rows: bounded staleness + exact fold over the reported contributors.
+  const TimeNs slack = milliseconds(2);
+  for (Rank g = 0; g < rc.world; ++g) {
+    if (!live(g)) continue;
+    const RankOut& r = out.ranks[static_cast<std::size_t>(g)];
+    if (r.code != mpi::ErrCode::kOk) {
+      return std::string("EC op on rank ") + std::to_string(g) +
+             " surfaced " + mpi::err_name(r.code);
+    }
+    if (r.finish - r.start > rc.staleness + slack) {
+      std::ostringstream os;
+      os << "rank " << g << " took " << (r.finish - r.start)
+         << " ns, staleness bound is " << rc.staleness << " (+" << slack
+         << " slack)";
+      return os.str();
+    }
+    if (!((r.mask >> g) & 1u)) {
+      return "rank " + std::to_string(g) + " not in its own contributor set";
+    }
+    if ((r.mask & ~world_mask) != 0) {
+      return "rank " + std::to_string(g) + " reports a contributor outside "
+             "the communicator";
+    }
+    if (rc.op == RecoveryOp::kEcAllreduce) {
+      if ((r.mask & live_mask) != live_mask) {
+        std::ostringstream os;
+        os << "rank " << g << " reached only contributors 0x" << std::hex
+           << r.mask << " within the bound; live peers should all heal "
+           << "within the staleness window";
+        return os.str();
+      }
+      const std::string diff = check_fold(r.buf, r.mask, g);
+      if (!diff.empty()) {
+        return "EC result is not the fold over its contributors: " + diff;
+      }
+      if (!rc.kill && !r.complete) {
+        return "no-death EC allreduce did not complete on rank " +
+               std::to_string(g);
+      }
+    } else {  // kEcBcast
+      if (g == 0) continue;  // the root trivially holds its own payload
+      if (r.complete) {
+        if (!((r.mask >> 0) & 1u)) {
+          return "complete ec_bcast without the root in the contributors";
+        }
+        const std::string diff = check_bcast_bytes(r.buf, rc.data_seed, 0, g);
+        if (!diff.empty()) return "ec_bcast delivered wrong bytes: " + diff;
+      } else {
+        if (!rc.kill || !root_dead) {
+          return "ec_bcast timed out on rank " + std::to_string(g) +
+                 " although the root survived";
+        }
+        const std::string diff = check_bcast_bytes(r.buf, rc.data_seed, g, g);
+        if (!diff.empty()) {
+          return "incomplete ec_bcast touched the buffer: " + diff;
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<std::string> run_recovery_case(const RecoveryCase& rc,
+                                             std::string* failing_trace) {
+  ADAPT_CHECK(rc.world >= 2 && rc.world <= 64);
+  const net::FaultPlan plan =
+      make_recovery_plan(rc.chaos_seed, rc.kill, rc.world);
+  const Outcome first = run_once(rc, plan);
+  const std::string verdict = classify(rc, plan, first);
+  if (!verdict.empty()) {
+    if (failing_trace) *failing_trace = first.trace_json;
+    return verdict;
+  }
+  // Determinism pin: an identical rerun must produce identical outcomes and
+  // an identical trace — recovery decisions (membership, attempts, timing)
+  // are a pure function of the seeds.
+  const Outcome second = run_once(rc, plan);
+  if (second.trace_hash != first.trace_hash) {
+    if (failing_trace) *failing_trace = second.trace_json;
+    std::ostringstream os;
+    os << "nondeterministic recovery: trace hash 0x" << std::hex
+       << first.trace_hash << " vs 0x" << second.trace_hash
+       << " on an identical rerun";
+    return os.str();
+  }
+  for (Rank g = 0; g < rc.world; ++g) {
+    if (!(second.ranks[static_cast<std::size_t>(g)] ==
+          first.ranks[static_cast<std::size_t>(g)])) {
+      if (failing_trace) *failing_trace = second.trace_json;
+      return "nondeterministic recovery: rank " + std::to_string(g) +
+             "'s outcome changed on an identical rerun";
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RecoveryCase> recovery_matrix(int seeds) {
+  std::vector<RecoveryCase> cases;
+  std::uint64_t data_seed = 2000;  // disjoint from the other matrices
+  const RecoveryOp ops[] = {RecoveryOp::kBcast, RecoveryOp::kAllreduce,
+                            RecoveryOp::kEcBcast, RecoveryOp::kEcAllreduce};
+  for (const RecoveryOp op : ops) {
+    for (const bool kill : {false, true}) {
+      for (int s = 1; s <= seeds; ++s) {
+        RecoveryCase c;
+        c.op = op;
+        c.kill = kill;
+        c.chaos_seed = static_cast<std::uint64_t>(s);
+        c.data_seed = data_seed++;
+        cases.push_back(c);
+      }
+      RecoveryCase big;  // rendezvous-sized: deaths land mid-bulk-transfer
+      big.op = op;
+      big.kill = kill;
+      big.bytes = kib(96);
+      big.segment = kib(32);
+      big.chaos_seed = 1;
+      big.data_seed = data_seed++;
+      cases.push_back(big);
+    }
+  }
+  return cases;
+}
+
+RecoveryReport run_recovery_matrix(const RecoveryMatrixOptions& options) {
+  RecoveryReport report;
+  const std::vector<RecoveryCase> cases = recovery_matrix(options.seeds);
+  report.cases = static_cast<int>(cases.size());
+  int done = 0;
+  for (const RecoveryCase& c : cases) {
+    if (options.on_case) options.on_case(recovery_repro(c));
+    std::string failing_trace;
+    const auto verdict = run_recovery_case(
+        c, options.trace_dir.empty() ? nullptr : &failing_trace);
+    ++done;
+    if (verdict) {
+      const std::string line = recovery_repro(c) + " -- " + *verdict;
+      report.failures.push_back(line);
+      if (options.log) options.log("FAIL " + line);
+      if (!options.trace_dir.empty() && !failing_trace.empty()) {
+        const std::string path =
+            options.trace_dir + "/recovery-failure-" +
+            std::to_string(report.failures.size() - 1) + ".trace.json";
+        std::ofstream out(path);
+        out << failing_trace;
+        if (options.log) {
+          options.log(out ? "  trace: " + path
+                          : "  trace: FAILED to write " + path);
+        }
+      }
+    }
+    if (options.log && done % 8 == 0) {
+      options.log("recovery: " + std::to_string(done) + "/" +
+                  std::to_string(report.cases) + " cases, " +
+                  std::to_string(report.failures.size()) + " failures");
+    }
+  }
+  return report;
+}
+
+std::string RecoveryReport::summary() const {
+  std::ostringstream out;
+  out << cases << " cases, " << failures.size() << " failures";
+  for (const std::string& f : failures) out << "\n  " << f;
+  return out.str();
+}
+
+}  // namespace adapt::verify

@@ -1,0 +1,94 @@
+// Recovery conformance: chaos rows that demand *successful completion on the
+// survivors*, not just a uniform error.
+//
+// The PR 2 chaos matrix certifies fail-stop semantics (byte-exact or one
+// consistent error code). These rows certify the self-healing layer on top:
+//
+//   * resilient_bcast / resilient_allreduce must complete on the survivor
+//     communicator and deliver bytes exactly equal to the failure-free oracle
+//     over that communicator's members — same code, same shrunk membership,
+//     same attempt count on every live rank (a dead bcast root is the one
+//     unrecoverable case and must be reported uniformly);
+//   * ec_bcast / ec_allreduce must finish within the staleness bound on every
+//     live rank, and their result must equal the fold over exactly the
+//     contributors they report.
+//
+// Every case is run TWICE and the two runs — per-rank codes, membership
+// masks, payload bytes, and the full Perfetto trace hash — must be identical:
+// recovery is deterministic, same seed ⇒ same shrunk membership ⇒ same trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/fault.hpp"
+#include "src/support/units.hpp"
+
+namespace adapt::verify {
+
+enum class RecoveryOp { kBcast, kAllreduce, kEcBcast, kEcAllreduce };
+
+const char* recovery_op_name(RecoveryOp op);
+
+struct RecoveryCase {
+  RecoveryOp op = RecoveryOp::kBcast;
+  int world = 8;
+  Bytes bytes = 2048;
+  Bytes segment = 256;
+  std::uint64_t data_seed = 1;
+  std::uint64_t chaos_seed = 1;
+  bool kill = true;  ///< inject one rank death (root 0 included in the draw)
+  TimeNs staleness = milliseconds(30);  ///< EC rows' deadline
+  /// Virtual-time backstop: any rank still unfinished is watchdog-poisoned,
+  /// which the classifier always treats as a failure on a live rank. Sized
+  /// far above the worst recovery cascade (~150 ms) so it only fires on a
+  /// genuine hang.
+  TimeNs wd_bomb = milliseconds(900);
+};
+
+/// The seeded fault schedule recovery rows run under: soft faults mild
+/// enough that the reliability layer heals them without false suspicion
+/// (drop 2-10%, corruption up to 5%, delay up to 5µs, no outages), plus —
+/// for kill — one death drawn uniformly over the world, timed to land
+/// mid-collective or mid-agreement (200µs .. 4ms).
+net::FaultPlan make_recovery_plan(std::uint64_t seed, bool kill, int world);
+
+/// One-line description of a case (failure reporting; not machine-parsed).
+std::string recovery_repro(const RecoveryCase& c);
+
+/// Runs one case twice (determinism pin) and classifies the outcome.
+/// Returns nullopt on success, a human-readable description on failure.
+/// On failure, `failing_trace` (when non-null) receives the Perfetto trace
+/// JSON of the offending run, ready to be written as a CI artifact.
+std::optional<std::string> run_recovery_case(const RecoveryCase& c,
+                                             std::string* failing_trace =
+                                                 nullptr);
+
+struct RecoveryReport {
+  int cases = 0;
+  std::vector<std::string> failures;  ///< "repro -- detail" lines
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+struct RecoveryMatrixOptions {
+  int seeds = 4;  ///< chaos seeds per (op, kill) cell
+  /// When non-empty, each failing case's Perfetto trace is written to
+  /// `<trace_dir>/recovery-failure-<N>.trace.json` (N counts failures).
+  std::string trace_dir;
+  std::function<void(const std::string&)> log;
+  /// Called with recovery_repro(case) just before each case starts, so a
+  /// driver's wall-clock watchdog can report exactly which case hung.
+  std::function<void(const std::string&)> on_case;
+};
+
+/// op × {kill, no-kill} × seeds at eager size, plus one rendezvous-sized row
+/// per cell (bulk-frame retransmits and deaths mid-bulk).
+std::vector<RecoveryCase> recovery_matrix(int seeds);
+
+RecoveryReport run_recovery_matrix(const RecoveryMatrixOptions& options);
+
+}  // namespace adapt::verify

@@ -18,6 +18,7 @@
 
 #include "src/coll/persistent.hpp"
 #include "src/mpi/comm.hpp"
+#include "src/mpi/comm_ft.hpp"
 #include "src/mpi/errors.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
@@ -178,6 +179,169 @@ TEST(Lifecycle, PreadyMisuseReturnsPartitionError) {
   for (int r = 0; r < kRanks; ++r) {
     EXPECT_EQ(parted[static_cast<std::size_t>(r)], expected) << "rank " << r;
   }
+}
+
+TEST(Lifecycle, ParrivedTracksPartitionArrival) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 4096;
+  constexpr int kParts = 4;
+  std::vector<std::vector<std::byte>> plain(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+  std::vector<std::vector<std::byte>> parted(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    const std::size_t me = static_cast<std::size_t>(ctx.rank());
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    bool flag = true;
+
+    // Validation mirrors pready: non-partitioned handle is always misuse.
+    auto op = bcast_init(ctx, world, mpi::MutView{plain[me].data(), kBytes},
+                         /*root=*/0, popts);
+    EXPECT_EQ(op->parrived(0, &flag), ErrCode::kErrPartition);
+    EXPECT_FALSE(flag);
+
+    PersistentOpts parts = popts;
+    parts.partitions = kParts;
+    auto pop = bcast_init(ctx, world, mpi::MutView{parted[me].data(), kBytes},
+                          /*root=*/0, parts);
+    // Inactive handle and bad indices.
+    EXPECT_EQ(pop->parrived(0, &flag), ErrCode::kErrPartition);
+    if (ctx.rank() == 0) fill(parted[me], 0, 0);
+    EXPECT_EQ(pop->start(), ErrCode::kOk);
+    EXPECT_EQ(pop->parrived(-1, &flag), ErrCode::kErrPartition);
+    EXPECT_EQ(pop->parrived(kParts, &flag), ErrCode::kErrPartition);
+
+    if (ctx.rank() == 0) {
+      // The root's partition "arrives" the moment its own pready lands —
+      // the data is local by definition.
+      EXPECT_EQ(pop->parrived(2, &flag), ErrCode::kOk);
+      EXPECT_FALSE(flag);
+      EXPECT_EQ(pop->pready(2), ErrCode::kOk);
+      EXPECT_EQ(pop->parrived(2, &flag), ErrCode::kOk);
+      EXPECT_TRUE(flag);
+      for (int p = 0; p < kParts; ++p) {
+        if (p != 2) {
+          EXPECT_EQ(pop->pready(p), ErrCode::kOk);
+        }
+      }
+    } else {
+      for (int p = 0; p < kParts; ++p) EXPECT_EQ(pop->pready(p), ErrCode::kOk);
+      // Poll arrival: every partition must flip to arrived before (or as)
+      // the round completes. No co_await between parrived calls, so
+      // in_flight cannot change under the inner loop.
+      while (pop->in_flight()) {
+        bool all = true;
+        for (int p = 0; p < kParts; ++p) {
+          flag = false;
+          EXPECT_EQ(pop->parrived(p, &flag), ErrCode::kOk);
+          all = all && flag;
+        }
+        if (all) break;
+        co_await ctx.sleep_for(microseconds(5));
+      }
+    }
+    co_await pop->wait();
+    // Completed round: the handle is inactive again.
+    EXPECT_EQ(pop->parrived(0, &flag), ErrCode::kErrPartition);
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  std::vector<std::byte> expected(static_cast<std::size_t>(kBytes));
+  fill(expected, 0, 0);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(parted[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+TEST(Lifecycle, ParrivedReduceWaitsForChildContributions) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  const mpi::Comm pair(std::vector<Rank>{0, 1});
+  constexpr Bytes kBytes = 1024;
+  constexpr int kParts = 2;
+  std::vector<std::vector<std::byte>> bufs(
+      2, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (!pair.contains(ctx.rank())) co_return;
+    const std::size_t me = static_cast<std::size_t>(ctx.rank());
+    std::fill(bufs[me].begin(), bufs[me].end(),
+              static_cast<std::byte>(1 << ctx.rank()));
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    popts.partitions = kParts;
+    auto op = reduce_init(ctx, pair, mpi::MutView{bufs[me].data(), kBytes},
+                          mpi::ReduceOp::kBor, mpi::Datatype::kUint8,
+                          /*root=*/0, popts);
+    EXPECT_EQ(op->start(), ErrCode::kOk);
+    bool flag = true;
+    if (ctx.rank() == 1) {
+      // Leaf: a partition has "arrived" exactly when its own pready lands.
+      EXPECT_EQ(op->parrived(0, &flag), ErrCode::kOk);
+      EXPECT_FALSE(flag);
+      EXPECT_EQ(op->pready(0), ErrCode::kOk);
+      EXPECT_EQ(op->parrived(0, &flag), ErrCode::kOk);
+      EXPECT_TRUE(flag);
+      EXPECT_EQ(op->pready(1), ErrCode::kOk);
+    } else {
+      // Root with one child: arrival requires the child's fold, which
+      // cannot have happened synchronously at start.
+      EXPECT_EQ(op->parrived(0, &flag), ErrCode::kOk);
+      EXPECT_FALSE(flag);
+      EXPECT_EQ(op->pready(0), ErrCode::kOk);
+      EXPECT_EQ(op->pready(1), ErrCode::kOk);
+      while (op->in_flight()) {
+        bool all = true;
+        for (int p = 0; p < kParts; ++p) {
+          flag = false;
+          EXPECT_EQ(op->parrived(p, &flag), ErrCode::kOk);
+          all = all && flag;
+        }
+        if (all) break;
+        co_await ctx.sleep_for(microseconds(5));
+      }
+    }
+    co_await op->wait();
+    EXPECT_EQ(op->last_error(), ErrCode::kOk);
+  };
+  ASSERT_NO_THROW(engine.run(program));
+  // kBor over {0b01, 0b10} — the root's accumulator holds the fold.
+  EXPECT_EQ(bufs[0][0], static_cast<std::byte>(0b11));
+}
+
+TEST(Lifecycle, StartOnRevokedCommReturnsRevokedNotFreed) {
+  topo::Machine machine = test_machine();
+  SimEngine engine(machine);
+  std::vector<Rank> members{0, 1, 2, 3, 4, 5};
+  const mpi::Comm comm(members);
+  constexpr Bytes kBytes = 1024;
+  std::vector<std::vector<std::byte>> bufs(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    if (!comm.contains(ctx.rank())) co_return;
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    PersistentOpts popts;
+    popts.coll.segment_size = 256;
+    auto op = bcast_init(ctx, comm, mpi::MutView{mine.data(), kBytes},
+                         /*root=*/0, popts);
+    if (ctx.rank() == 0) fill(mine, 0, 0);
+    EXPECT_EQ(op->start(), ErrCode::kOk);
+    co_await op->wait();
+    EXPECT_EQ(op->rounds_completed(), 1);
+
+    // ULFM revocation: recoverable, so the code is kErrRevoked — distinct
+    // from the freed-handle programming error — and cached plans drop.
+    mpi::comm_revoke(ctx, comm);
+    EXPECT_EQ(op->start(), ErrCode::kErrRevoked);
+    EXPECT_EQ(op->rounds_completed(), 1);
+  };
+  ASSERT_NO_THROW(engine.run(program));
+  EXPECT_EQ(engine.plan_cache().size(), 0);
 }
 
 TEST(Lifecycle, StartAfterFreeCommFailsAndDropsCachedPlan) {
