@@ -15,6 +15,12 @@
 // tracks, and it is only meaningful with --jobs 1.
 //
 //   fig10_scaling_cpu [--iters N] [--msg BYTES] [--jobs N] [--json [FILE]]
+//                     [--trace FILE [--trace-lib NAME] [--trace-ranks N]]
+//
+// --trace writes the Chrome/Perfetto trace of one designated point (default
+// ompi-adapt broadcast at 128 ranks) for adapt-trace summarize/diff — the
+// trace is virtual-time only, so it is byte-identical across hosts and
+// --jobs values and serves as the perf gate's attribution baseline.
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -24,6 +30,8 @@
 #include "src/bench/imb.hpp"
 #include "src/bench/report.hpp"
 #include "src/coll/library.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/parallel.hpp"
 #include "src/support/table.hpp"
@@ -55,6 +63,14 @@ int main(int argc, char** argv) {
 
   std::cout << "== Figure 10: strong scalability on Cori, MSG="
             << format_bytes(msg) << " ==\n\n";
+
+  // One designated point may carry a trace recorder; exactly one point
+  // matches, so the shared_ptr is written by at most one worker.
+  const bool tracing = cli.has("trace");
+  const std::string trace_lib = cli.get("trace-lib", "ompi-adapt");
+  const int trace_ranks = static_cast<int>(cli.get_int("trace-ranks", 128));
+  std::shared_ptr<obs::Recorder> trace_recorder;
+
   std::vector<double> sim_ms(points.size());
   std::vector<double> wall_ms(points.size());
   support::parallel_for(
@@ -65,7 +81,13 @@ int main(int argc, char** argv) {
         const auto setup = bench::make_cluster("cori", nodes, p.ranks);
         const mpi::Comm world = mpi::Comm::world(p.ranks);
         auto lib = coll::make_library(p.library, setup.machine);
-        runtime::SimEngine engine(setup.machine);
+        runtime::SimEngineOptions options;
+        if (tracing && p.is_bcast && p.library == trace_lib &&
+            p.ranks == trace_ranks) {
+          trace_recorder = std::make_shared<obs::Recorder>();
+          options.recorder = trace_recorder;
+        }
+        runtime::SimEngine engine(setup.machine, options);
         mpi::MutView buffer{nullptr, msg};
         auto fn = [&](runtime::Context& ctx, int) -> sim::Task<> {
           if (p.is_bcast) {
@@ -113,6 +135,20 @@ int main(int argc, char** argv) {
     report.add_table(std::string(op) + " strong scaling time (ms)", table);
     report.add_table(std::string(op) + " host wall clock per point (ms)",
                      wall_table);
+  }
+  if (tracing) {
+    const std::string path = cli.get("trace", "fig10.trace.json");
+    if (!trace_recorder) {
+      std::cerr << "--trace point " << trace_lib << "/bcast/" << trace_ranks
+                << " is not in the sweep\n";
+      return 1;
+    }
+    if (!obs::write_trace_file(*trace_recorder, path)) {
+      std::cerr << "cannot write --trace file " << path << "\n";
+      return 1;
+    }
+    std::cout << "trace (" << trace_lib << " bcast, " << trace_ranks
+              << " ranks): " << path << "\n";
   }
   return bench::emit_json(cli, report) ? 0 : 1;
 }

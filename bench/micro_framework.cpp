@@ -18,6 +18,7 @@
 #include "src/coll/topo_tree.hpp"
 #include "src/mpi/match.hpp"
 #include "src/net/fabric.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/sim/simulator.hpp"
@@ -306,6 +307,34 @@ void BM_SimulatedBcastTraceEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedBcastTraceEnabled)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// Always-on flight recorder: bounded windows + event-class sampling keep the
+// recorder resident for the whole run at a fraction of full tracing's price.
+// check_perf.py holds this within the same intra-run ratio bound as the
+// disabled/enabled trace pair, so "leave the flight recorder on" stays a
+// guaranteed-cheap default.
+void BM_SimulatedBcastFlightRecorder(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  topo::Machine machine(topo::cori((ranks + 31) / 32), ranks);
+  const mpi::Comm world = mpi::Comm::world(ranks);
+  const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
+  for (auto _ : state) {
+    runtime::SimEngineOptions options;
+    options.recorder = std::make_shared<obs::FlightRecorder>();
+    runtime::SimEngine engine(machine, options);
+    auto program = [&](runtime::Context& ctx) -> sim::Task<> {
+      co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
+                           coll::Style::kAdapt,
+                           coll::CollOpts{.segment_size = kib(128)});
+    };
+    engine.run(program);
+    benchmark::DoNotOptimize(options.recorder->event_count());
+  }
+}
+BENCHMARK(BM_SimulatedBcastFlightRecorder)
     ->Arg(64)
     ->Arg(512)
     ->Unit(benchmark::kMillisecond);

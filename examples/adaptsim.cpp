@@ -47,6 +47,7 @@
 #include "src/obs/export.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
+#include "src/support/json.hpp"
 #include "src/support/table.hpp"
 #include "src/topo/presets.hpp"
 #include "src/tune/tuner.hpp"
@@ -93,7 +94,7 @@ int run_recover_demo(const bench::Cli& cli, const topo::Machine& machine,
   death.at = kill_at;
   options.faults.deaths.push_back(death);
   std::shared_ptr<obs::Recorder> recorder;
-  if (cli.has("trace")) {
+  if (cli.has("trace") || cli.has("metrics") || cli.has("json")) {
     recorder = std::make_shared<obs::Recorder>();
     options.recorder = recorder;
   }
@@ -159,13 +160,73 @@ int run_recover_demo(const bench::Cli& cli, const topo::Machine& machine,
             << "survivor agrees on the failure set, shrinks, and finishes "
             << "on the survivor communicator.\n";
   if (recorder) {
-    const std::string path = cli.get("trace", "adaptsim.trace.json");
-    if (!obs::write_trace_file(*recorder, path)) {
-      std::cerr << "cannot write --trace file " << path << "\n";
-      return 1;
+    // Surface the recovery timeline as numbers: how fast the failure was
+    // detected (death instant -> first kFailNotice, per rank), how much
+    // protocol traffic the revoke flood and agreement rounds cost, and what
+    // the reliability layer burned on the dead peer before giving up.
+    const obs::MetricsRegistry& m = recorder->metrics();
+    const obs::Histogram& detect =
+        recorder->metrics().histogram("recovery.detect_latency_ns");
+    std::cout << "\nrecovery counters:\n";
+    for (const char* name :
+         {"recovery.fail_notices", "recovery.revokes",
+          "recovery.revoke_frames", "recovery.agree_frames",
+          "recovery.agree_decided", "recovery.agreements", "retransmits",
+          "give_ups"}) {
+      std::cout << "  " << name << " = " << m.counter_value(name) << "\n";
     }
-    std::cout << "trace: " << path << "  — load at ui.perfetto.dev and look "
-              << "for the revoke/agree/recover_retry spans\n";
+    std::cout << "  recovery.detect_latency_ns: count=" << detect.count
+              << " mean=" << std::fixed << std::setprecision(0)
+              << detect.mean() << " max=" << detect.max << "\n";
+    if (cli.has("json")) {
+      const std::string path = cli.get("json", "adaptsim.recover.json");
+      std::ostringstream js;
+      js << "{\n  \"schema\": \"adapt-recover-report-v1\",\n"
+         << "  \"op\": " << json_quote(op) << ",\n  \"ranks\": " << ranks
+         << ",\n  \"victim\": " << victim
+         << ",\n  \"kill_at_ns\": " << kill_at << ",\n  \"outcomes\": [";
+      for (Rank g = 0; g < ranks; ++g) {
+        const RankOut& o = outs[static_cast<std::size_t>(g)];
+        js << (g == 0 ? "\n" : ",\n") << "    {\"rank\": " << g
+           << ", \"code\": " << json_quote(mpi::err_name(o.code))
+           << ", \"attempts\": " << o.attempts << ", \"survivors\": "
+           << o.survivors << ", \"finish_ns\": " << o.finish << "}";
+      }
+      js << "\n  ],\n  \"recovery\": {";
+      bool first = true;
+      for (const auto& [name, value] : m.counters()) {
+        js << (first ? "\n" : ",\n") << "    " << json_quote(name) << ": "
+           << value;
+        first = false;
+      }
+      js << (first ? "\n" : ",\n") << "    \"detect_latency_ns\": {\"count\": "
+         << detect.count << ", \"sum\": " << detect.sum
+         << ", \"max\": " << detect.max << "}\n  }\n}\n";
+      std::ofstream out(path);
+      out << js.str();
+      if (!out) {
+        std::cerr << "cannot write --json file " << path << "\n";
+        return 1;
+      }
+      std::cout << "json report: " << path << "\n";
+    }
+    if (cli.has("metrics")) {
+      const std::string path = cli.get("metrics", "adaptsim.metrics.csv");
+      if (!obs::write_metrics_file(*recorder, path)) {
+        std::cerr << "cannot write --metrics file " << path << "\n";
+        return 1;
+      }
+      std::cout << "metrics: " << path << "\n";
+    }
+    if (cli.has("trace")) {
+      const std::string path = cli.get("trace", "adaptsim.trace.json");
+      if (!obs::write_trace_file(*recorder, path)) {
+        std::cerr << "cannot write --trace file " << path << "\n";
+        return 1;
+      }
+      std::cout << "trace: " << path << "  — load at ui.perfetto.dev and "
+                << "look for the revoke/agree/recover_retry spans\n";
+    }
   }
   return 0;
 }

@@ -31,6 +31,7 @@ Usage: check_perf.py --steady --run steady.json [--baseline BENCH_steady.json]
 
 import argparse
 import json
+import subprocess
 import sys
 
 # (disabled variant, reference) benchmark-name pairs for the intra-run
@@ -40,6 +41,10 @@ DISABLED_PAIRS = [
     ("BM_SimulatedBcastFaultsDisabled", "BM_SimulatedBcast"),
     ("BM_SimulatedBcastTraceDisabled", "BM_SimulatedBcast"),
     ("BM_SimulatedBcastRecoveryDisabled", "BM_SimulatedBcast"),
+    # The flight recorder is the "always on" configuration: sampling +
+    # bounded windows must keep it within the same intra-run bound the
+    # genuinely-disabled paths get, or always-on tracing stops being free.
+    ("BM_SimulatedBcastFlightRecorder", "BM_SimulatedBcast"),
 ]
 
 
@@ -105,6 +110,33 @@ def check_steady(args):
     return 0
 
 
+def run_trace_diff(args):
+    """On gate failure, attribute the regression: run `adapt-trace diff`
+    between the committed trace baseline and the fresh run's trace, print
+    the per-collective alpha/beta/compute/contention/noise breakdown, and
+    (optionally) save it where CI can upload it as an artifact.
+
+    Best-effort by design: the gate's verdict never depends on the diff
+    succeeding — a missing binary or trace only costs the attribution."""
+    if not (args.adapt_trace and args.trace_baseline and args.trace_run):
+        return
+    cmd = [args.adapt_trace, "diff", args.trace_baseline, args.trace_run]
+    try:
+        res = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    except OSError as e:
+        print(f"\n(adapt-trace diff unavailable: {e})", file=sys.stderr)
+        return
+    report = res.stdout + (res.stderr if res.returncode != 0 else "")
+    print("\n=== adapt-trace diff (regression attribution) ===",
+          file=sys.stderr)
+    print(report, file=sys.stderr)
+    if args.trace_report:
+        with open(args.trace_report, "w") as f:
+            f.write(report)
+        print(f"attribution report written to {args.trace_report}",
+              file=sys.stderr)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline")
@@ -122,6 +154,19 @@ def main():
     ap.add_argument("--max-allocs", type=float, default=None,
                     help="allocation-counter ceiling (default 0.001 for "
                          "micro mode, 0.1 for steady mode)")
+    ap.add_argument("--adapt-trace",
+                    help="path to the adapt-trace binary; with "
+                         "--trace-baseline/--trace-run, a failing gate "
+                         "auto-runs `adapt-trace diff` to attribute the "
+                         "regression")
+    ap.add_argument("--trace-baseline",
+                    help="virtual-time trace baseline (gunzipped "
+                         "BENCH_fig10.trace.json.gz)")
+    ap.add_argument("--trace-run",
+                    help="fresh trace from this build (fig10_scaling_cpu "
+                         "--trace)")
+    ap.add_argument("--trace-report",
+                    help="also write the diff output here (CI artifact)")
     args = ap.parse_args()
     if args.max_allocs is None:
         args.max_allocs = 0.1 if args.steady else 0.001
@@ -191,6 +236,7 @@ def main():
         print("\nPERF GATE FAILED:", file=sys.stderr)
         for f in failures:
             print("  " + f, file=sys.stderr)
+        run_trace_diff(args)
         return 1
     print(f"\nperf gate ok: {len(common)} benchmarks compared")
     return 0

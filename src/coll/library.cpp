@@ -2,11 +2,14 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <tuple>
 
 #include "src/coll/hierarchical.hpp"
 #include "src/coll/moreops.hpp"
 #include "src/coll/topo_tree.hpp"
+#include "src/obs/trace.hpp"
 #include "src/support/error.hpp"
 #include "src/tune/tuner.hpp"
 
@@ -70,11 +73,63 @@ class TreeCache {
   std::map<Key, Tree> cache_;
 };
 
+/// Emits the "tuned <winner>" instant carrying the simulated collective
+/// time when the coroutine frame unwinds — the counterpart of the
+/// "tune <winner>" prediction instant, so model error is measurable from
+/// the trace alone (adapt-trace summarize pairs the two).
+class TunedProbe {
+ public:
+  TunedProbe() = default;
+  TunedProbe(runtime::Context& ctx, const std::string& winner)
+      : rec_(ctx.recorder()) {
+    if (rec_ == nullptr) return;
+    pid_ = obs::rank_pid(ctx.rank());
+    name_ = "tuned " + winner;
+    t0_ = rec_->now();
+  }
+  TunedProbe(const TunedProbe&) = delete;
+  TunedProbe& operator=(const TunedProbe&) = delete;
+  ~TunedProbe() {
+    if (rec_ != nullptr) {
+      rec_->instant(pid_, obs::kTidMain, obs::Cat::kTune, std::move(name_),
+                    rec_->now(), rec_->now() - t0_);
+    }
+  }
+
+ private:
+  obs::Recorder* rec_ = nullptr;
+  int pid_ = 0;
+  std::string name_;
+  TimeNs t0_ = 0;
+};
+
 /// Translates a tuned Decision into the Plan vocabulary. The TreeCache key
 /// distinguishes the tuned shapes via (topo, kind, radix, core_level), so
 /// tuned and heuristic trees coexist in one cache.
-Plan tuned_plan(tune::Tuner& tuner, tune::Op op, int ranks, Bytes msg) {
-  const tune::Decision d = tuner.choose(op, ranks, msg);
+///
+/// With a recorder attached this is also the decision engine's trace hook:
+/// it bumps tuner.{hits,misses} and the tuner.bucket histogram, and emits a
+/// kTune "tune <winner>" instant carrying the model prediction at the
+/// actual message size (plus "tune_grid" with the candidate count when the
+/// decision table missed and the grid was priced).
+Plan tuned_plan(runtime::Context& ctx, tune::Tuner& tuner, tune::Op op,
+                int ranks, Bytes msg, std::string* winner_out = nullptr) {
+  tune::Tuner::ChooseStats stats;
+  const tune::Decision d = tuner.choose(op, ranks, msg, &stats);
+  if (obs::Recorder* rec = ctx.recorder()) {
+    const std::string winner = tune::decision_label(d);
+    obs::MetricsRegistry& m = rec->metrics();
+    m.counter(stats.cache_hit ? "tuner.hits" : "tuner.misses") += 1;
+    m.histogram("tuner.bucket").record(tune::Tuner::bucket(msg));
+    const int pid = obs::rank_pid(ctx.rank());
+    if (stats.grid_priced > 0) {
+      rec->instant(pid, obs::kTidMain, obs::Cat::kTune, "tune_grid",
+                   rec->now(), stats.grid_priced);
+    }
+    rec->instant(pid, obs::kTidMain, obs::Cat::kTune, "tune " + winner,
+                 rec->now(), tuner.predict(op, ranks, d, msg));
+    if (winner_out != nullptr) *winner_out = winner;
+  }
   Plan p;
   p.style = tuner.options().style;
   p.segment = tune::decision_segment(d, msg);
@@ -120,9 +175,12 @@ class PlanLibrary final : public MpiLibrary {
     tune::Tuner* tuner = active_tuner(ctx);
     ADAPT_CHECK(tuner != nullptr || bcast_fn_ != nullptr)
         << name_ << " has no broadcast algorithm";
-    const Plan p = tuner ? tuned_plan(*tuner, tune::Op::kBcast, comm.size(),
-                                      buffer.size)
+    std::string winner;
+    const Plan p = tuner ? tuned_plan(ctx, *tuner, tune::Op::kBcast,
+                                      comm.size(), buffer.size, &winner)
                          : bcast_fn_(buffer.size);
+    std::optional<TunedProbe> probe;
+    if (!winner.empty()) probe.emplace(ctx, winner);
     const CollOpts opts = make_opts(p);
     switch (p.algo) {
       case Plan::Algo::kTree:
@@ -151,9 +209,12 @@ class PlanLibrary final : public MpiLibrary {
     tune::Tuner* tuner = active_tuner(ctx);
     ADAPT_CHECK(tuner != nullptr || reduce_fn_ != nullptr)
         << name_ << " has no reduce algorithm";
-    const Plan p = tuner ? tuned_plan(*tuner, tune::Op::kReduce, comm.size(),
-                                      accum.size)
+    std::string winner;
+    const Plan p = tuner ? tuned_plan(ctx, *tuner, tune::Op::kReduce,
+                                      comm.size(), accum.size, &winner)
                          : reduce_fn_(accum.size);
+    std::optional<TunedProbe> probe;
+    if (!winner.empty()) probe.emplace(ctx, winner);
     const CollOpts opts = make_opts(p);
     switch (p.algo) {
       case Plan::Algo::kTree:

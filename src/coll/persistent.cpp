@@ -100,6 +100,15 @@ void PersistentOp::init_common(runtime::Context& ctx, const mpi::Comm& comm,
     plan_ = std::make_shared<const tune::CachedPlan>(std::move(plan));
   } else {
     plan_ = cache ? cache->find(key) : nullptr;
+    if (cache != nullptr) {
+      // Plan-cache timeline event (the counters live in PlanCache itself);
+      // arg is the size bucket so hit/miss streams line up across handles.
+      if (obs::Recorder* rec = ctx.recorder()) {
+        rec->instant(obs::rank_pid(ctx.rank()), obs::kTidMain,
+                     obs::Cat::kCache, plan_ ? "plan_hit" : "plan_miss",
+                     rec->now(), key.bucket);
+      }
+    }
     if (!plan_) {
       tune::CachedPlan plan;
       plan.comm = comm.state();
@@ -109,7 +118,17 @@ void PersistentOp::init_common(runtime::Context& ctx, const mpi::Comm& comm,
         // pricing layer.
         const tune::Op top = kind == Kind::kBcast ? tune::Op::kBcast
                                                   : tune::Op::kReduce;
-        const tune::Decision d = tuner->choose(top, comm.size(), bytes);
+        tune::Tuner::ChooseStats tstats;
+        const tune::Decision d = tuner->choose(top, comm.size(), bytes,
+                                               &tstats);
+        if (obs::Recorder* rec = ctx.recorder()) {
+          obs::MetricsRegistry& m = rec->metrics();
+          m.counter(tstats.cache_hit ? "tuner.hits" : "tuner.misses") += 1;
+          m.histogram("tuner.bucket").record(tune::Tuner::bucket(bytes));
+          rec->instant(obs::rank_pid(ctx.rank()), obs::kTidMain,
+                       obs::Cat::kTune, "tune " + tune::decision_label(d),
+                       rec->now(), d.predicted);
+        }
         plan.decision = d;
         plan.tuned = true;
         plan.tree = tune::decision_tree(ctx.machine(), comm, root, d);
@@ -214,8 +233,14 @@ mpi::ErrCode PersistentOp::start() {
     // one is the recovery layer saying "shrink and re-init" — recoverable.
     // Both drop any cached plans keyed by it, so the cache cannot serve this
     // plan to a future lookalike lookup.
-    if (tune::PlanCache* cache = ctx_->plan_cache())
+    if (tune::PlanCache* cache = ctx_->plan_cache()) {
       cache->invalidate_comm(comm_.fingerprint());
+      if (obs::Recorder* rec = ctx_->recorder()) {
+        rec->instant(obs::rank_pid(ctx_->rank()), obs::kTidMain,
+                     obs::Cat::kCache, "plan_invalidate", rec->now(),
+                     static_cast<std::int64_t>(comm_.fingerprint()));
+      }
+    }
     return comm_.state()->freed ? mpi::ErrCode::kErrCommFreed
                                 : mpi::ErrCode::kErrRevoked;
   }
@@ -701,8 +726,14 @@ PersistentOpPtr barrier_init(runtime::Context& ctx, const mpi::Comm& comm,
 
 void free_comm(runtime::Context& ctx, const mpi::Comm& comm) {
   comm.free();
-  if (tune::PlanCache* cache = ctx.plan_cache())
+  if (tune::PlanCache* cache = ctx.plan_cache()) {
     cache->invalidate_comm(comm.fingerprint());
+    if (obs::Recorder* rec = ctx.recorder()) {
+      rec->instant(obs::rank_pid(ctx.rank()), obs::kTidMain, obs::Cat::kCache,
+                   "plan_invalidate", rec->now(),
+                   static_cast<std::int64_t>(comm.fingerprint()));
+    }
+  }
 }
 
 }  // namespace adapt::coll

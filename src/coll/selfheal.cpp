@@ -34,6 +34,34 @@ void recover_instant(runtime::Context& ctx, const char* what,
   }
 }
 
+/// RAII recovery-timeline span on this rank's MAIN track (attempt and
+/// backoff windows). Coroutine-frame scoped like CollSpan: closes on normal
+/// exit, co_return, and unwinding alike. Free without a recorder.
+class RecoverSpan {
+ public:
+  RecoverSpan(runtime::Context& ctx, const char* name, std::int64_t arg)
+      : rec_(ctx.recorder()), name_(name), arg_(arg) {
+    if (rec_ == nullptr) return;
+    pid_ = obs::rank_pid(ctx.rank());
+    t0_ = rec_->now();
+  }
+  RecoverSpan(const RecoverSpan&) = delete;
+  RecoverSpan& operator=(const RecoverSpan&) = delete;
+  ~RecoverSpan() {
+    if (rec_ != nullptr) {
+      rec_->span(pid_, obs::kTidMain, obs::Cat::kProto, name_, t0_,
+                 rec_->now(), arg_);
+    }
+  }
+
+ private:
+  obs::Recorder* rec_;
+  int pid_ = 0;
+  const char* name_;
+  TimeNs t0_ = 0;
+  std::int64_t arg_;
+};
+
 /// Pre-attempt snapshot of the caller's buffer, restored before every retry
 /// so re-issued attempts are byte-exact replays (synthetic buffers have no
 /// bytes to save).
@@ -81,6 +109,7 @@ sim::Task<ResilientResult> run_resilient(runtime::Context& ctx,
   mpi::Comm cur = comm;
   for (int attempt = 1;; ++attempt) {
     res.attempts = attempt;
+    RecoverSpan attempt_span(ctx, "recover_attempt", attempt);
     // Re-arm the endpoint: a failure notice may have poisoned it to unblock
     // the previous attempt (or while we idled). Watchdog poison is terminal
     // and stays.
@@ -162,7 +191,10 @@ sim::Task<ResilientResult> run_resilient(runtime::Context& ctx,
       co_return res;
     }
     recover_instant(ctx, "recover_retry", attempt + 1);
-    co_await ctx.sleep_for(delay);
+    {
+      RecoverSpan backoff_span(ctx, "recover_backoff", delay);
+      co_await ctx.sleep_for(delay);
+    }
     delay = static_cast<TimeNs>(static_cast<double>(delay) * backoff);
   }
 }

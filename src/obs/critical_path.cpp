@@ -51,6 +51,45 @@ Attribution critical_path(const Recorder& recorder, Rank final_rank,
                        return !a.is_cpu && b.is_cpu;
                      });
   }
+
+  // Merged per-source streaming intervals. A transfer's post->active wait
+  // that overlaps an earlier same-source stream is serial-transmit queueing:
+  // the sender is pushing bytes ahead of ours at link rate, so that slice of
+  // the wait is bandwidth-bound (beta), not startup latency (alpha).
+  Rank max_src = 0;
+  for (const TransferRec& x : xfers) max_src = std::max(max_src, x.src);
+  std::vector<std::vector<std::pair<TimeNs, TimeNs>>> streaming(
+      static_cast<std::size_t>(max_src) + 1);
+  for (const TransferRec& x : xfers) {
+    if (x.src < 0 || x.t_active < 0 || x.t_end <= x.t_active) continue;
+    streaming[static_cast<std::size_t>(x.src)].emplace_back(x.t_active,
+                                                            x.t_end);
+  }
+  for (auto& ivals : streaming) {
+    std::sort(ivals.begin(), ivals.end());
+    std::size_t out = 0;
+    for (const auto& iv : ivals) {
+      if (out > 0 && iv.first <= ivals[out - 1].second) {
+        ivals[out - 1].second = std::max(ivals[out - 1].second, iv.second);
+      } else {
+        ivals[out++] = iv;
+      }
+    }
+    ivals.resize(out);
+  }
+  const auto queued_in = [&streaming](Rank src, TimeNs a, TimeNs b) {
+    TimeNs overlap = 0;
+    const auto& ivals = streaming[static_cast<std::size_t>(src)];
+    auto it = std::upper_bound(
+        ivals.begin(), ivals.end(), a,
+        [](TimeNs v, const std::pair<TimeNs, TimeNs>& iv) {
+          return v < iv.second;
+        });
+    for (; it != ivals.end() && it->first < b; ++it) {
+      overlap += std::min(b, it->second) - std::max(a, it->first);
+    }
+    return overlap;
+  };
   // Each record explains at most one slice of the path; consuming from the
   // back of the sorted list guarantees the walk terminates.
   std::vector<std::size_t> next_from(by_rank.size());
@@ -111,7 +150,12 @@ Attribution critical_path(const Recorder& recorder, Rank final_rank,
       const TimeNs ideal = std::min(x.ideal, stream);
       attr.beta += ideal;
       attr.contention += stream - ideal;
-      attr.alpha += x.t_active - x.t_post;
+      const TimeNs wait = x.t_active - x.t_post;
+      const TimeNs queued =
+          (x.src >= 0 && wait > 0) ? queued_in(x.src, x.t_post, x.t_active)
+                                   : 0;
+      attr.beta += queued;
+      attr.alpha += wait - queued;
       ++attr.hops;
       rank = x.src;
       t = x.t_post;

@@ -19,8 +19,8 @@
 namespace adapt::obs {
 
 struct Attribution {
-  TimeNs alpha = 0;       ///< startup latency + serial transmit queueing
-  TimeNs beta = 0;        ///< ideal (uncontended) byte-transfer time
+  TimeNs alpha = 0;       ///< startup latency (post->active, minus queueing)
+  TimeNs beta = 0;        ///< ideal byte-transfer time + serial-tx queueing
   TimeNs compute = 0;     ///< CPU busy time on the path
   TimeNs contention = 0;  ///< transfer stretch beyond the ideal rate
   TimeNs noise = 0;       ///< main-thread stalls waiting out noise bursts

@@ -1,0 +1,41 @@
+// Always-on flight recorder: a Recorder with bounded memory.
+//
+// The plain Recorder keeps every record, which is right for post-mortem
+// analysis of a bounded run but wrong for an always-on deployment: a long
+// simulation accumulates traces without limit. FlightRecorder turns on the
+// Recorder's flight mode, which adds two mechanisms:
+//
+//   * Bounded windows. Every record vector is capped at
+//     max(min_window, window_per_rank * nranks) entries; when a vector
+//     fills, the oldest half is evicted in one move (amortised O(1) per
+//     append — each retained record moves at most once per half-window).
+//     Transfers keep stable 1-based ids across eviction: updates to an
+//     evicted in-flight transfer become no-ops.
+//
+//   * Event-class sampling. High-frequency classes — ADAPT task events,
+//     P2P instants, the CPU timeline, and data transfers — keep one record
+//     in `sample_period`. Low-frequency, high-information classes
+//     (collective spans, protocol/recovery, tuner and plan-cache events,
+//     noise stalls) are always kept, so `adapt-trace summarize` and `diff`
+//     still see every collective and every decision.
+//
+// The MetricsRegistry is exact in flight mode: counters are bumped before
+// the sampling decision. Only the timeline is thinned; dropped() counts
+// exactly how many records were sampled out or evicted.
+//
+// Determinism: sampling is a pure function of the append sequence, so two
+// same-seed runs still export byte-identical traces. Overhead is guarded by
+// BM_SimulatedBcastFlightRecorder against the existing disabled-path ratio.
+#pragma once
+
+#include "src/obs/trace.hpp"
+
+namespace adapt::obs {
+
+class FlightRecorder : public Recorder {
+ public:
+  explicit FlightRecorder(const FlightConfig& config = FlightConfig{})
+      : Recorder(true, config) {}
+};
+
+}  // namespace adapt::obs

@@ -56,7 +56,8 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 bool MetricsRegistry::empty() const {
   for (const RankCounters& rc : ranks_) {
     if (rc.cpu_busy_ns || rc.progress_busy_ns || rc.noise_wait_ns ||
-        rc.sends || rc.send_bytes || rc.recvs || rc.recv_bytes) {
+        rc.progress_starved_ns || rc.sends || rc.send_bytes || rc.recvs ||
+        rc.recv_bytes) {
       return false;
     }
   }
@@ -80,6 +81,8 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
     os << "rank," << r << ".progress_busy_ns," << rc.progress_busy_ns
        << ",\n";
     os << "rank," << r << ".noise_wait_ns," << rc.noise_wait_ns << ",\n";
+    os << "rank," << r << ".progress_starved_ns," << rc.progress_starved_ns
+       << ",\n";
     os << "rank," << r << ".sends," << rc.sends << ",\n";
     os << "rank," << r << ".send_bytes," << rc.send_bytes << ",\n";
     os << "rank," << r << ".recvs," << rc.recvs << ",\n";

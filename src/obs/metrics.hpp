@@ -45,6 +45,7 @@ struct RankCounters {
   std::int64_t cpu_busy_ns = 0;       ///< main-thread busy time
   std::int64_t progress_busy_ns = 0;  ///< progress-context busy time
   std::int64_t noise_wait_ns = 0;     ///< main-thread time lost to noise
+  std::int64_t progress_starved_ns = 0;  ///< progress runnable but unserved
   std::int64_t sends = 0;
   std::int64_t send_bytes = 0;
   std::int64_t recvs = 0;
@@ -71,6 +72,14 @@ class MetricsRegistry {
 
   /// Named histogram; address stable, cacheable like counter().
   Histogram& histogram(const std::string& name);
+
+  /// Read-only views for report writers (deterministic: ordered maps).
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   bool empty() const;
 

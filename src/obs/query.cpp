@@ -1,0 +1,554 @@
+#include "src/obs/query.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "src/support/error.hpp"
+#include "src/support/json.hpp"
+
+namespace adapt::obs {
+
+namespace {
+
+TimeNs us_to_ns(const JsonValue& v) {
+  return static_cast<TimeNs>(std::llround(v.as_number() * 1000.0));
+}
+
+int transfer_kind_code(const std::string& name) {
+  if (name == "eager") return 0;
+  if (name == "rts") return 1;
+  if (name == "cts") return 2;
+  if (name == "bulk") return 3;
+  if (name == "abort") return 4;
+  if (name == "ping") return 5;
+  if (name == "fail_notice") return 6;
+  if (name == "revoke") return 7;
+  if (name == "agree") return 8;
+  if (name == "ack") return kXferAck;
+  ADAPT_CHECK(false) << "unknown transfer kind " << name;
+  return -1;
+}
+
+/// A buffered "noise-stall" span waiting to be folded into the "cpu" span
+/// the exporter emits right after it (same CpuRec, same track).
+struct PendingStall {
+  bool live = false;
+  int pid = 0;
+  int tid = 0;
+  TimeNs t0 = 0;
+  TimeNs t1 = 0;
+};
+
+std::int64_t event_arg(const JsonValue& ev, const char* key) {
+  if (!ev.has("args")) return 0;
+  const JsonValue& args = ev.at("args");
+  return args.has(key) ? args.at(key).as_int() : 0;
+}
+
+}  // namespace
+
+std::optional<Cat> cat_from_name(const std::string& name) {
+  for (const Cat c : {Cat::kColl, Cat::kTask, Cat::kP2p, Cat::kProto,
+                      Cat::kCpu, Cat::kNoise, Cat::kTune, Cat::kCache}) {
+    if (name == cat_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+LoadedTrace load_trace_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  ADAPT_CHECK(doc.has("traceEvents")) << "not a trace export";
+  const auto& events = doc.at("traceEvents").as_array();
+
+  LoadedTrace out;
+  Recorder& rec = out.recorder;
+  PendingStall stall;
+  std::map<std::int64_t, std::uint64_t> open_xfers;  // export id -> handle
+  TimeNs end = 0;
+
+  auto flush_stall = [&] {
+    if (!stall.live) return;
+    stall.live = false;
+    // A stall with no following run: ready = t0, start = end = t1.
+    rec.cpu_task(stall.pid - 1, stall.tid == kTidProgress, stall.t0, stall.t0,
+                 stall.t1, stall.t1);
+  };
+
+  for (const JsonValue& ev : events) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      if (ev.at("name").as_string() == "process_name") {
+        const int pid = static_cast<int>(ev.at("pid").as_int());
+        if (pid != kNetPid) out.nranks = std::max(out.nranks, pid);
+      }
+      continue;
+    }
+    if (ph == "X") {
+      const int pid = static_cast<int>(ev.at("pid").as_int());
+      const int tid = static_cast<int>(ev.at("tid").as_int());
+      const std::string& cat_str = ev.at("cat").as_string();
+      const TimeNs t0 = us_to_ns(ev.at("ts"));
+      const TimeNs t1 = t0 + us_to_ns(ev.at("dur"));
+      end = std::max(end, t1);
+      if (cat_str == "noise") {
+        flush_stall();
+        stall = PendingStall{true, pid, tid, t0, t1};
+        continue;
+      }
+      if (cat_str == "cpu") {
+        const bool progress = ev.at("name").as_string() == "progress";
+        const std::int64_t queued = event_arg(ev, "queued_ns");
+        TimeNs t_ready = t0;
+        if (stall.live && stall.pid == pid && stall.tid == tid &&
+            stall.t1 == t0) {
+          t_ready = stall.t0;
+          stall.live = false;
+        } else {
+          flush_stall();
+        }
+        rec.cpu_task(pid - 1, progress, t_ready - queued, t_ready, t0, t1);
+        continue;
+      }
+      const auto cat = cat_from_name(cat_str);
+      ADAPT_CHECK(cat.has_value()) << "unknown span cat " << cat_str;
+      rec.span(pid, tid, *cat, ev.at("name").as_string(), t0, t1,
+               event_arg(ev, "arg"));
+      continue;
+    }
+    if (ph == "i") {
+      const auto cat = cat_from_name(ev.at("cat").as_string());
+      ADAPT_CHECK(cat.has_value()) << "unknown instant cat";
+      const TimeNs t = us_to_ns(ev.at("ts"));
+      end = std::max(end, t);
+      rec.instant(static_cast<int>(ev.at("pid").as_int()),
+                  static_cast<int>(ev.at("tid").as_int()), *cat,
+                  ev.at("name").as_string(), t, event_arg(ev, "arg"));
+      continue;
+    }
+    if (ph == "b") {
+      const std::string& name = ev.at("name").as_string();
+      const std::size_t sp = name.find(' ');
+      const std::size_t arrow = name.find("->", sp);
+      ADAPT_CHECK(sp != std::string::npos && arrow != std::string::npos)
+          << "bad transfer name " << name;
+      const int kind = transfer_kind_code(name.substr(0, sp));
+      const Rank src = std::stoi(name.substr(sp + 1, arrow - sp - 1));
+      const Rank dst = std::stoi(name.substr(arrow + 2));
+      const TimeNs t_post = us_to_ns(ev.at("ts"));
+      const std::uint64_t handle = rec.transfer_begin(
+          src, dst, event_arg(ev, "bytes"), kind, t_post);
+      rec.transfer_active(handle, t_post + event_arg(ev, "alpha_ns"),
+                          event_arg(ev, "ideal_ns"));
+      if (ev.at("args").at("delivered").is_bool() &&
+          !ev.at("args").at("delivered").as_bool()) {
+        rec.transfer_undelivered(handle);
+      }
+      open_xfers[ev.at("id").as_int()] = handle;
+      continue;
+    }
+    if (ph == "e") {
+      const auto it = open_xfers.find(ev.at("id").as_int());
+      ADAPT_CHECK(it != open_xfers.end()) << "transfer end without begin";
+      const TimeNs t_end = us_to_ns(ev.at("ts"));
+      end = std::max(end, t_end);
+      rec.transfer_end(it->second, t_end);
+      open_xfers.erase(it);
+      continue;
+    }
+    if (ph == "C") {
+      const std::string& name = ev.at("name").as_string();
+      ADAPT_CHECK(name.rfind("link", 0) == 0) << "unknown counter " << name;
+      const int link = std::stoi(name.substr(4));
+      const TimeNs t = us_to_ns(ev.at("ts"));
+      end = std::max(end, t);
+      rec.link_sample(link, t, event_arg(ev, "flows"));
+      continue;
+    }
+    ADAPT_CHECK(false) << "unknown trace phase " << ph;
+  }
+  flush_stall();
+  if (out.nranks > 0) rec.init_ranks(out.nranks);
+  out.end_time = end;
+  return out;
+}
+
+LoadedTrace load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  ADAPT_CHECK(static_cast<bool>(is)) << "cannot open trace " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return load_trace_json(ss.str());
+}
+
+// -- summarize -------------------------------------------------------------
+
+Summary summarize(const LoadedTrace& trace) {
+  const Recorder& rec = trace.recorder;
+  Summary s;
+  s.end_time = trace.end_time;
+  s.nranks = trace.nranks;
+  s.events = rec.event_count();
+
+  // Collective groups: every kColl span, keyed by name.
+  std::map<std::string, std::vector<const SpanRec*>> groups;
+  for (const SpanRec& sp : rec.spans()) {
+    if (sp.cat == Cat::kColl) groups[sp.name].push_back(&sp);
+  }
+  for (const auto& [name, spans] : groups) {
+    CollStats cs;
+    cs.name = name;
+    cs.count = static_cast<int>(spans.size());
+    std::vector<TimeNs> durs;
+    durs.reserve(spans.size());
+    for (const SpanRec* sp : spans) {
+      durs.push_back(sp->t1 - sp->t0);
+      if (sp->t1 > cs.end) {
+        cs.end = sp->t1;
+        cs.slowest = sp->pid - 1;
+      }
+    }
+    std::sort(durs.begin(), durs.end());
+    const std::size_t n = durs.size();
+    cs.p50 = durs[(n - 1) * 50 / 100];
+    cs.p90 = durs[(n - 1) * 90 / 100];
+    cs.p99 = durs[(n - 1) * 99 / 100];
+    cs.max = durs[n - 1];
+    cs.attr = critical_path(rec, cs.slowest, cs.end);
+    s.collectives.push_back(std::move(cs));
+  }
+
+  // Per-link utilization from flow-count samples (appended in time order).
+  std::map<int, LinkStats> links;
+  std::map<int, std::pair<TimeNs, std::int64_t>> link_state;  // t, flows
+  for (const LinkSampleRec& ls : rec.link_samples()) {
+    LinkStats& st = links[ls.link];
+    st.link = ls.link;
+    auto& [t_prev, flows_prev] = link_state[ls.link];
+    if (flows_prev > 0) st.busy += ls.t - t_prev;
+    st.peak = std::max(st.peak, ls.flows);
+    t_prev = ls.t;
+    flows_prev = ls.flows;
+  }
+  for (auto& [link, st] : links) {
+    const auto& [t_prev, flows_prev] = link_state[link];
+    if (flows_prev > 0) st.busy += s.end_time - t_prev;
+    s.links.push_back(st);
+  }
+
+  // Tuner decisions: "tune <winner>" predictions paired with
+  // "tuned <winner>" simulated times, grouped by winner.
+  std::map<std::string, TuneStats> tuner;
+  std::map<std::string, std::int64_t> instant_counts;
+  for (const InstantRec& in : rec.instants()) {
+    instant_counts[std::string(cat_name(in.cat)) + "/" + in.name] += 1;
+    if (in.cat != Cat::kTune) continue;
+    if (in.name.rfind("tune ", 0) == 0) {
+      TuneStats& ts = tuner[in.name.substr(5)];
+      ts.decisions += 1;
+      ts.predicted_ns += in.arg;
+    } else if (in.name.rfind("tuned ", 0) == 0) {
+      TuneStats& ts = tuner[in.name.substr(6)];
+      ts.measured += 1;
+      ts.actual_ns += in.arg;
+    }
+  }
+  for (auto& [winner, ts] : tuner) {
+    ts.winner = winner;
+    s.tuner.push_back(std::move(ts));
+  }
+  for (const auto& [label, count] : instant_counts) {
+    s.instant_counts.emplace_back(label, count);
+  }
+  return s;
+}
+
+namespace {
+
+void print_attr(const Attribution& a, std::ostream& os) {
+  os << "alpha " << a.alpha << " beta " << a.beta << " compute " << a.compute
+     << " contention " << a.contention << " noise " << a.noise << " other "
+     << a.other << " (end " << a.end << " @ rank " << a.end_rank << ", "
+     << a.hops << " hops)";
+}
+
+double pct(std::int64_t part, std::int64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+}  // namespace
+
+void print_summary(const Summary& s, std::ostream& os) {
+  os << "trace: end " << s.end_time << " ns, " << s.nranks << " ranks, "
+     << s.events << " events\n";
+  os << "\ncollectives:\n";
+  for (const CollStats& cs : s.collectives) {
+    os << "  " << cs.name << ": " << cs.count << " spans, p50 " << cs.p50
+       << " p90 " << cs.p90 << " p99 " << cs.p99 << " max " << cs.max
+       << " ns, slowest rank " << cs.slowest << ", end " << cs.end << " ns\n";
+    os << "    critical path: ";
+    print_attr(cs.attr, os);
+    os << "\n";
+  }
+  if (!s.links.empty()) {
+    os << "\nlinks:\n";
+    for (const LinkStats& ls : s.links) {
+      os.precision(1);
+      os << "  link " << ls.link << ": busy " << ls.busy << " ns ("
+         << std::fixed << pct(ls.busy, s.end_time) << "%), peak " << ls.peak
+         << " flows\n";
+      os.unsetf(std::ios::fixed);
+    }
+  }
+  if (!s.tuner.empty()) {
+    os << "\ntuner decisions:\n";
+    for (const TuneStats& ts : s.tuner) {
+      os << "  " << ts.winner << ": " << ts.decisions << " decisions";
+      if (ts.decisions > 0) {
+        os << ", predicted " << ts.predicted_ns / ts.decisions << " ns avg";
+      }
+      if (ts.measured > 0) {
+        const std::int64_t actual = ts.actual_ns / ts.measured;
+        os << ", simulated " << actual << " ns avg";
+        if (ts.decisions > 0 && actual > 0) {
+          os.precision(1);
+          os << " (model err " << std::fixed
+             << pct(ts.predicted_ns / ts.decisions - actual, actual) << "%)";
+          os.unsetf(std::ios::fixed);
+        }
+      }
+      os << "\n";
+    }
+  }
+  if (!s.instant_counts.empty()) {
+    os << "\ninstants:\n";
+    for (const auto& [label, count] : s.instant_counts) {
+      os << "  " << label << ": " << count << "\n";
+    }
+  }
+}
+
+// -- query -----------------------------------------------------------------
+
+std::vector<QueryHit> query_events(const LoadedTrace& trace,
+                                   const EventFilter& f, int limit) {
+  std::vector<QueryHit> hits;
+  const auto match = [&](int pid, Cat cat, const std::string& name, TimeNs t0,
+                         TimeNs t1) {
+    if (f.rank >= 0 && pid != rank_pid(f.rank)) return false;
+    if (f.cat.has_value() && cat != *f.cat) return false;
+    if (!f.name.empty() && name.find(f.name) == std::string::npos)
+      return false;
+    return t1 >= f.from && t0 <= f.to;
+  };
+  for (const SpanRec& sp : trace.recorder.spans()) {
+    if (match(sp.pid, sp.cat, sp.name, sp.t0, sp.t1)) {
+      hits.push_back(QueryHit{true, sp});
+    }
+  }
+  for (const InstantRec& in : trace.recorder.instants()) {
+    if (match(in.pid, in.cat, in.name, in.t, in.t)) {
+      hits.push_back(QueryHit{
+          false, SpanRec{in.pid, in.tid, in.cat, in.name, in.t, in.t,
+                         in.arg}});
+    }
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const QueryHit& a, const QueryHit& b) {
+                     return std::tie(a.rec.t0, a.rec.pid, a.rec.tid,
+                                     a.rec.name) <
+                            std::tie(b.rec.t0, b.rec.pid, b.rec.tid,
+                                     b.rec.name);
+                   });
+  if (limit > 0 && hits.size() > static_cast<std::size_t>(limit)) {
+    hits.resize(static_cast<std::size_t>(limit));
+  }
+  return hits;
+}
+
+void print_query(const std::vector<QueryHit>& hits, std::ostream& os) {
+  for (const QueryHit& h : hits) {
+    const SpanRec& r = h.rec;
+    os << r.t0 << " ns ";
+    if (r.pid == kNetPid) {
+      os << "net";
+    } else {
+      os << "rank " << (r.pid - 1) << (r.tid == kTidProgress ? "/prog" : "");
+    }
+    os << " [" << cat_name(r.cat) << "] " << r.name;
+    if (h.is_span) {
+      os << " dur " << (r.t1 - r.t0) << " ns";
+    }
+    if (r.arg != 0) os << " arg " << r.arg;
+    os << "\n";
+  }
+  os << hits.size() << " events\n";
+}
+
+// -- diff ------------------------------------------------------------------
+
+namespace {
+
+void add_attr(Attribution& acc, const Attribution& a) {
+  acc.alpha += a.alpha;
+  acc.beta += a.beta;
+  acc.compute += a.compute;
+  acc.contention += a.contention;
+  acc.noise += a.noise;
+  acc.other += a.other;
+  acc.end += a.end;
+  acc.hops += a.hops;
+}
+
+}  // namespace
+
+DiffReport diff_traces(const LoadedTrace& a, const LoadedTrace& b, int top) {
+  DiffReport r;
+  r.end_a = a.end_time;
+  r.end_b = b.end_time;
+
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  std::map<std::string, const CollStats*> ca, cb;
+  for (const CollStats& cs : sa.collectives) ca[cs.name] = &cs;
+  for (const CollStats& cs : sb.collectives) cb[cs.name] = &cs;
+  std::map<std::string, CollDelta> colls;
+  for (const auto& [name, cs] : ca) {
+    CollDelta& d = colls[name];
+    d.name = name;
+    d.in_a = true;
+    d.end_a = cs->end;
+    d.attr_a = cs->attr;
+  }
+  for (const auto& [name, cs] : cb) {
+    CollDelta& d = colls[name];
+    d.name = name;
+    d.in_b = true;
+    d.end_b = cs->end;
+    d.attr_b = cs->attr;
+  }
+  for (const auto& [name, d] : colls) {
+    if (d.in_a && d.in_b) {
+      add_attr(r.rollup_a, d.attr_a);
+      add_attr(r.rollup_b, d.attr_b);
+    }
+    r.collectives.push_back(d);
+  }
+
+  // Span alignment: n-th span with the same (pid, tid, cat, name).
+  using SpanKey = std::tuple<int, int, int, std::string>;
+  std::map<SpanKey, std::vector<TimeNs>> da, db;
+  for (const SpanRec& sp : a.recorder.spans()) {
+    da[SpanKey{sp.pid, sp.tid, static_cast<int>(sp.cat), sp.name}].push_back(
+        sp.t1 - sp.t0);
+  }
+  for (const SpanRec& sp : b.recorder.spans()) {
+    db[SpanKey{sp.pid, sp.tid, static_cast<int>(sp.cat), sp.name}].push_back(
+        sp.t1 - sp.t0);
+  }
+  std::vector<SpanDelta> deltas;
+  for (const auto& [key, durs_a] : da) {
+    const auto it = db.find(key);
+    const std::size_t nb = it == db.end() ? 0 : it->second.size();
+    const std::size_t m = std::min(durs_a.size(), nb);
+    r.matched_spans += static_cast<int>(m);
+    r.only_a += static_cast<int>(durs_a.size() - m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (durs_a[i] == it->second[i]) continue;
+      deltas.push_back(SpanDelta{std::get<0>(key), std::get<3>(key),
+                                 static_cast<int>(i), durs_a[i],
+                                 it->second[i]});
+    }
+  }
+  for (const auto& [key, durs_b] : db) {
+    const auto it = da.find(key);
+    const std::size_t na = it == da.end() ? 0 : it->second.size();
+    if (durs_b.size() > na) r.only_b += static_cast<int>(durs_b.size() - na);
+  }
+  std::stable_sort(deltas.begin(), deltas.end(),
+                   [](const SpanDelta& x, const SpanDelta& y) {
+                     const TimeNs dx = std::abs(x.dur_b - x.dur_a);
+                     const TimeNs dy = std::abs(y.dur_b - y.dur_a);
+                     if (dx != dy) return dx > dy;
+                     return std::tie(x.pid, x.name, x.occurrence) <
+                            std::tie(y.pid, y.name, y.occurrence);
+                   });
+  if (top > 0 && deltas.size() > static_cast<std::size_t>(top)) {
+    deltas.resize(static_cast<std::size_t>(top));
+  }
+  r.top_spans = std::move(deltas);
+  return r;
+}
+
+void print_diff(const DiffReport& r, std::ostream& os) {
+  os << "run A: end " << r.end_a << " ns\n";
+  os << "run B: end " << r.end_b << " ns\n";
+  os.precision(1);
+  os << "delta: " << (r.end_b - r.end_a) << " ns (" << std::fixed
+     << pct(r.end_b - r.end_a, r.end_a) << "%)\n";
+  os.unsetf(std::ios::fixed);
+
+  const TimeNs d_end = r.rollup_b.end - r.rollup_a.end;
+  os << "\nattribution rollup over matched collectives (delta end " << d_end
+     << " ns):\n";
+  struct Term {
+    const char* name;
+    TimeNs Attribution::*field;
+  };
+  const Term terms[] = {
+      {"alpha", &Attribution::alpha},     {"beta", &Attribution::beta},
+      {"compute", &Attribution::compute}, {"contention",
+                                           &Attribution::contention},
+      {"noise", &Attribution::noise},     {"other", &Attribution::other},
+  };
+  for (const Term& term : terms) {
+    const TimeNs va = r.rollup_a.*(term.field);
+    const TimeNs vb = r.rollup_b.*(term.field);
+    os.precision(1);
+    os << "  " << term.name << ": " << va << " -> " << vb << " ns, delta "
+       << (vb - va) << " (" << std::fixed << pct(vb - va, d_end)
+       << "% of delta)\n";
+    os.unsetf(std::ios::fixed);
+  }
+
+  os << "\ncollectives:\n";
+  for (const CollDelta& d : r.collectives) {
+    os << "  " << d.name << ": ";
+    if (!d.in_a) {
+      os << "only in B (end " << d.end_b << " ns)\n";
+      continue;
+    }
+    if (!d.in_b) {
+      os << "only in A (end " << d.end_a << " ns)\n";
+      continue;
+    }
+    os.precision(1);
+    os << "end " << d.end_a << " -> " << d.end_b << " ns (" << std::fixed
+       << pct(d.end_b - d.end_a, d.end_a) << "%)\n";
+    os.unsetf(std::ios::fixed);
+  }
+
+  os << "\nspans: " << r.matched_spans << " matched, " << r.only_a
+     << " only in A, " << r.only_b << " only in B\n";
+  if (!r.top_spans.empty()) {
+    os << "top changed spans:\n";
+    for (const SpanDelta& d : r.top_spans) {
+      os << "  ";
+      if (d.pid == kNetPid) {
+        os << "net";
+      } else {
+        os << "rank " << (d.pid - 1);
+      }
+      os << " " << d.name << " #" << d.occurrence << ": " << d.dur_a
+         << " -> " << d.dur_b << " ns (" << (d.dur_b - d.dur_a) << ")\n";
+    }
+  }
+}
+
+}  // namespace adapt::obs

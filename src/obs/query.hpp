@@ -1,0 +1,164 @@
+// Post-hoc trace analysis: load a written trace export back into typed
+// records, then summarize one run, filter its events, or diff two runs.
+//
+// The loader is the exact inverse of write_trace_json for this repo's own
+// exporter output (it is not a general Perfetto reader). Everything the
+// critical-path walk consumes round-trips: collective/task/protocol spans
+// and instants, CPU occupations (a "noise-stall" span ending where a "cpu"
+// span starts on the same track is folded back into one CpuRec), transfer
+// begin/end pairs with their alpha/ideal/stretch args, and link flow
+// counters. Per-type record order follows file order, which the exporter
+// writes in append order — so critical_path() over a loaded trace returns
+// exactly the attribution of the original run (pinned in trace_query_test).
+//
+// The analyses behind the adapt-trace CLI:
+//   * summarize — per-collective latency percentiles and critical-path
+//     attribution, per-link utilization, tuner model-vs-simulated rollups,
+//     instant counts by kind;
+//   * query — filter spans/instants by rank, category, name substring and
+//     time window;
+//   * diff — align two same-seed (or cross-build) runs by collective name
+//     and span occurrence, attribute the end-to-end delta to
+//     alpha/beta/compute/contention/noise per collective, and report the
+//     top regressed spans.
+//
+// All output is deterministic: integer virtual-time arithmetic only, sorted
+// containers, no floating-point accumulation in anything that is compared.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/critical_path.hpp"
+#include "src/obs/trace.hpp"
+
+namespace adapt::obs {
+
+/// A trace export loaded back into Recorder records.
+struct LoadedTrace {
+  Recorder recorder;     ///< plain (unbounded) recorder holding the records
+  TimeNs end_time = 0;   ///< latest record end in the trace
+  int nranks = 0;        ///< ranks with a process_name metadata row
+};
+
+/// Parses one exported trace document. Throws adapt::Error on malformed
+/// input or a document this exporter did not write.
+LoadedTrace load_trace_json(const std::string& text);
+LoadedTrace load_trace_file(const std::string& path);
+
+/// Inverse of cat_name(); nullopt for an unknown category string.
+std::optional<Cat> cat_from_name(const std::string& name);
+
+// -- summarize -------------------------------------------------------------
+
+struct CollStats {
+  std::string name;  ///< collective span name, e.g. "bcast/ompi-adapt"
+  int count = 0;     ///< spans aggregated (all ranks, all instances)
+  TimeNs p50 = 0;
+  TimeNs p90 = 0;
+  TimeNs p99 = 0;
+  TimeNs max = 0;
+  Rank slowest = -1;  ///< rank owning the latest-finishing span
+  TimeNs end = 0;     ///< latest span end across ranks
+  Attribution attr;   ///< critical path from (slowest, end)
+};
+
+struct LinkStats {
+  int link = 0;
+  TimeNs busy = 0;        ///< time with at least one active flow
+  std::int64_t peak = 0;  ///< max concurrent flows
+};
+
+/// One tuner decision site, grouped by winner (topology + segment). The
+/// call sites emit a "tune <winner>" instant carrying the model-predicted
+/// time and a matching "tuned <winner>" instant carrying the simulated
+/// time, so the model error is measurable from the trace alone.
+struct TuneStats {
+  std::string winner;
+  int decisions = 0;
+  std::int64_t predicted_ns = 0;  ///< summed model predictions
+  int measured = 0;               ///< completed collectives paired
+  std::int64_t actual_ns = 0;     ///< summed simulated times
+};
+
+struct Summary {
+  TimeNs end_time = 0;
+  int nranks = 0;
+  std::uint64_t events = 0;
+  std::vector<CollStats> collectives;  ///< sorted by name
+  std::vector<LinkStats> links;        ///< sorted by link id
+  std::vector<TuneStats> tuner;        ///< sorted by winner
+  /// Count of instants per "cat/name" label (plan-cache hits, retransmits,
+  /// recovery protocol steps, ...), sorted by label.
+  std::vector<std::pair<std::string, std::int64_t>> instant_counts;
+};
+
+Summary summarize(const LoadedTrace& trace);
+void print_summary(const Summary& s, std::ostream& os);
+
+// -- query -----------------------------------------------------------------
+
+struct EventFilter {
+  Rank rank = -1;  ///< -1 = any process (including the net fabric)
+  std::optional<Cat> cat;
+  std::string name;  ///< substring match; empty = any
+  TimeNs from = 0;
+  TimeNs to = std::numeric_limits<TimeNs>::max();
+};
+
+struct QueryHit {
+  bool is_span = false;  ///< false = instant (t1 == t0)
+  SpanRec rec;
+};
+
+/// Spans overlapping and instants inside [from, to], matching every set
+/// filter field, ordered by (start time, pid, tid, name). limit 0 = all.
+std::vector<QueryHit> query_events(const LoadedTrace& trace,
+                                   const EventFilter& filter, int limit = 0);
+void print_query(const std::vector<QueryHit>& hits, std::ostream& os);
+
+// -- diff ------------------------------------------------------------------
+
+struct CollDelta {
+  std::string name;
+  bool in_a = false;
+  bool in_b = false;
+  TimeNs end_a = 0;
+  TimeNs end_b = 0;
+  Attribution attr_a;  ///< zero when !in_a
+  Attribution attr_b;
+};
+
+struct SpanDelta {
+  int pid = 0;
+  std::string name;
+  int occurrence = 0;  ///< n-th span with this (pid, tid, cat, name)
+  TimeNs dur_a = 0;
+  TimeNs dur_b = 0;
+};
+
+struct DiffReport {
+  TimeNs end_a = 0;
+  TimeNs end_b = 0;
+  /// Attribution terms summed over collectives present in both runs; the
+  /// `end` field sums the groups' completion times, so for example
+  /// (rollup_b.beta - rollup_a.beta) / (rollup_b.end - rollup_a.end) is the
+  /// share of the end-to-end delta explained by the β term.
+  Attribution rollup_a;
+  Attribution rollup_b;
+  std::vector<CollDelta> collectives;  ///< sorted by name
+  std::vector<SpanDelta> top_spans;    ///< by |dur_b - dur_a|, descending
+  int matched_spans = 0;
+  int only_a = 0;  ///< spans with no aligned partner in b
+  int only_b = 0;
+};
+
+DiffReport diff_traces(const LoadedTrace& a, const LoadedTrace& b,
+                       int top = 10);
+void print_diff(const DiffReport& r, std::ostream& os);
+
+}  // namespace adapt::obs

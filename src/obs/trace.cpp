@@ -1,5 +1,7 @@
 #include "src/obs/trace.hpp"
 
+#include <algorithm>
+
 #include "src/support/error.hpp"
 
 namespace adapt::obs {
@@ -12,6 +14,8 @@ const char* cat_name(Cat cat) {
     case Cat::kProto: return "proto";
     case Cat::kCpu: return "cpu";
     case Cat::kNoise: return "noise";
+    case Cat::kTune: return "tune";
+    case Cat::kCache: return "cache";
   }
   return "?";
 }
@@ -23,18 +27,88 @@ const char* transfer_kind_name(int kind) {
     case 2: return "cts";
     case 3: return "bulk";
     case 4: return "abort";
+    case 5: return "ping";
+    case 6: return "fail_notice";
+    case 7: return "revoke";
+    case 8: return "agree";
     case kXferAck: return "ack";
   }
   return "?";
 }
 
-TransferRec& Recorder::xfer(std::uint64_t id) {
-  ADAPT_CHECK(id >= 1 && id <= transfers_.size()) << "bad transfer id " << id;
-  return transfers_[static_cast<std::size_t>(id - 1)];
+Recorder::Recorder(bool enabled, const FlightConfig& config)
+    : enabled_(enabled), flight_(true), config_(config) {
+  ADAPT_CHECK(config.sample_period >= 1) << "sample_period must be >= 1";
+  window_ = static_cast<std::size_t>(std::max(config.min_window, 1));
+}
+
+void Recorder::init_ranks(int nranks) {
+  metrics_.init_ranks(nranks);
+  if (flight_) {
+    const std::int64_t per_rank =
+        static_cast<std::int64_t>(config_.window_per_rank) * nranks;
+    window_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(std::max(config_.min_window, 1), per_rank));
+  }
+}
+
+template <typename T>
+void Recorder::bound(std::vector<T>& v) {
+  if (window_ == 0 || v.size() < window_) return;
+  const std::size_t evict = v.size() / 2;
+  v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(evict));
+  dropped_ += evict;
+}
+
+void Recorder::bound_transfers() {
+  if (window_ == 0 || transfers_.size() < window_) return;
+  const std::size_t evict = transfers_.size() / 2;
+  transfers_.erase(transfers_.begin(),
+                   transfers_.begin() + static_cast<std::ptrdiff_t>(evict));
+  xfer_base_ += evict;
+  dropped_ += evict;
+}
+
+bool Recorder::sampled_out(std::uint32_t& tick) {
+  if (!flight_ || config_.sample_period <= 1) return false;
+  if (++tick < config_.sample_period) {
+    ++dropped_;
+    return true;
+  }
+  tick = 0;
+  return false;
+}
+
+void Recorder::span(int pid, int tid, Cat cat, std::string name, TimeNs t0,
+                    TimeNs t1, std::int64_t arg) {
+  if (high_frequency(cat) && sampled_out(tick_event_)) return;
+  bound(spans_);
+  spans_.push_back(SpanRec{pid, tid, cat, std::move(name), t0, t1, arg});
+}
+
+void Recorder::instant(int pid, int tid, Cat cat, std::string name, TimeNs t,
+                       std::int64_t arg) {
+  if (high_frequency(cat) && sampled_out(tick_event_)) return;
+  bound(instants_);
+  instants_.push_back(InstantRec{pid, tid, cat, std::move(name), t, arg});
+}
+
+void Recorder::link_sample(int link, TimeNs t, std::int64_t flows) {
+  bound(link_samples_);
+  link_samples_.push_back(LinkSampleRec{link, t, flows});
+}
+
+TransferRec* Recorder::xfer(std::uint64_t id) {
+  ADAPT_CHECK(id >= 1 && id <= xfer_base_ + transfers_.size())
+      << "bad transfer id " << id;
+  if (id <= xfer_base_) return nullptr;  // evicted while in flight
+  return &transfers_[static_cast<std::size_t>(id - 1 - xfer_base_)];
 }
 
 std::uint64_t Recorder::transfer_begin(Rank src, Rank dst, Bytes bytes,
                                        int kind, TimeNs t_post) {
+  if (sampled_out(tick_xfer_)) return 0;  // callers treat 0 as untraced
+  bound_transfers();
   TransferRec rec;
   rec.src = src;
   rec.dst = dst;
@@ -42,38 +116,43 @@ std::uint64_t Recorder::transfer_begin(Rank src, Rank dst, Bytes bytes,
   rec.kind = kind;
   rec.t_post = t_post;
   transfers_.push_back(std::move(rec));
-  return transfers_.size();  // ids are 1-based; 0 means "untraced"
+  return xfer_base_ + transfers_.size();  // ids are 1-based; 0 = untraced
 }
 
 void Recorder::transfer_active(std::uint64_t id, TimeNs t_active,
                                TimeNs ideal) {
-  TransferRec& rec = xfer(id);
-  rec.t_active = t_active;
-  rec.ideal = ideal;
+  if (TransferRec* rec = xfer(id)) {
+    rec->t_active = t_active;
+    rec->ideal = ideal;
+  }
 }
 
 void Recorder::transfer_end(std::uint64_t id, TimeNs t_end) {
-  TransferRec& rec = xfer(id);
-  rec.t_end = t_end;
-  rec.done = true;
+  if (TransferRec* rec = xfer(id)) {
+    rec->t_end = t_end;
+    rec->done = true;
+  }
 }
 
 void Recorder::transfer_undelivered(std::uint64_t id) {
-  xfer(id).delivered = false;
+  if (TransferRec* rec = xfer(id)) rec->delivered = false;
 }
 
 void Recorder::transfer_alpha_only(Rank src, Rank dst, int kind, TimeNs t_post,
                                    TimeNs t_end) {
   const std::uint64_t id = transfer_begin(src, dst, 0, kind, t_post);
+  if (id == 0) return;  // sampled out in flight mode
   transfer_active(id, t_end, 0);
   transfer_end(id, t_end);
 }
 
 void Recorder::cpu_task(Rank r, bool progress, TimeNs t_request,
                         TimeNs t_ready, TimeNs t_start, TimeNs t_end) {
+  // Metrics stay exact in every mode; only the timeline below is sampled.
   RankCounters& rc = metrics_.rank(r);
   if (progress) {
     rc.progress_busy_ns += t_end - t_start;
+    rc.progress_starved_ns += t_ready - t_request;
   } else {
     rc.cpu_busy_ns += t_end - t_start;
     rc.noise_wait_ns += t_start - t_ready;
@@ -81,6 +160,8 @@ void Recorder::cpu_task(Rank r, bool progress, TimeNs t_request,
   // A record that neither waited nor ran carries no information: skipping it
   // keeps traces sparse and the critical-path walk free of zero-length hops.
   if (t_end == t_request) return;
+  if (sampled_out(tick_cpu_)) return;
+  bound(cpu_);
   cpu_.push_back(CpuRec{r, progress, t_request, t_ready, t_start, t_end});
 }
 

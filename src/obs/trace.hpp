@@ -26,6 +26,13 @@
 // Zero overhead when disabled: the engine installs hook pointers only when
 // `enabled()`; a disabled or absent recorder costs each hot path exactly one
 // null-pointer test (guarded by bench/micro_framework).
+//
+// Flight mode (obs/flight.hpp) makes the same Recorder safe to leave on
+// forever: high-frequency record classes are sampled 1-in-N and every record
+// vector is bounded to a per-rank window, evicting the oldest half when full.
+// Low-frequency, high-information classes (collective spans, protocol, tuner
+// and plan-cache events) are always kept, and the MetricsRegistry stays
+// exact — sampling only thins the timeline, never the counters.
 #pragma once
 
 #include <cstdint>
@@ -50,9 +57,11 @@ enum class Cat : std::uint8_t {
   kColl,   ///< whole-collective spans per rank
   kTask,   ///< ADAPT task-segment events (recv/send/reduce of one segment)
   kP2p,    ///< message lifecycle
-  kProto,  ///< reliability protocol: retransmits, give-ups, aborts
+  kProto,  ///< reliability protocol: retransmits, give-ups, aborts, recovery
   kCpu,    ///< CPU occupation
   kNoise,  ///< noise-induced stalls
+  kTune,   ///< decision-engine events (grid priced, winner, predicted time)
+  kCache,  ///< plan-cache events (hit/miss/invalidate)
 };
 const char* cat_name(Cat cat);
 
@@ -114,12 +123,32 @@ struct QueueStats {
   std::uint64_t max_depth = 0;
 };
 
+/// Flight-recorder bounds. The retained window per record type is
+/// max(min_window, window_per_rank * nranks) records; when a vector fills
+/// the oldest half is evicted (amortised O(1) per append). High-frequency
+/// classes (task events, P2P instants, CPU timeline, data transfers) keep
+/// one record in sample_period; everything else is always kept.
+struct FlightConfig {
+  int window_per_rank = 256;
+  int min_window = 4096;
+  std::uint32_t sample_period = 4;
+};
+
 class Recorder {
  public:
   explicit Recorder(bool enabled = true) : enabled_(enabled) {}
 
   /// When false the engine never installs hooks: a run records nothing.
   bool enabled() const { return enabled_; }
+
+  /// True when bounded-window sampling mode is active (see FlightRecorder).
+  bool flight() const { return flight_; }
+  /// Records sampled out or evicted in flight mode (exact count).
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Sizes per-rank state: the metrics table and, in flight mode, the
+  /// retained record windows. The engine calls this once at attach.
+  void init_ranks(int nranks);
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -133,19 +162,14 @@ class Recorder {
 
   // -- timeline events ----------------------------------------------------
   void span(int pid, int tid, Cat cat, std::string name, TimeNs t0, TimeNs t1,
-            std::int64_t arg = 0) {
-    spans_.push_back(SpanRec{pid, tid, cat, std::move(name), t0, t1, arg});
-  }
+            std::int64_t arg = 0);
   void instant(int pid, int tid, Cat cat, std::string name, TimeNs t,
-               std::int64_t arg = 0) {
-    instants_.push_back(InstantRec{pid, tid, cat, std::move(name), t, arg});
-  }
-  void link_sample(int link, TimeNs t, std::int64_t flows) {
-    link_samples_.push_back(LinkSampleRec{link, t, flows});
-  }
+               std::int64_t arg = 0);
+  void link_sample(int link, TimeNs t, std::int64_t flows);
 
   // -- transfer lifecycle (fabric + transport hooks) -----------------------
-  /// Returns a non-zero id carried in net::Route::trace (0 = untraced).
+  /// Returns a non-zero id carried in net::Route::trace (0 = untraced; in
+  /// flight mode a sampled-out transfer also returns 0).
   std::uint64_t transfer_begin(Rank src, Rank dst, Bytes bytes, int kind,
                                TimeNs t_post);
   void transfer_active(std::uint64_t id, TimeNs t_active, TimeNs ideal);
@@ -175,10 +199,30 @@ class Recorder {
            transfers_.size() + cpu_.size();
   }
 
+ protected:
+  Recorder(bool enabled, const FlightConfig& config);
+
  private:
-  TransferRec& xfer(std::uint64_t id);
+  TransferRec* xfer(std::uint64_t id);
+  /// Flight-mode eviction: drop the oldest half once `v` reaches the window.
+  template <typename T>
+  void bound(std::vector<T>& v);
+  void bound_transfers();
+  /// Flight-mode 1-in-N sampling decision for a high-frequency class.
+  bool sampled_out(std::uint32_t& tick);
+  static bool high_frequency(Cat cat) {
+    return cat == Cat::kTask || cat == Cat::kP2p;
+  }
 
   bool enabled_;
+  bool flight_ = false;
+  FlightConfig config_;
+  std::size_t window_ = 0;  ///< per-type retained records; 0 = unbounded
+  std::uint64_t dropped_ = 0;
+  std::uint64_t xfer_base_ = 0;  ///< transfers evicted so far (id offset)
+  std::uint32_t tick_event_ = 0;
+  std::uint32_t tick_cpu_ = 0;
+  std::uint32_t tick_xfer_ = 0;
   std::function<TimeNs()> clock_;
   MetricsRegistry metrics_;
   QueueStats queue_stats_;

@@ -72,6 +72,24 @@ void RecoveryService::proto_instant(Rank self, const char* what,
   }
 }
 
+void RecoveryService::count(const char* name, std::int64_t by) {
+  if (obs::Recorder* rec = engine_.recorder()) {
+    rec->metrics().counter(name) += by;
+  }
+}
+
+void RecoveryService::note_detection(Rank about) {
+  const std::uint64_t bit = 1ull << about;
+  if (first_noticed_ & bit) return;
+  first_noticed_ |= bit;
+  obs::Recorder* rec = engine_.recorder();
+  if (rec == nullptr) return;
+  const TimeNs death = engine_.death_time(about);
+  if (death < 0 || rec->now() < death) return;  // not a planned death
+  const TimeNs latency = rec->now() - death;
+  rec->metrics().histogram("recovery.detect_latency_ns").record(latency);
+}
+
 // -- detection & notification -------------------------------------------------
 
 void RecoveryService::on_give_up(Rank self, Rank peer) {
@@ -88,6 +106,8 @@ void RecoveryService::on_notice(Rank self, Rank about) {
   if (rs.failed & bit) return;  // idempotent per (observer, failed rank)
   rs.failed |= bit;
   proto_instant(self, "fail_notice", about);
+  count("recovery.fail_notices");
+  note_detection(about);
   // Gossip: reliably flood the suspect to every rank not itself in our failed
   // view (ascending order — determinism). Receivers re-flood once, so a
   // notice reaches everyone even if the original observer dies.
@@ -121,14 +141,18 @@ void RecoveryService::revoke(Rank self, std::uint64_t fingerprint) {
   RankState& rs = ranks_[static_cast<std::size_t>(self)];
   if (!rs.revoked.insert(fingerprint).second) return;
   proto_instant(self, "revoke", static_cast<std::int64_t>(fingerprint));
+  count("recovery.revokes");
   if (mpi::ReliableChannel* ch = engine_.channel(self)) {
+    std::int64_t fanout = 0;
     for (Rank r = 0; r < static_cast<Rank>(ranks_.size()); ++r) {
       if (r == self || ((rs.failed >> r) & 1u)) continue;
       mpi::Frame f;
       f.kind = mpi::Frame::Kind::kRevoke;
       f.rec.fingerprint = fingerprint;
       ch->submit(r, f);
+      ++fanout;
     }
+    count("recovery.revoke_frames", fanout);
   }
 }
 
@@ -212,6 +236,7 @@ void RecoveryService::send_agree(Rank self, Rank to, std::uint64_t fingerprint,
   f.rec.view = view;
   ch->submit(to, f);
   proto_instant(self, phase == 0 ? "agree_contrib" : "agree_result", to);
+  count("recovery.agree_frames");
 }
 
 void RecoveryService::complete(Rank self, AgreeState& st,
@@ -275,6 +300,7 @@ void RecoveryService::step_agreement(Rank self, std::uint64_t fingerprint,
       st.result_failed = (st.view_acc | view) & st.members;
       proto_instant(self, "agree_decided",
                     static_cast<std::int64_t>(st.result_failed));
+      count("recovery.agree_decided");
     }
     for (Rank r = 0; r < static_cast<Rank>(ranks_.size()); ++r) {
       if ((needed >> r) & 1u) {
@@ -338,9 +364,16 @@ sim::Task<AgreeOutcome> RecoveryService::agree(Rank self,
   st.my_flags = flags;
   st.started = true;
   proto_instant(self, "agree_start", static_cast<std::int64_t>(seq));
+  count("recovery.agreements");
+  obs::Recorder* rec = engine_.recorder();
+  const TimeNs t0 = rec != nullptr ? rec->now() : 0;
   step_agreement(self, fingerprint, seq);
   if (!st.done) {
     co_await sim::Suspend([&st](std::coroutine_handle<> h) { st.waiter = h; });
+  }
+  if (rec != nullptr) {
+    rec->span(obs::rank_pid(self), obs::kTidMain, obs::Cat::kProto, "agree",
+              t0, rec->now(), static_cast<std::int64_t>(seq));
   }
   co_return st.outcome;
 }

@@ -192,11 +192,16 @@ class RecoveryService {
   void complete(Rank self, AgreeState& st, AgreeOutcome outcome);
   void schedule_heartbeat(Rank self, std::uint64_t gen);
   void proto_instant(Rank self, const char* what, std::int64_t arg);
+  /// Metrics hook (no-op without a recorder): recovery.* counters.
+  void count(const char* name, std::int64_t by = 1);
+  /// Detection-latency accounting on the job-wide first notice of `about`.
+  void note_detection(Rank about);
 
   SimEngine& engine_;
   RecoveryOptions options_;
   std::vector<RankState> ranks_;
   std::vector<std::unique_ptr<Recovery>> facades_;
+  std::uint64_t first_noticed_ = 0;  ///< ranks some observer already reported
 };
 
 }  // namespace adapt::runtime

@@ -604,15 +604,29 @@ SimEngine::SimEngine(const topo::Machine& machine, SimEngineOptions options)
   if (options_.recorder && options_.recorder->enabled()) {
     obs_ = options_.recorder.get();
     obs_->set_clock([this] { return sim_.now(); });
-    obs_->metrics().init_ranks(n);
+    obs_->init_ranks(n);
     sim_.set_queue_stats(&obs_->queue_stats());
     net_.fabric().set_recorder(obs_);
     for (auto& ch : channels_) ch->set_recorder(obs_);
     for (auto& ep : endpoints_) ep->set_recorder(obs_);
+    plan_cache_->set_recorder(obs_);
+    if (options_.tuning) {
+      // Pre-register the decision-engine counters so exports always carry
+      // the full schema, even when a run never hits the tuner memo.
+      obs_->metrics().counter("tuner.hits");
+      obs_->metrics().counter("tuner.misses");
+    }
   }
 }
 
 SimEngine::~SimEngine() = default;
+
+TimeNs SimEngine::death_time(Rank r) const {
+  for (const net::FaultPlan::Death& d : options_.faults.deaths) {
+    if (d.rank == r) return d.at;
+  }
+  return -1;
+}
 
 Context& SimEngine::context(Rank r) {
   ADAPT_CHECK(r >= 0 && r < machine_.nranks());

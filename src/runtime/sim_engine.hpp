@@ -97,6 +97,11 @@ class SimEngine final : public Engine {
   /// The recovery service; null unless SimEngineOptions::recovery is set.
   RecoveryService* recovery() { return recovery_.get(); }
 
+  /// The scheduled death time of `r` from the fault plan, or -1 when the
+  /// plan never kills it. Recovery uses this to measure detection latency
+  /// (death to first kFailNotice) without peeking at the injector's state.
+  TimeNs death_time(Rank r) const;
+
   /// Declares rank `origin`'s current operation failed: reliably floods an
   /// abort notice to every other rank (each poisons itself on receipt), then
   /// poisons `origin`. This is the runtime's agreement mechanism — local

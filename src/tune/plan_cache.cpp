@@ -1,6 +1,7 @@
 #include "src/tune/plan_cache.hpp"
 
 #include "src/mpi/comm.hpp"
+#include "src/obs/trace.hpp"
 
 namespace adapt::tune {
 
@@ -21,22 +22,43 @@ bool plan_live(const CachedPlan& plan) {
   return state && state->alive();
 }
 
+void bump(std::int64_t* counter, std::int64_t by = 1) {
+  if (counter != nullptr) *counter += by;
+}
+
 }  // namespace
+
+void PlanCache::set_recorder(obs::Recorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (recorder == nullptr) {
+    m_hits_ = m_misses_ = m_evictions_ = m_invalidations_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = recorder->metrics();
+  m_hits_ = &m.counter("plan_cache.hits");
+  m_misses_ = &m.counter("plan_cache.misses");
+  m_evictions_ = &m.counter("plan_cache.evictions");
+  m_invalidations_ = &m.counter("plan_cache.invalidations");
+}
 
 std::shared_ptr<const CachedPlan> PlanCache::find(const PlanKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    bump(m_misses_);
     return nullptr;
   }
   if (!plan_live(*it->second)) {
     // Lazy invalidation: the communicator died since this plan was cached.
     map_.erase(it);
     ++misses_;
+    bump(m_misses_);
+    bump(m_evictions_);
     return nullptr;
   }
   ++hits_;
+  bump(m_hits_);
   return it->second;
 }
 
@@ -54,13 +76,16 @@ std::shared_ptr<const CachedPlan> PlanCache::insert(const PlanKey& key,
 
 void PlanCache::invalidate_comm(std::uint64_t comm_fingerprint) {
   std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t erased = 0;
   for (auto it = map_.begin(); it != map_.end();) {
     if (it->first.comm_fingerprint == comm_fingerprint) {
       it = map_.erase(it);
+      ++erased;
     } else {
       ++it;
     }
   }
+  bump(m_invalidations_, erased);
 }
 
 void PlanCache::clear() {

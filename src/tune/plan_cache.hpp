@@ -33,6 +33,10 @@ namespace adapt::mpi {
 struct CommState;  // src/mpi/comm.hpp
 }
 
+namespace adapt::obs {
+class Recorder;  // src/obs/trace.hpp
+}
+
 namespace adapt::tune {
 
 /// Persistent-collective operations. Wider than tune::Op (the cost model
@@ -65,6 +69,12 @@ struct CachedPlan {
 /// for lazy invalidation of dead communicators.
 class PlanCache {
  public:
+  /// Wires the cache into the engine's metrics: find/insert/invalidate bump
+  /// plan_cache.{hits,misses,evictions,invalidations} counters from then
+  /// on. Pass null to detach. The engine installs this alongside its other
+  /// observability hooks, so a disabled recorder costs nothing.
+  void set_recorder(obs::Recorder* recorder);
+
   /// Counted lookup. Returns null — and erases the entry — when the guard
   /// communicator has been freed or destroyed.
   std::shared_ptr<const CachedPlan> find(const PlanKey& key);
@@ -87,6 +97,12 @@ class PlanCache {
   std::map<PlanKey, std::shared_ptr<const CachedPlan>> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // Cached metric addresses (stable for the registry's life); null = no
+  // recorder attached. Updated under mutex_ like everything else here.
+  std::int64_t* m_hits_ = nullptr;
+  std::int64_t* m_misses_ = nullptr;
+  std::int64_t* m_evictions_ = nullptr;
+  std::int64_t* m_invalidations_ = nullptr;
 };
 
 }  // namespace adapt::tune

@@ -156,11 +156,17 @@ TimeNs Tuner::predict(Op op, int ranks, const Decision& decision,
   return model_.predict(work, comm, tree);
 }
 
-Decision Tuner::choose(Op op, int ranks, Bytes bytes) {
+Decision Tuner::choose(Op op, int ranks, Bytes bytes, ChooseStats* stats) {
   const TableKey key{op, ranks, bucket(bytes)};
   std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto cached = table_.find(key)) return *cached;
+  if (const auto cached = table_.find(key)) {
+    if (stats != nullptr) *stats = ChooseStats{true, 0};
+    return *cached;
+  }
   const std::vector<Decision> grid = candidates(op, ranks, bytes);
+  if (stats != nullptr) {
+    *stats = ChooseStats{false, static_cast<int>(grid.size())};
+  }
   const Decision best = *std::min_element(
       grid.begin(), grid.end(), [](const Decision& a, const Decision& b) {
         return a.predicted < b.predicted;  // grid order breaks ties
@@ -220,6 +226,12 @@ coll::Tree decision_tree(const topo::Machine& machine, const mpi::Comm& comm,
 Bytes decision_segment(const Decision& decision, Bytes message) {
   if (decision.segment == 0) return std::max<Bytes>(1, message);
   return decision.segment;
+}
+
+std::string decision_label(const Decision& decision) {
+  std::ostringstream ss;
+  ss << topology_name(decision.topology) << "/s" << decision.segment;
+  return ss.str();
 }
 
 }  // namespace adapt::tune

@@ -100,10 +100,19 @@ class Tuner {
  public:
   explicit Tuner(const topo::Machine& machine, TunerOptions options = {});
 
+  /// Observability out-params for one choose() call: whether the decision
+  /// table already held the answer, and how many grid candidates were
+  /// priced on a miss (0 on a hit). Call sites feed these to the trace
+  /// recorder as kTune events.
+  struct ChooseStats {
+    bool cache_hit = false;
+    int grid_priced = 0;
+  };
+
   /// The tuned configuration for `op` over a `ranks`-member communicator at
   /// message size `bytes`: cached per (op, ranks, bucket(bytes)), computed on
   /// miss by pricing every candidate at the bucket's representative size.
-  Decision choose(Op op, int ranks, Bytes bytes);
+  Decision choose(Op op, int ranks, Bytes bytes, ChooseStats* stats = nullptr);
 
   /// Every candidate in the grid with its prediction for (op, ranks,
   /// bucket(bytes)) — the guideline harness forces each of these in the
@@ -143,5 +152,9 @@ coll::Tree decision_tree(const topo::Machine& machine, const mpi::Comm& comm,
 
 /// The CollOpts segment size a decision implies for a concrete message.
 Bytes decision_segment(const Decision& decision, Bytes message);
+
+/// Short label for a decision — "topo-chain/s65536" — used as the trace
+/// "winner" grouping key by kTune events (see adapt-trace summarize).
+std::string decision_label(const Decision& decision);
 
 }  // namespace adapt::tune

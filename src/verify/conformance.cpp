@@ -1135,6 +1135,11 @@ std::string write_failure_trace(const CaseConfig& config, const RunSpec& spec,
   const std::string path =
       trace_dir + "/failure-" + std::to_string(index) + ".trace.json";
   if (!obs::write_trace_file(*recorder, path)) return "";
+  // The numeric half rides along: retransmit/give-up/recovery counters next
+  // to the trace make "was the protocol involved?" a one-file answer.
+  obs::write_metrics_file(*recorder,
+                          trace_dir + "/failure-" + std::to_string(index) +
+                              ".metrics.csv");
   return path;
 }
 

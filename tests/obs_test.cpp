@@ -1,5 +1,6 @@
 // Observability-layer tests: trace determinism, the zero-event guarantee,
-// hand-computed critical-path attribution, and fault-injection metrics.
+// flight-recorder bounding/sampling, hand-computed critical-path
+// attribution, and fault-injection metrics.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -12,6 +13,7 @@
 #include "src/coll/tree.hpp"
 #include "src/obs/critical_path.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
@@ -22,9 +24,10 @@ namespace {
 
 using namespace adapt;
 
-/// One noisy, perturbed ADAPT broadcast on a 32-rank Cori node with a fresh
-/// recorder; returns the recorder after the run.
-std::shared_ptr<obs::Recorder> traced_bcast(bool enabled) {
+/// One noisy, perturbed ADAPT broadcast on a 32-rank Cori node with the
+/// given recorder attached; returns the recorder after the run.
+std::shared_ptr<obs::Recorder> traced_bcast_with(
+    std::shared_ptr<obs::Recorder> recorder) {
   topo::Machine machine(topo::cori(1), 32);
   const mpi::Comm world = mpi::Comm::world(32);
   const coll::Tree tree = coll::build_topo_tree(machine, world, 0);
@@ -33,7 +36,7 @@ std::shared_ptr<obs::Recorder> traced_bcast(bool enabled) {
   options.noise = noise::paper_noise(10, /*seed=*/0x5EED);
   options.perturb = sim::PerturbConfig{7, /*shuffle_ties=*/true,
                                       microseconds(2)};
-  options.recorder = std::make_shared<obs::Recorder>(enabled);
+  options.recorder = std::move(recorder);
   runtime::SimEngine engine(machine, options);
   auto program = [&](runtime::Context& ctx) -> sim::Task<> {
     co_await coll::bcast(ctx, world, mpi::MutView{nullptr, mib(1)}, 0, tree,
@@ -42,6 +45,10 @@ std::shared_ptr<obs::Recorder> traced_bcast(bool enabled) {
   };
   engine.run(program);
   return options.recorder;
+}
+
+std::shared_ptr<obs::Recorder> traced_bcast(bool enabled) {
+  return traced_bcast_with(std::make_shared<obs::Recorder>(enabled));
 }
 
 // Determinism contract: two same-seed runs export byte-identical trace JSON
@@ -75,6 +82,75 @@ TEST(ObsTrace, DisabledRecorderRecordsNothing) {
   std::ostringstream trace;
   obs::write_trace_json(*rec, trace);
   EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+}
+
+// Flight mode drops high-frequency events (1-in-N sampling of task/p2p
+// records) but keeps every collective, protocol, tune, and cache event —
+// the records diagnosis hangs off of.
+TEST(ObsFlight, SamplingDropsTasksKeepsCollectives) {
+  const auto full = traced_bcast(true);
+  const auto flight = traced_bcast_with(std::make_shared<obs::FlightRecorder>());
+  ASSERT_TRUE(flight->flight());
+  EXPECT_GT(flight->dropped(), 0u);
+  EXPECT_LT(flight->event_count(), full->event_count());
+
+  const auto count_coll = [](const obs::Recorder& r) {
+    int n = 0;
+    for (const auto& s : r.spans())
+      if (s.cat == obs::Cat::kColl) ++n;
+    return n;
+  };
+  EXPECT_EQ(count_coll(*full), 32);
+  EXPECT_EQ(count_coll(*flight), 32);  // kColl is never sampled out
+}
+
+// Sampling only thins the TRACE; the metrics registry stays exact. Counters
+// and per-rank/link totals from a flight run must be byte-identical to the
+// full-trace run's CSV dump.
+TEST(ObsFlight, MetricsStayExactUnderSampling) {
+  const auto full = traced_bcast(true);
+  const auto flight = traced_bcast_with(std::make_shared<obs::FlightRecorder>());
+  std::ostringstream csv_full, csv_flight;
+  obs::write_metrics_csv(*full, csv_full);
+  obs::write_metrics_csv(*flight, csv_flight);
+  EXPECT_EQ(csv_full.str(), csv_flight.str());
+}
+
+// The bounded window really bounds: with a tiny window the retained record
+// count stays at or below the cap no matter how much the run emits, oldest
+// records are evicted first, and the export is still well-formed and
+// deterministic across same-seed runs.
+TEST(ObsFlight, TinyWindowEvictsOldestAndStaysDeterministic) {
+  obs::FlightConfig config;
+  config.window_per_rank = 8;
+  config.min_window = 64;
+  config.sample_period = 4;
+  const auto a =
+      traced_bcast_with(std::make_shared<obs::FlightRecorder>(config));
+  const auto b =
+      traced_bcast_with(std::make_shared<obs::FlightRecorder>(config));
+  const std::size_t cap = 8 * 32;  // window_per_rank × ranks > min_window
+  EXPECT_LE(a->spans().size(), cap);
+  EXPECT_LE(a->instants().size(), cap);
+  EXPECT_LE(a->cpu_tasks().size(), cap);
+  EXPECT_LE(a->transfers().size(), cap);
+  EXPECT_GT(a->dropped(), 0u);
+
+  // Eviction keeps the most recent window: the run's final collective spans
+  // (appended at completion) must survive, so the flight run still covers
+  // the same end time as an unbounded recorder.
+  const auto latest_span_end = [](const obs::Recorder& r) {
+    TimeNs latest = 0;
+    for (const auto& s : r.spans()) latest = std::max(latest, s.t1);
+    return latest;
+  };
+  const auto full = traced_bcast(true);
+  EXPECT_EQ(latest_span_end(*a), latest_span_end(*full));
+
+  std::ostringstream trace_a, trace_b;
+  obs::write_trace_json(*a, trace_a);
+  obs::write_trace_json(*b, trace_b);
+  EXPECT_EQ(trace_a.str(), trace_b.str());
 }
 
 // Per-rank collective spans are exact: the latest span end equals the

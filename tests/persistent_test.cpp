@@ -23,6 +23,7 @@
 #include "src/obs/trace.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/topo/presets.hpp"
+#include "src/tune/tuner.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting global allocator (same scheme as hotpath_test): every path into
@@ -415,6 +416,70 @@ TEST(PlanCacheTest, HandlesWithEqualKeysShareOnePlan) {
   EXPECT_EQ(engine.plan_cache().size(), 2);
   EXPECT_EQ(engine.plan_cache().misses(), 2u);
   EXPECT_EQ(engine.plan_cache().hits(), 22u);
+}
+
+// With a recorder attached the same counters land in the MetricsRegistry
+// (plus the tuner's decision-table traffic), so `adaptsim --metrics` and the
+// flight recorder surface the cache behaviour without PlanCache accessors.
+// Deterministic sim, exact pins: cold start = one miss, every warm handle
+// init = a hit, comm free = one invalidation.
+TEST(PlanCacheTest, RecorderMetricsCountHitsMissesInvalidations) {
+  topo::Machine machine = test_machine();
+  runtime::SimEngineOptions options;
+  options.recorder = std::make_shared<obs::Recorder>();
+  options.tuning = std::make_shared<tune::Tuner>(machine);
+  SimEngine engine(machine, options);
+  const mpi::Comm world = mpi::Comm::world(kRanks);
+  constexpr Bytes kBytes = 4096;
+  std::vector<std::vector<std::byte>> a(
+      kRanks, std::vector<std::byte>(static_cast<std::size_t>(kBytes)));
+  std::vector<std::vector<std::byte>> b = a;
+
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    const std::size_t me = static_cast<std::size_t>(ctx.rank());
+    PersistentOpts popts;
+    popts.coll.segment_size = 512;
+    // Cold init misses once engine-wide; the second handle (and every other
+    // rank's init) replays the shared plan.
+    auto h1 = bcast_init(ctx, world, mpi::MutView{a[me].data(), kBytes},
+                         /*root=*/0, popts);
+    auto h2 = bcast_init(ctx, world, mpi::MutView{b[me].data(), kBytes},
+                         /*root=*/0, popts);
+    EXPECT_EQ(&h1->plan(), &h2->plan());
+    // Fence before freeing: without it the first rank's free_comm kills the
+    // shared comm state while later ranks have yet to init, and every one of
+    // their lookups would miss on the dead liveness guard.
+    co_await barrier(ctx, world);
+    free_comm(ctx, world);
+    co_return;
+  };
+  ASSERT_NO_THROW(engine.run(program));
+
+  const obs::MetricsRegistry& m = options.recorder->metrics();
+  // 8 ranks x 2 lookups on one key: the first populates, 15 replay.
+  EXPECT_EQ(m.counter_value("plan_cache.misses"), 1);
+  EXPECT_EQ(m.counter_value("plan_cache.hits"), 15);
+  // free_comm eagerly drops the comm's single cached plan.
+  EXPECT_EQ(m.counter_value("plan_cache.invalidations"), 1);
+  EXPECT_EQ(m.counter_value("plan_cache.evictions"), 0);
+  // The tuner is consulted only on the plan-cache miss; its own decision
+  // table is cold at that point.
+  EXPECT_EQ(m.counter_value("tuner.misses"), 1);
+  EXPECT_EQ(m.counter_value("tuner.hits"), 0);
+  ASSERT_TRUE(m.histograms().contains("tuner.bucket"));
+  EXPECT_EQ(m.histograms().at("tuner.bucket").count, 1u);
+
+  // The same stream exists on the timeline as kCache instants.
+  int hits = 0, misses = 0, invalidations = 0;
+  for (const auto& i : options.recorder->instants()) {
+    if (i.cat != obs::Cat::kCache) continue;
+    if (i.name == "plan_hit") ++hits;
+    if (i.name == "plan_miss") ++misses;
+    if (i.name == "plan_invalidate") ++invalidations;
+  }
+  EXPECT_EQ(misses, 1);
+  EXPECT_EQ(hits, 15);
+  EXPECT_EQ(invalidations, kRanks);  // every rank's free_comm emits one
 }
 
 TEST(PlanCacheTest, FreedCommWithSameFingerprintNeverServesStalePlan) {

@@ -1,0 +1,134 @@
+// adapt-trace: query and compare trace exports written by the simulator.
+//
+//   adapt-trace summarize TRACE
+//       per-collective latency percentiles, per-link utilization,
+//       critical-path attribution and tuner model-vs-simulated rollups
+//   adapt-trace query TRACE [--rank N] [--cat CAT] [--op SUBSTR]
+//                            [--from-us N] [--to-us N] [--limit N]
+//       filter spans and instants by rank / category / name / time window
+//   adapt-trace diff BASE NEW [--top N]
+//       align two same-seed (or cross-build) runs, attribute the
+//       end-to-end delta to alpha/beta/compute/contention/noise per
+//       collective, print the top changed spans
+//
+// Exit code: 0 on success, 1 on usage errors or unreadable input.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/query.hpp"
+#include "src/support/error.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: adapt-trace summarize TRACE\n"
+      << "       adapt-trace query TRACE [--rank N] [--cat CAT] "
+         "[--op SUBSTR] [--from-us N] [--to-us N] [--limit N]\n"
+      << "       adapt-trace diff BASE NEW [--top N]\n";
+  return 1;
+}
+
+/// Splits argv into positional operands and --key value flags.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::string flag(const std::string& key, const std::string& fallback) const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  std::int64_t flag_int(const std::string& key, std::int64_t fallback) const {
+    const std::string v = flag(key, "");
+    return v.empty() ? fallback : std::stoll(v);
+  }
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : flags) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string value = "1";
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      args.flags.emplace_back(arg.substr(2), value);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+
+  if (cmd == "summarize") {
+    if (args.positional.size() != 1) return usage();
+    const adapt::obs::LoadedTrace trace =
+        adapt::obs::load_trace_file(args.positional[0]);
+    adapt::obs::print_summary(adapt::obs::summarize(trace), std::cout);
+    return 0;
+  }
+
+  if (cmd == "query") {
+    if (args.positional.size() != 1) return usage();
+    const adapt::obs::LoadedTrace trace =
+        adapt::obs::load_trace_file(args.positional[0]);
+    adapt::obs::EventFilter filter;
+    filter.rank = static_cast<adapt::Rank>(args.flag_int("rank", -1));
+    filter.name = args.flag("op", "");
+    const std::string cat = args.flag("cat", "");
+    if (!cat.empty()) {
+      filter.cat = adapt::obs::cat_from_name(cat);
+      if (!filter.cat.has_value()) {
+        std::cerr << "unknown category: " << cat << "\n";
+        return 1;
+      }
+    }
+    if (args.has("from-us")) filter.from = args.flag_int("from-us", 0) * 1000;
+    if (args.has("to-us")) filter.to = args.flag_int("to-us", 0) * 1000;
+    const int limit = static_cast<int>(args.flag_int("limit", 100));
+    adapt::obs::print_query(adapt::obs::query_events(trace, filter, limit),
+                            std::cout);
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    if (args.positional.size() != 2) return usage();
+    const adapt::obs::LoadedTrace base =
+        adapt::obs::load_trace_file(args.positional[0]);
+    const adapt::obs::LoadedTrace run =
+        adapt::obs::load_trace_file(args.positional[1]);
+    const int top = static_cast<int>(args.flag_int("top", 10));
+    adapt::obs::print_diff(adapt::obs::diff_traces(base, run, top),
+                           std::cout);
+    return 0;
+  }
+
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const adapt::Error& e) {
+    std::cerr << "adapt-trace: " << e.what() << "\n";
+    return 1;
+  }
+}
