@@ -23,6 +23,12 @@
 // there, cached engine-wide in the plan cache) and every timed iteration
 // just replays it.
 //
+// Scale: --shards=N runs the sweep on the sharded conservative-lookahead
+// engine (N worker threads over a partitioned event core) instead of the
+// SimEngine. Results, traces, and metrics are byte-identical for any N —
+// only wall clock changes. Incompatible with --persistent, --recover, and
+// GPU personalities (those need SimEngine-only services). See DESIGN.md §14.
+//
 // Recovery: --recover runs the self-healing demo instead of the size sweep —
 // a rank is killed mid-collective (--kill=RANK, --kill-at=MICROS) and the
 // survivors revoke, agree on the failure set, shrink, and re-issue on the
@@ -46,6 +52,7 @@
 #include "src/mpi/errors.hpp"
 #include "src/obs/export.hpp"
 #include "src/obs/trace.hpp"
+#include "src/runtime/sharded_engine.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/support/json.hpp"
 #include "src/support/table.hpp"
@@ -258,9 +265,21 @@ int main(int argc, char** argv) {
 
   if (cli.has("recover")) return run_recover_demo(cli, machine, world, op, min_msg);
 
+  const int shards = static_cast<int>(cli.get_int("shards", 0));
+  if (shards > 0 && cli.has("persistent")) {
+    std::cerr << "--shards is incompatible with --persistent (the sharded "
+                 "engine has no plan cache)\n";
+    return 1;
+  }
+
   std::shared_ptr<coll::MpiLibrary> lib;
   net::GpuConfig gpu_config;
   if (lib_name.ends_with("-gpu")) {
+    if (shards > 0) {
+      std::cerr << "--shards is incompatible with GPU personalities (the "
+                   "sharded engine is CPU-only)\n";
+      return 1;
+    }
     auto gpu_lib = gpu::make_gpu_library(lib_name, machine);
     gpu_config = gpu_lib->gpu_config();
     lib = gpu_lib;
@@ -280,16 +299,25 @@ int main(int argc, char** argv) {
   Table table({"message", "avg(ms)", "min(ms)", "max(ms)"});
   for (Bytes msg = min_msg; msg <= max_msg; msg *= 2) {
     traced_msg = msg;
-    runtime::SimEngineOptions options;
-    options.gpu = gpu_config;
-    options.noise = noise::paper_noise(noise_duty, 0xCAFE + noise_duty);
-    options.tuning = tuner;  // shared across sizes: the table fills once
     if (observe) {
       // One recorder observes one engine run; keep the final size's trace.
       recorder = std::make_shared<obs::Recorder>();
-      options.recorder = recorder;
     }
-    runtime::SimEngine engine(machine, options);
+    std::unique_ptr<runtime::Engine> engine;
+    if (shards > 0) {
+      runtime::ShardedEngineOptions options;
+      options.shards = shards;
+      options.noise = noise::paper_noise(noise_duty, 0xCAFE + noise_duty);
+      options.recorder = recorder;
+      engine = std::make_unique<runtime::ShardedEngine>(machine, options);
+    } else {
+      runtime::SimEngineOptions options;
+      options.gpu = gpu_config;
+      options.noise = noise::paper_noise(noise_duty, 0xCAFE + noise_duty);
+      options.tuning = tuner;  // shared across sizes: the table fills once
+      options.recorder = recorder;
+      engine = std::make_unique<runtime::SimEngine>(machine, options);
+    }
     // Per-rank persistent handles, built lazily on each rank's first
     // iteration of this message size and replayed by every later one.
     // Declared after `engine` so they are destroyed first.
@@ -324,9 +352,9 @@ int main(int argc, char** argv) {
     };
     const auto m =
         noise_duty > 0
-            ? bench::measure_throughput(engine, world, fn,
+            ? bench::measure_throughput(*engine, world, fn,
                                         {.warmup = 1, .iterations = iters})
-            : bench::measure(engine, world, fn,
+            : bench::measure(*engine, world, fn,
                              {.warmup = 1, .iterations = iters});
     table.add_row_numeric(format_bytes(msg),
                           {m.avg_ms(), m.min_ms(), m.max_ms()});

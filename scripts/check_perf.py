@@ -27,6 +27,19 @@ catastrophic-regression tripwire on collectives_per_sec.
 
 Usage: check_perf.py --steady --run steady.json [--baseline BENCH_steady.json]
                      [--min-speedup 5] [--max-allocs 0.1] [--threshold 0.4]
+
+Shard-scaling mode (--shard-scaling) gates bench/shard_scaling --json against
+BENCH_shard.json. The determinism half is machine-independent and pinned
+hard: simulated time and the finish-time hash must match the committed
+baseline exactly (the bench itself already exits non-zero if any shard count
+disagrees within the run). The speedup half is machine-DEPENDENT: the
+wall-clock floor for 8 shards (--min-shard-speedup) is enforced only when the
+run's recorded hw_threads >= 8, a reduced floor when >= 4, and skipped with a
+notice on smaller runners — a 1-core container cannot parallelise anything.
+The baseline's wall clock is only the usual catastrophic tripwire.
+
+Usage: check_perf.py --shard-scaling --run shard.json --baseline BENCH_shard.json
+                     [--min-shard-speedup 3.0] [--threshold 0.4]
 """
 
 import argparse
@@ -110,6 +123,81 @@ def check_steady(args):
     return 0
 
 
+def check_shard_scaling(args):
+    with open(args.run) as f:
+        meta = json.load(f)["meta"]
+    failures = []
+
+    # Determinism pins: virtual time and the finish-time hash are machine-
+    # independent, so any drift from the committed baseline is a real change
+    # to the sharded schedule (cost model, event ordering, or merge rule).
+    if args.baseline:
+        with open(args.baseline) as f:
+            base = json.load(f)["meta"]
+        # iters is part of the shape: the fingerprint run starts where the
+        # measured iterations left off in virtual time, so its absolute
+        # finish times (and hash) depend on how many iterations preceded it.
+        for key in ("ranks", "msg_bytes", "seg_bytes", "iters"):
+            if meta.get(key) != base.get(key):
+                failures.append(
+                    f"{key}: run {meta.get(key)} != baseline {base.get(key)} "
+                    f"— not comparing the same experiment")
+        for key in ("sim_ms", "finish_hash"):
+            if meta.get(key) != base.get(key):
+                failures.append(
+                    f"{key}: run {meta.get(key)} != baseline {base.get(key)} "
+                    f"— the sharded schedule is no longer reproducible")
+            else:
+                print(f"{key}={meta.get(key)} matches baseline")
+
+    # Speedup floor, conditional on the runner actually having cores. The
+    # bench records hw_threads so the gate's decision is auditable from the
+    # artifact alone.
+    hw = int(meta["hw_threads"])
+    w1 = float(meta["wall_ms_1"])
+    w4 = float(meta["wall_ms_4"])
+    w8 = float(meta["wall_ms_8"])
+    print(f"hw_threads={hw} wall_ms: 1={w1:.1f} 4={w4:.1f} 8={w8:.1f} "
+          f"(speedup x{w1 / w8:.2f} at 8 shards, x{w1 / w4:.2f} at 4)")
+    if hw >= 8:
+        if w1 / w8 < args.min_shard_speedup:
+            failures.append(
+                f"8-shard speedup {w1 / w8:.2f}x below the "
+                f"{args.min_shard_speedup}x floor on a {hw}-thread runner")
+        else:
+            print(f"8-shard speedup ok (floor {args.min_shard_speedup}x)")
+    elif hw >= 4:
+        floor = 1.8
+        if w1 / w4 < floor:
+            failures.append(
+                f"4-shard speedup {w1 / w4:.2f}x below the {floor}x floor "
+                f"on a {hw}-thread runner")
+        else:
+            print(f"4-shard speedup ok (reduced floor {floor}x, {hw} threads)")
+    else:
+        print(f"speedup floor skipped: runner has {hw} hardware thread(s); "
+              f"parallel shards cannot beat the single-shard fast path here")
+
+    # Cross-machine wall-clock tripwire (same generosity as the other modes).
+    if args.baseline and "wall_ms_1" in base:
+        ratio = float(base["wall_ms_1"]) / w1
+        marker = "ok" if ratio >= args.threshold else "REGRESSED"
+        print(f"single-shard wall clock ratio vs baseline = "
+              f"{ratio:.3f} {marker}")
+        if ratio < args.threshold:
+            failures.append(
+                f"single-shard wall clock fell to {ratio:.3f}x of baseline "
+                f"(threshold {args.threshold}x)")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("\nshard-scaling perf gate ok")
+    return 0
+
+
 def run_trace_diff(args):
     """On gate failure, attribute the regression: run `adapt-trace diff`
     between the committed trace baseline and the fresh run's trace, print
@@ -146,6 +234,11 @@ def main():
                          "a google-benchmark one")
     ap.add_argument("--min-speedup", type=float, default=5.0,
                     help="steady mode: persistent/percall speedup floor")
+    ap.add_argument("--shard-scaling", action="store_true",
+                    help="gate a bench/shard_scaling --json report")
+    ap.add_argument("--min-shard-speedup", type=float, default=3.0,
+                    help="shard mode: 8-shard wall-clock speedup floor, "
+                         "enforced only when the run's hw_threads >= 8")
     ap.add_argument("--threshold", type=float, default=0.4,
                     help="fail when fresh throughput < threshold * baseline")
     ap.add_argument("--disabled-ratio", type=float, default=0.8,
@@ -173,6 +266,8 @@ def main():
 
     if args.steady:
         return check_steady(args)
+    if args.shard_scaling:
+        return check_shard_scaling(args)
 
     if not args.baseline:
         ap.error("--baseline is required outside --steady mode")

@@ -79,6 +79,30 @@ class Matcher {
   std::size_t unexpected_count() const { return unexpected_count_; }
   std::uint64_t total_unexpected() const { return total_unexpected_; }
 
+  /// Approximate resident bytes of the matching structures: bucket-table
+  /// slots, per-bucket node overhead, and every Fifo's retained capacity.
+  /// Deterministic for a given rank's matching history (capacities grow by
+  /// the same doubling sequence whatever the shard count), which lets the
+  /// rank-state gauge sum it across ranks and stay byte-comparable across
+  /// --shards values.
+  std::size_t footprint_bytes() const {
+    // unordered_map node: key + value + next pointer (libstdc++ layout).
+    constexpr std::size_t kNode = sizeof(std::uint64_t) + sizeof(void*);
+    std::size_t total = sizeof(Matcher);
+    total += posted_buckets_.bucket_count() * sizeof(void*);
+    for (const auto& [key, fifo] : posted_buckets_) {
+      total += kNode + sizeof(fifo) +
+               fifo.items.capacity() * sizeof(Stamped<PostedRecv>);
+    }
+    total += unexpected_buckets_.bucket_count() * sizeof(void*);
+    for (const auto& [key, fifo] : unexpected_buckets_) {
+      total += kNode + sizeof(fifo) +
+               fifo.items.capacity() * sizeof(Stamped<Envelope>);
+    }
+    total += posted_wild_.size() * sizeof(Stamped<PostedRecv>);
+    return total;
+  }
+
  private:
   static bool matches(const PostedRecv& recv, const Envelope& env) {
     return (recv.src == kAnyRank || recv.src == env.src) &&

@@ -750,7 +750,29 @@ RunResult SimEngine::run(const RankProgram& program) {
         0);
   }
 
-  sim_.run();
+  {
+    support::FrameArena::Scope frames(&frame_arena_);
+    sim_.run();
+  }
+
+  if (obs_) {
+    // Rank-state gauge (assigned, not accumulated — frame/pool totals are
+    // cumulative across runs already). Deterministic: cumulative allocation
+    // totals plus matcher footprint, never live peaks.
+    obs::MetricsRegistry& m = obs_->metrics();
+    std::uint64_t matcher = 0;
+    for (auto& ep : endpoints_) {
+      matcher += static_cast<std::uint64_t>(ep->matcher().footprint_bytes());
+    }
+    m.counter("sim.frame_bytes") =
+        static_cast<std::int64_t>(frame_arena_.total_bytes());
+    m.counter("sim.matcher_bytes") = static_cast<std::int64_t>(matcher);
+    m.counter("sim.pool_bytes") =
+        static_cast<std::int64_t>(pool_.acquired_bytes());
+    m.counter("sim.rank_state_bytes") = static_cast<std::int64_t>(
+        frame_arena_.total_bytes() + matcher + pool_.acquired_bytes());
+  }
+
   if (failure) std::rethrow_exception(failure);
   ADAPT_CHECK(remaining == 0)
       << remaining << " of " << n

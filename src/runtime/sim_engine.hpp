@@ -20,6 +20,7 @@
 #include "src/runtime/recovery.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/buffer_pool.hpp"
+#include "src/support/frame_arena.hpp"
 #include "src/topo/hardware.hpp"
 
 namespace adapt::gpu {
@@ -133,6 +134,10 @@ class SimEngine final : public Engine {
   /// unexpected queues, in-flight simulator events), so it is destroyed
   /// after all of them — the pool-lifetime contract.
   support::BufferPool pool_;
+  /// Recycles coroutine frames while run() executes; also the frame half of
+  /// the sim.rank_state_bytes gauge. Declared before sim_ so it outlives
+  /// any frame still parked in a pending event at teardown.
+  support::FrameArena frame_arena_;
   obs::Recorder* obs_ = nullptr;  ///< null unless options_.recorder enabled
   /// Sampled at construction: when logging is on, rank callbacks run under a
   /// ScopedLogContext so lines carry virtual time + rank. When off, callbacks

@@ -7,7 +7,8 @@
 
 namespace adapt::sim {
 
-EventQueue::EventQueue() : slab_(std::make_unique<detail::EventSlab>()) {
+EventQueue::EventQueue(std::size_t expected_cohort)
+    : slab_(std::make_unique<detail::EventSlab>()) {
   // Pre-size the cohort heap and every radix level once, up front. Level
   // vectors keep their capacity forever, but a level is first *touched* only
   // when some event is scheduled across that power-of-two virtual-time
@@ -15,11 +16,17 @@ EventQueue::EventQueue() : slab_(std::make_unique<detail::EventSlab>()) {
   // straddling 2^k ns deep into a run). Reserving here moves that one-time
   // growth to construction, so bounded-fan-out steady states are genuinely
   // allocation-free — the invariant the persistent-collective zero-alloc
-  // regression test pins down. 64 levels x 64 entries x 32 B = 128 KiB.
-  static constexpr std::size_t kInitialLevelCapacity = 64;
-  cohort_.reserve(kInitialLevelCapacity);
+  // regression test pins down. The historical constant (64 entries per
+  // level) under-reserved for sharded queues, where the cohort scales with
+  // the shard's rank count: callers now pass their expected shard-local
+  // cohort, the cohort heap reserves it in full, and each radix level
+  // reserves it up to kLevelReserveCap (default: 64 levels x 64 x 32 B =
+  // 128 KiB, unchanged).
+  const std::size_t expect = std::max(expected_cohort, kDefaultReserve);
+  cohort_.reserve(expect);
+  const std::size_t per_level = std::min(expect, kLevelReserveCap);
   for (std::vector<Entry>& level : buckets_) {
-    level.reserve(kInitialLevelCapacity);
+    level.reserve(per_level);
   }
 }
 
@@ -110,6 +117,20 @@ EventHandle EventQueue::push(TimeNs time, EventFn fn) {
     }
     if (perturb_->shuffle_ties) tie = perturb_rng_.next_u64();
   }
+  return emplace(fire_time, tie, std::move(fn));
+}
+
+EventHandle EventQueue::push_keyed(TimeNs time, std::uint64_t tie,
+                                   EventFn fn) {
+  // Perturbation draws would desynchronise the caller's canonical keys from
+  // the actual schedule; the sharded engine rejects perturbed runs upstream.
+  ADAPT_CHECK(!perturb_)
+      << "push_keyed is incompatible with schedule perturbation";
+  return emplace(time, tie, std::move(fn));
+}
+
+EventHandle EventQueue::emplace(TimeNs fire_time, std::uint64_t tie,
+                                EventFn fn) {
   ADAPT_CHECK(fire_time >= last_)
       << "event scheduled at " << fire_time
       << " is before the queue's current time " << last_
@@ -227,6 +248,46 @@ TimeNs EventQueue::next_time() const {
   ADAPT_CHECK(!empty()) << "next_time on empty event queue";
   settle();
   return cohort_.front().time;
+}
+
+TimeNs EventQueue::peek_min_time() const {
+  ADAPT_CHECK(!empty()) << "peek_min_time on empty event queue";
+  // Collect dead cohort-top entries as settle() would, but never refill():
+  // refill is what commits the cursor.
+  while (!cohort_.empty()) {
+    const Entry& top = cohort_.front();
+    if (!slab_->record(top.slot).cancelled) return top.time;
+    release_slot(top.slot);
+    --slab_->cancelled_in_heap;
+    --count_;
+    pop_top();
+  }
+  // Cohort drained: the minimum lives in the lowest non-empty bucket (every
+  // entry in a higher bucket differs from last_ in a higher bit, hence fires
+  // later). Sweep cancelled entries out of the buckets scanned so they can
+  // neither pin a stale minimum nor be rescanned.
+  for (;;) {
+    const int level = std::countr_zero(bucket_mask_);
+    std::vector<Entry>& bucket = buckets_[static_cast<std::size_t>(level)];
+    auto kept = bucket.begin();
+    for (Entry& e : bucket) {
+      if (slab_->record(e.slot).cancelled) {
+        release_slot(e.slot);
+        --slab_->cancelled_in_heap;
+        --count_;
+      } else {
+        *kept++ = e;
+      }
+    }
+    bucket.erase(kept, bucket.end());
+    if (bucket.empty()) {
+      bucket_mask_ &= ~(1ull << level);
+      continue;  // empty() precondition guarantees a live entry remains
+    }
+    TimeNs min = bucket.front().time;
+    for (const Entry& e : bucket) min = std::min(min, e.time);
+    return min;
+  }
 }
 
 std::pair<TimeNs, EventFn> EventQueue::pop() {

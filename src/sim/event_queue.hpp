@@ -145,11 +145,24 @@ class EventHandle {
 /// (the discrete-event invariant; Simulator::at enforces it upstream).
 class EventQueue {
  public:
-  EventQueue();
+  /// `expected_cohort` sizes the up-front reservation of the cohort heap and
+  /// radix levels (entries, not bytes). The default matches the historical
+  /// constant; sharded engines pass their shard-local steady-state bound so
+  /// per-shard queues never reallocate mid-run (see the ctor comment).
+  explicit EventQueue(std::size_t expected_cohort = kDefaultReserve);
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   EventHandle push(TimeNs time, EventFn fn);
+
+  /// Push with a caller-supplied tie key instead of the insertion sequence.
+  /// The sharded engine derives the key from (producer rank, per-producer
+  /// sequence), which is invariant to how ranks are partitioned across
+  /// shards — the foundation of byte-identical traces for any --shards
+  /// value. Keys must be unique per (time, tie) or ordering falls back to
+  /// the shard-local insertion sequence (which IS shard-dependent), so the
+  /// caller owns uniqueness. Incompatible with perturbation (checked).
+  EventHandle push_keyed(TimeNs time, std::uint64_t tie, EventFn fn);
 
   /// Enables (or, with nullopt, disables) schedule perturbation for all
   /// subsequently pushed events. Typically set before any push.
@@ -168,7 +181,20 @@ class EventQueue {
   std::size_t depth() const { return count_; }
 
   /// Time of the earliest live event; precondition: !empty().
+  /// ADVANCES the monotone cursor: after this call, pushes below the
+  /// returned time are rejected (the radix refill commits `last_` to the
+  /// minimum it found). Use peek_min_time() to query without committing.
   TimeNs next_time() const;
+
+  /// Time of the earliest live event WITHOUT advancing the monotone cursor:
+  /// later pushes at or after the current cursor remain legal even below the
+  /// returned time. The sharded engine's window barrier peeks every shard's
+  /// queue between rounds; a cursor committed to a far-future local event
+  /// would reject legitimate cross-shard messages that land nearer. Exact
+  /// (not a bound): with the cohort empty, the lowest non-empty radix bucket
+  /// contains the queue minimum. Sweeps cancelled entries it scans over so a
+  /// dead entry cannot pin a stale minimum. Precondition: !empty().
+  TimeNs peek_min_time() const;
 
   /// Pops the earliest live event and returns (time, callback).
   /// Precondition: !empty().
@@ -180,6 +206,15 @@ class EventQueue {
   /// events and peak queue depth. One branch per push when installed; nothing
   /// on the path otherwise — the zero-overhead contract.
   void set_stats(obs::QueueStats* stats) { stats_ = stats; }
+
+  /// Historical per-level reservation (PR 6): 64 entries per radix level.
+  static constexpr std::size_t kDefaultReserve = 64;
+  /// Reservation ceiling per radix level: a single level briefly holding the
+  /// whole in-flight set is possible but rare, and reserving expected_cohort
+  /// on all 64 levels would cost 64x the steady-state need. Levels get
+  /// min(expected_cohort, kLevelReserveCap); the cohort heap (which genuinely
+  /// can hold every same-time event of a shard) gets the full expectation.
+  static constexpr std::size_t kLevelReserveCap = 4096;
 
  private:
   /// 32-byte POD entry; the callback lives in the slab record.
@@ -196,6 +231,10 @@ class EventQueue {
     if (a.tie != b.tie) return a.tie < b.tie;
     return a.seq < b.seq;
   }
+
+  /// Shared tail of push/push_keyed: slot acquisition, radix placement,
+  /// stats, bounded compaction.
+  EventHandle emplace(TimeNs fire_time, std::uint64_t tie, EventFn fn);
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot) const;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/support/error.hpp"
+#include "src/support/frame_arena.hpp"
 
 namespace adapt::sim {
 
@@ -25,6 +26,17 @@ class Task;
 namespace detail {
 
 struct PromiseBase {
+  // Frame allocation routes through the thread-local FrameArena when one is
+  // installed (sharded engine workers: size-class recycling + accounting for
+  // the rank-state gauge) and the plain heap otherwise. Inherited by every
+  // Task promise; operator new lookup finds it in the promise class scope.
+  static void* operator new(std::size_t bytes) {
+    return support::frame_alloc(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    support::frame_free(p, bytes);
+  }
+
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
 
@@ -132,6 +144,13 @@ inline Task<void> Promise<void>::get_return_object() {
 /// self-destructs at completion.
 struct Detached {
   struct promise_type {
+    static void* operator new(std::size_t bytes) {
+      return support::frame_alloc(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      support::frame_free(p, bytes);
+    }
+
     Detached get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }

@@ -62,6 +62,7 @@ BufferRef BufferPool::acquire_raw(Bytes n) {
   ADAPT_CHECK(cls < kClasses) << "oversized pool request of " << n << " bytes";
   {
     std::lock_guard<std::mutex> lock(mu_);
+    acquired_bytes_ += static_cast<std::uint64_t>(capacity_of(cls));
     auto& list = free_[cls];
     if (!list.empty()) {
       detail::BufHeader* h = list.back();

@@ -123,6 +123,12 @@ class BufferPool {
   std::uint64_t misses() const { return misses_; }
   /// Bytes currently parked on the free lists.
   std::uint64_t cached_bytes() const { return cached_bytes_; }
+  /// Cumulative block capacity handed out by acquire/acquire_raw. Unlike
+  /// hits/misses/cached_bytes (which depend on cross-thread interleaving of
+  /// a shared pool), every acquire happens exactly once with a deterministic
+  /// size class, so this figure is identical for any --shards value — the
+  /// pool component of the sim.rank_state_bytes gauge.
+  std::uint64_t acquired_bytes() const { return acquired_bytes_; }
 
   static constexpr int kClasses = 32;       // 64 B .. 64 B << 31
   static constexpr Bytes kMinCapacity = 64;
@@ -143,6 +149,7 @@ class BufferPool {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t cached_bytes_ = 0;
+  std::uint64_t acquired_bytes_ = 0;
 };
 
 inline Bytes BufferRef::capacity() const {

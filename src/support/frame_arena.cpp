@@ -1,0 +1,104 @@
+#include "src/support/frame_arena.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <new>
+
+namespace adapt::support {
+
+namespace {
+
+/// Block prefix: the owning arena (null = plain heap) and the block's
+/// rounded capacity. 16 bytes keeps the frame max_align_t-aligned.
+struct alignas(std::max_align_t) FrameHeader {
+  FrameArena* arena;
+  std::uint64_t capacity;  ///< rounded block size, header included
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+thread_local FrameArena* t_arena = nullptr;
+
+int class_of(std::size_t bytes) {
+  if (bytes <= FrameArena::kMinBlock) return 0;
+  return std::bit_width(bytes - 1) -
+         std::bit_width(FrameArena::kMinBlock - 1);
+}
+
+std::size_t capacity_of(int size_class) {
+  return FrameArena::kMinBlock << size_class;
+}
+
+}  // namespace
+
+FrameArena::~FrameArena() {
+  for (int c = 0; c < kClasses; ++c) {
+    void* p = free_[c];
+    while (p != nullptr) {
+      void* next = *static_cast<void**>(p);
+      ::operator delete(p);
+      p = next;
+    }
+  }
+}
+
+void* FrameArena::allocate(std::size_t bytes) {
+  const int c = class_of(bytes);
+  std::size_t capacity = bytes;
+  void* block = nullptr;
+  if (c < kClasses) {
+    capacity = capacity_of(c);
+    block = free_[c];
+    if (block != nullptr) {
+      free_[c] = *static_cast<void**>(block);
+      cached_bytes_ -= capacity;
+    }
+  }
+  if (block == nullptr) block = ::operator new(capacity);
+  live_bytes_ += capacity;
+  peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  total_bytes_ += capacity;
+  return block;
+}
+
+void FrameArena::deallocate(void* p, std::size_t bytes) {
+  const int c = class_of(bytes);
+  std::size_t capacity = bytes;
+  if (c < kClasses) {
+    capacity = capacity_of(c);
+    *static_cast<void**>(p) = free_[c];
+    free_[c] = p;
+    cached_bytes_ += capacity;
+  } else {
+    ::operator delete(p);
+  }
+  live_bytes_ -= capacity;
+}
+
+FrameArena* FrameArena::current() { return t_arena; }
+
+FrameArena::Scope::Scope(FrameArena* arena) : prev_(t_arena) {
+  t_arena = arena;
+}
+
+FrameArena::Scope::~Scope() { t_arena = prev_; }
+
+void* frame_alloc(std::size_t bytes) {
+  const std::size_t total = bytes + sizeof(FrameHeader);
+  FrameArena* arena = t_arena;
+  void* raw = arena ? arena->allocate(total) : ::operator new(total);
+  auto* header = static_cast<FrameHeader*>(raw);
+  header->arena = arena;
+  header->capacity = total;
+  return header + 1;
+}
+
+void frame_free(void* p, std::size_t /*bytes*/) noexcept {
+  auto* header = static_cast<FrameHeader*>(p) - 1;
+  if (header->arena != nullptr) {
+    header->arena->deallocate(header, header->capacity);
+  } else {
+    ::operator delete(header);
+  }
+}
+
+}  // namespace adapt::support

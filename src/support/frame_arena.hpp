@@ -1,0 +1,89 @@
+// Per-thread coroutine-frame allocator with size-class recycling.
+//
+// Coroutine frames are the sharded engine's memory ceiling at 10^5+ ranks:
+// every rank program is a Task<> whose frame (plus the frames of the
+// collective subroutines it awaits) is heap-allocated by the compiler, and
+// frames churn — a segment pipeline creates and destroys thousands per rank.
+// A FrameArena installed thread-locally (Scope) intercepts those
+// allocations: blocks are rounded up to power-of-two size classes and
+// recycled through per-class LIFO free lists, so steady-state frame churn is
+// allocation-free and frames of one shard stay cache-local to its worker.
+//
+// Every block carries a 16-byte header naming its owning arena (or null for
+// plain heap), so frees route correctly even when they happen under a
+// different (or no) installed arena — a Task destroyed on the main thread
+// after its shard's round ended still returns its frame to the right place.
+// Lifetime contract: an arena must outlive every frame it allocated; engines
+// own their arenas and destroy them after all rank state, the same
+// declaration-order discipline as BufferPool.
+//
+// Accounting is always on (it is two integer updates per frame): live bytes,
+// peak live bytes, and cumulative allocated bytes. The cumulative figure
+// feeds the `sim.rank_state_bytes` gauge — unlike the peak, it is invariant
+// to how ranks are partitioned across shards (every frame is allocated
+// exactly once whatever the shard count), so the gauge can be byte-compared
+// across --shards values. The peak feeds the per-rank memory-budget tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace adapt::support {
+
+class FrameArena {
+ public:
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena();
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes);
+
+  /// Bytes in frames currently alive (header overhead included).
+  std::uint64_t live_bytes() const { return live_bytes_; }
+  /// High-water mark of live_bytes over the arena's lifetime.
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+  /// Cumulative bytes ever allocated (shard-partition invariant; see above).
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Bytes parked on the free lists (allocated from the system, idle).
+  std::uint64_t cached_bytes() const { return cached_bytes_; }
+
+  /// The arena installed on this thread, or null.
+  static FrameArena* current();
+
+  /// RAII install/restore of the thread-local arena (nesting-safe).
+  class Scope {
+   public:
+    explicit Scope(FrameArena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FrameArena* prev_;
+  };
+
+  /// Smallest block handed out; classes double from here.
+  static constexpr std::size_t kMinBlock = 64;
+  /// Largest pooled class (64 B << 7 = 8 KiB); bigger frames go straight to
+  /// the heap (still counted).
+  static constexpr int kClasses = 8;
+
+ private:
+  std::array<void*, kClasses> free_{};  ///< intrusive LIFO per class
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t cached_bytes_ = 0;
+};
+
+/// Coroutine-promise allocation hooks (see sim::detail::PromiseBase):
+/// route through the installed FrameArena when one is present, plain heap
+/// otherwise. Every block is prefixed with a header naming its owner, so
+/// frame_free needs no thread-local lookup.
+void* frame_alloc(std::size_t bytes);
+void frame_free(void* p, std::size_t bytes) noexcept;
+
+}  // namespace adapt::support

@@ -1,0 +1,104 @@
+#include "src/support/shard_pool.hpp"
+
+#include "src/support/error.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace adapt::support {
+
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+int default_spin() {
+  // On a single hardware thread, spinning only delays the scheduler from
+  // running the thread we are waiting on.
+  return std::thread::hardware_concurrency() > 1 ? (1 << 12) : 0;
+}
+
+}  // namespace
+
+ShardPool::ShardPool(int workers) : workers_(workers), spin_(default_spin()) {
+  ADAPT_CHECK(workers_ >= 1) << "ShardPool needs at least one worker";
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(start_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::run_round(const std::function<void(int)>& fn) {
+  if (workers_ == 1) {
+    fn(0);
+    return;
+  }
+  fn_ = &fn;
+  remaining_.store(workers_ - 1, std::memory_order_relaxed);
+  {
+    // The bump happens under the mutex so a worker that checked the round
+    // number and is about to sleep cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(start_mu_);
+    round_.fetch_add(1, std::memory_order_release);
+  }
+  start_cv_.notify_all();
+
+  fn(0);
+
+  for (int i = 0; i < spin_; ++i) {
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    cpu_pause();
+  }
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ShardPool::wait_for_round(std::uint64_t expect) {
+  for (int i = 0; i < spin_; ++i) {
+    if (round_.load(std::memory_order_acquire) >= expect ||
+        stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    cpu_pause();
+  }
+  std::unique_lock<std::mutex> lock(start_mu_);
+  start_cv_.wait(lock, [this, expect] {
+    return round_.load(std::memory_order_acquire) >= expect ||
+           stop_.load(std::memory_order_acquire);
+  });
+}
+
+void ShardPool::worker_loop(int index) {
+  std::uint64_t expect = 1;
+  while (true) {
+    wait_for_round(expect);
+    if (stop_.load(std::memory_order_acquire)) return;
+    ++expect;
+    (*fn_)(index);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Empty critical section pairs with the caller's predicate check under
+      // done_mu_, so the notify cannot slot in between check and wait.
+      { std::lock_guard<std::mutex> lock(done_mu_); }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace adapt::support

@@ -13,6 +13,7 @@
 #include "src/coll/topo_tree.hpp"
 #include "src/coll/tree.hpp"
 #include "src/mpi/errors.hpp"
+#include "src/runtime/sharded_engine.hpp"
 #include "src/runtime/sim_engine.hpp"
 #include "src/runtime/thread_engine.hpp"
 #include "src/support/error.hpp"
@@ -31,6 +32,7 @@ const char* engine_name(EngineKind engine) {
   switch (engine) {
     case EngineKind::kSim: return "sim";
     case EngineKind::kThread: return "thread";
+    case EngineKind::kSharded: return "sharded";
   }
   return "?";
 }
@@ -152,7 +154,7 @@ std::string repro_string(const CaseConfig& config, const RunSpec& spec,
       << " chaos_seed=" << spec.chaos_seed
       << " wd_detect=" << spec.wd_detect
       << " wd_quiesce=" << spec.wd_quiesce << " wd_bomb=" << spec.wd_bomb
-      << " fault=" << fault_name(fault);
+      << " shards=" << spec.shards << " fault=" << fault_name(fault);
   return out.str();
 }
 
@@ -235,7 +237,7 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
     } else if (key == "parts") {
       ok = as_int(&cfg.partitions);
     } else if (key == "engine") {
-      ok = enum_from_name(value, 2, engine_name, &run.engine);
+      ok = enum_from_name(value, 3, engine_name, &run.engine);
     } else if (key == "perturb_seed") {
       ok = as_u64(&run.perturb_seed);
     } else if (key == "jitter") {
@@ -250,6 +252,9 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
       ok = as_int(&run.wd_quiesce) && run.wd_quiesce > 0;
     } else if (key == "wd_bomb") {
       ok = as_int(&run.wd_bomb) && run.wd_bomb > 0;
+    } else if (key == "shards") {
+      // Absent on pre-sharded repro lines; those parse to the default.
+      ok = as_int(&run.shards) && run.shards >= 1;
     } else if (key == "fault") {
       ok = enum_from_name(value, 3, fault_name, &flt);
     } else {
@@ -599,6 +604,17 @@ std::optional<std::string> run_case(const CaseConfig& config,
         });
         engine.run(chaos_program);
       }
+    } else if (spec.engine == EngineKind::kSharded) {
+      ADAPT_CHECK(spec.perturb_seed == 0)
+          << "the sharded engine's keyed event order is incompatible with "
+             "schedule perturbation";
+      ADAPT_CHECK(!config.persistent)
+          << "persistent rows need the SimEngine plan cache";
+      runtime::ShardedEngineOptions engine_opts;
+      engine_opts.shards = spec.shards;
+      engine_opts.recorder = std::move(recorder);
+      runtime::ShardedEngine engine(machine, engine_opts);
+      engine.run(body);
     } else {
       runtime::ThreadEngine engine(machine);
       engine.run(body);
@@ -1127,7 +1143,8 @@ std::vector<CaseConfig> full_matrix() {
 std::string write_failure_trace(const CaseConfig& config, const RunSpec& spec,
                                 Fault fault, const std::string& trace_dir,
                                 int index) {
-  if (spec.engine != EngineKind::kSim) return "";  // Recorder is sim-only
+  // Recorder needs virtual time — the ThreadEngine cannot be traced.
+  if (spec.engine == EngineKind::kThread) return "";
   auto recorder = std::make_shared<obs::Recorder>();
   run_case(config, spec, fault, recorder);  // deterministic replay
   std::error_code ec;
@@ -1234,7 +1251,7 @@ Report run_matrix(const std::vector<CaseConfig>& cases,
   driver.progress_every = 20;
   return detail::run_case_matrix(
       cases,
-      [&](const CaseConfig&) {
+      [&](const CaseConfig& config) {
         std::vector<RunSpec> specs;
         specs.push_back(RunSpec{EngineKind::kSim, 0, 0});
         for (int s = 1; s <= options.sim_seeds; ++s) {
@@ -1244,6 +1261,17 @@ Report run_matrix(const std::vector<CaseConfig>& cases,
         }
         if (options.thread_engine) {
           specs.push_back(RunSpec{EngineKind::kThread, 0, 0});
+        }
+        if (options.sharded_shards > 0 && !config.persistent &&
+            config.partitions == 0) {
+          RunSpec sharded;
+          sharded.engine = EngineKind::kSharded;
+          sharded.shards = 1;
+          specs.push_back(sharded);
+          if (options.sharded_shards > 1) {
+            sharded.shards = options.sharded_shards;
+            specs.push_back(sharded);
+          }
         }
         return specs;
       },

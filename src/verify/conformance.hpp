@@ -36,8 +36,12 @@ class Recorder;
 
 namespace adapt::verify {
 
-/// Which engine executes a run.
-enum class EngineKind { kSim, kThread };
+/// Which engine executes a run. kSharded is the conservative-lookahead
+/// sharded engine (runtime/sharded_engine.hpp): stable schedule only (its
+/// keyed event order is incompatible with perturbation), no chaos, no
+/// persistent rows — its job in the matrix is proving the sharded runtime
+/// produces byte-identical collective results for any shard count.
+enum class EngineKind { kSim, kThread, kSharded };
 
 /// The operations the matrix covers. kLibBcast/kLibReduce run a library
 /// personality (CaseConfig::library) end to end instead of a raw style.
@@ -148,6 +152,9 @@ struct RunSpec {
   TimeNs wd_detect = milliseconds(200);
   TimeNs wd_quiesce = milliseconds(300);
   TimeNs wd_bomb = milliseconds(400);
+  /// Worker shards for kSharded runs (clamped by the engine to the machine's
+  /// block count); ignored by the other engines.
+  int shards = 1;
 };
 
 /// Members of the case's communicator as global ranks of `world`.
@@ -218,6 +225,12 @@ struct MatrixOptions {
   /// recorder and a Perfetto JSON written to this directory (created on
   /// demand); Failure::trace_path names the file.
   std::string trace_dir;
+  /// > 0: every eligible case (non-persistent, non-partitioned) also runs on
+  /// the sharded engine under the stable schedule, at 1 shard and at this
+  /// many shards — certifying that partitioning the event core across
+  /// threads cannot change a collective's bytes. 0 (default) adds no
+  /// sharded rows.
+  int sharded_shards = 0;
 };
 
 /// The full conformance matrix: every collective × style × personality ×

@@ -426,6 +426,40 @@ TEST(AllocationFree, EventQueueSteadyState) {
       << "event scheduling allocated in steady state";
 }
 
+TEST(AllocationFree, ShardCohortPreReserve) {
+  // The sharded engine sizes each shard's queue for its rank cohort up
+  // front (EventQueue(expected_cohort) reserves the cohort vector and every
+  // radix level), so after one warm-up fill — slab record chunks are still
+  // allocated on demand — keyed pushes across the full radix-level spread
+  // allocate nothing. This is the --shards>1 hot path: no queue growth while
+  // worker threads run their windows.
+  constexpr int kCohort = 512;
+  sim::EventQueue q(kCohort);
+  std::uint64_t tie = 0;
+  TimeNs t = 0;
+  const auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < kCohort; ++i) {
+        // Spread across radix levels 5..45 like the default steady-state
+        // test — the ctor's per-level reserve must cover them unwarmed.
+        const int level = 5 + (i % 41);
+        q.push_keyed(t + (static_cast<TimeNs>(1) << level) + i * 37, tie++,
+                     [] {});
+      }
+      while (!q.empty()) {
+        auto [time, fn] = q.pop();
+        t = time;
+        fn();
+      }
+    }
+  };
+  churn(1);  // warm the record slab (one full-cohort chunk set)
+  const std::uint64_t before = g_alloc_count.load();
+  churn(20);
+  EXPECT_EQ(g_alloc_count.load() - before, 0u)
+      << "pre-reserved shard cohort allocated in steady state";
+}
+
 TEST(AllocationFree, BufferPoolSteadyState) {
   support::BufferPool pool;
   const auto churn = [&] {

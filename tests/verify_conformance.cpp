@@ -50,8 +50,12 @@ int usage() {
          "                          [--soft-seeds=K] [--kill-seeds=K]\n"
          "                          [--watchdog=SECONDS]  (0 disables)\n"
          "                          [--jobs=N]  (0 = all hardware threads)\n"
+         "                          [--shards=N]\n"
          "                          [--trace-dir=DIR]\n"
          "                          [--repro '<failure line>']\n"
+         "--shards: also run every eligible case on the sharded engine, at 1\n"
+         "shard and at N shards, under the stable schedule — the sharded\n"
+         "rows must report byte-identically for any N and any --jobs.\n"
          "--jobs: run matrix cases on N worker threads. Every run is an\n"
          "independent deterministic engine, so the report is identical for\n"
          "any N; only wall clock changes.\n"
@@ -212,6 +216,7 @@ int main(int argc, char** argv) {
   int kill_seeds = 4;
   long watchdog_seconds = 120;
   int jobs = 1;
+  int sharded_shards = 0;
   std::string trace_dir;
   std::string repro_line;
 
@@ -240,6 +245,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = std::stoi(arg.substr(7));
       if (jobs <= 0) jobs = support::hardware_jobs();
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      sharded_shards = std::stoi(arg.substr(9));
     } else if (arg.rfind("--trace-dir=", 0) == 0) {
       trace_dir = arg.substr(12);
     } else if (arg == "--repro" && i + 1 < argc) {
@@ -264,11 +271,16 @@ int main(int argc, char** argv) {
     options.log = log;
     options.on_run = on_run;
     options.trace_dir = trace_dir;
+    options.sharded_shards = sharded_shards;
 
     const std::vector<CaseConfig> cases = full_matrix();
     std::cout << "conformance matrix: " << cases.size()
               << " cases × (1 stable + " << seeds << " perturbed"
-              << (thread_engine ? " + 1 thread" : "") << ") runs\n";
+              << (thread_engine ? " + 1 thread" : "");
+    if (sharded_shards > 0) {
+      std::cout << " + sharded@{1," << sharded_shards << "}";
+    }
+    std::cout << ") runs\n";
     const Report report = run_matrix(cases, options);
     std::cout << report.summary() << "\n";
     if (!report.ok()) {
