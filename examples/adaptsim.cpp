@@ -8,6 +8,9 @@
 //              --op bcast --min 65536 --max 4194304 --noise 5 --iters 4
 //   (single command line; wrapped here for readability)
 //   ./adaptsim --spec "nodes=4,sockets=2,cores=8,bw_node=10" --lib cray ...
+//   ./adaptsim --machine nodes=16,ppn=8 --lib ompi-han --op bcast
+//   (--machine is an alias for --spec; ppn= builds flat nodes with the
+//   first-class SHM channel enabled, the natural shape for two-level HAN)
 //
 // Observability: --trace=FILE writes a Chrome/Perfetto trace of the final
 // message size's run (load at ui.perfetto.dev); --metrics=FILE writes the
@@ -250,10 +253,14 @@ int main(int argc, char** argv) {
   const Bytes min_msg = cli.get_int("min", kib(64));
   const Bytes max_msg = cli.get_int("max", mib(4));
 
-  topo::MachineSpec spec = cli.has("spec")
-                               ? topo::parse_spec(cli.get("spec", ""))
-                               : topo::preset(cli.get("cluster", "cori"), nodes);
-  if (cli.has("spec")) spec.nodes = std::max(spec.nodes, nodes);
+  // --machine and --spec are the same thing (a topo::parse_spec string);
+  // --machine reads better in docs, --spec predates it.
+  const bool custom_spec = cli.has("machine") || cli.has("spec");
+  topo::MachineSpec spec =
+      custom_spec ? topo::parse_spec(cli.has("machine") ? cli.get("machine", "")
+                                                        : cli.get("spec", ""))
+                  : topo::preset(cli.get("cluster", "cori"), nodes);
+  if (custom_spec) spec.nodes = std::max(spec.nodes, nodes);
   const bool gpu = spec.gpus_per_socket > 0;
   const int default_ranks =
       gpu ? spec.nodes * spec.gpus_per_node() : spec.nodes * spec.cores_per_node();

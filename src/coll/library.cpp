@@ -6,6 +6,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "src/coll/han.hpp"
 #include "src/coll/hierarchical.hpp"
 #include "src/coll/moreops.hpp"
 #include "src/coll/topo_tree.hpp"
@@ -32,11 +33,12 @@ struct TreeChoice {
 
 /// One collective's execution recipe for a given message size.
 struct Plan {
-  enum class Algo { kTree, kHier, kScatterAllgather, kRabenseifner };
+  enum class Algo { kTree, kHier, kHan, kScatterAllgather, kRabenseifner };
   Algo algo = Algo::kTree;
   Style style = Style::kNonblocking;
   TreeChoice tree;
   HierSpec hier;
+  HanSpec han;
   AllgatherAlgo ag = AllgatherAlgo::kRing;
   Bytes segment = kib(128);
   int outstanding_sends = 2;
@@ -146,6 +148,10 @@ Plan tuned_plan(runtime::Context& ctx, tune::Tuner& tuner, tune::Op op,
       break;
     case tune::Topology::kBinomial: p.tree.kind = TreeKind::kBinomial; break;
     case tune::Topology::kChain: p.tree.kind = TreeKind::kChain; break;
+    case tune::Topology::kHan:
+      p.algo = Plan::Algo::kHan;
+      p.han.radix = d.radix;
+      break;
   }
   return p;
 }
@@ -194,6 +200,13 @@ class PlanLibrary final : public MpiLibrary {
         co_await hier_bcast(ctx, comm, buffer, root, machine_, spec);
         co_return;
       }
+      case Plan::Algo::kHan: {
+        HanSpec spec = p.han;
+        spec.style = p.style;
+        spec.opts = opts;
+        co_await han_bcast(ctx, comm, buffer, root, machine_, spec);
+        co_return;
+      }
       case Plan::Algo::kScatterAllgather:
         co_await bcast_scatter_allgather(ctx, comm, buffer, root, p.ag);
         co_return;
@@ -227,6 +240,14 @@ class PlanLibrary final : public MpiLibrary {
         spec.opts = opts;
         co_await hier_reduce(ctx, comm, accum, op, dtype, root, machine_,
                              spec);
+        co_return;
+      }
+      case Plan::Algo::kHan: {
+        HanSpec spec = p.han;
+        spec.style = p.style;
+        spec.opts = opts;
+        co_await han_reduce(ctx, comm, accum, op, dtype, root, machine_,
+                            spec);
         co_return;
       }
       case Plan::Algo::kRabenseifner:
@@ -336,6 +357,18 @@ Plan mvapich_plan(Bytes msg) {
   return p;
 }
 
+Plan han_plan(Bytes msg) {
+  // HAN: one fused two-level tree (binomial over node leaders, k-nomial
+  // within each node over the SHM channel) under the event-driven style, so
+  // the levels overlap at segment granularity — the ADAPT answer to the
+  // sequential intel/hier design.
+  Plan p;
+  p.algo = Plan::Algo::kHan;
+  p.style = Style::kAdapt;
+  p.segment = default_segment_size(msg);
+  return p;
+}
+
 Plan intel_plan_bcast(Bytes msg) {
   Plan p;
   p.algo = Plan::Algo::kHier;
@@ -404,6 +437,7 @@ std::shared_ptr<MpiLibrary> make_library(const std::string& name,
     return lib(default_tuned_bcast, default_tuned_reduce);
   if (name == "ompi-default-topo")
     return lib(default_topo_plan, default_topo_plan);
+  if (name == "ompi-han") return lib(han_plan, han_plan);
   if (name == "cray") return lib(cray_plan, cray_plan);
   if (name == "mvapich") return lib(mvapich_plan, mvapich_plan);
   if (name == "intel") return lib(intel_plan_bcast, intel_plan_reduce);

@@ -11,6 +11,10 @@
 //   ompi-adapt-tuned    ompi-adapt with its own always-on decision engine
 //                       (src/tune): topology/segment/radix from the Hockney
 //                       cost model, cached per (op, comm size, size bucket)
+//   ompi-han            HAN-style two-level: one fused tree (binomial over
+//                       node leaders + k-nomial per node over the SHM
+//                       channel) under the event-driven style, levels
+//                       overlapping at segment granularity
 //   ompi-default        Open MPI "tuned": nonblocking + Waitall, rank-order
 //                       trees, message-size decision rules
 //   ompi-default-topo   tuned's nonblocking style on ADAPT's topo tree

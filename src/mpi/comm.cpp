@@ -1,6 +1,7 @@
 #include "src/mpi/comm.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 namespace adapt::mpi {
@@ -39,6 +40,15 @@ Comm::Comm(std::vector<Rank> members) {
   state_->members = std::move(members);
   state_->fingerprint = members_fingerprint(state_->members);
   cstate_ = state_;
+}
+
+std::vector<Comm> Comm::split_by(const std::function<int(Rank)>& color) const {
+  std::map<int, std::vector<Rank>> groups;  // color -> members, comm order
+  for (const Rank g : members()) groups[color(g)].push_back(g);
+  std::vector<Comm> out;
+  out.reserve(groups.size());
+  for (auto& [c, group] : groups) out.emplace_back(std::move(group));
+  return out;
 }
 
 Rank Comm::local_of(Rank global_rank) const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -58,6 +59,13 @@ class Comm {
   /// the same ordered ranks share a fingerprint (and may share cached
   /// plans — the plan depends only on membership and machine).
   std::uint64_t fingerprint() const { return state_->fingerprint; }
+
+  /// MPI_Comm_split: partitions the members by `color` (evaluated on global
+  /// ranks) into one sub-communicator per distinct color, returned in
+  /// ascending color order. Each sub-communicator keeps this communicator's
+  /// member order, so every rank computes identical groups — the two-level
+  /// (HAN) collectives split by node this way.
+  std::vector<Comm> split_by(const std::function<int(Rank)>& color) const;
 
   /// MPI_Comm_free: marks every copy of this communicator freed. Collectives
   /// already in flight are unaffected; new persistent start()s fail with

@@ -17,6 +17,14 @@ ClusterNet::ClusterNet(sim::Simulator& simulator, const topo::Machine& machine,
   for (int s = 0; s < sockets; ++s)
     shm_.push_back(fabric_.add_link(spec.shm_parallel /
                                     spec.intra_socket.beta_ns_per_byte));
+  if (spec.has_shm_channel()) {
+    // One node-local memory-bandwidth resource: every same-node pair shares
+    // it, capacity shm_node_parallel × the single-pair rate.
+    shm_node_.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n)
+      shm_node_.push_back(fabric_.add_link(spec.shm_node_parallel /
+                                           spec.shm_node.beta_ns_per_byte));
+  }
   qpi_.reserve(static_cast<std::size_t>(nodes));
   nic_tx_.reserve(static_cast<std::size_t>(nodes));
   nic_rx_.reserve(static_cast<std::size_t>(nodes));
@@ -45,6 +53,14 @@ Route ClusterNet::route(Rank src, Rank dst) const {
   Route r;
   r.alpha = lane.alpha;
   r.per_flow_cap = 1.0 / lane.beta_ns_per_byte;
+  // First-class SHM channel: ALL same-node traffic rides the node-local
+  // memory link and never touches the socket/QPI wires (lane() already
+  // returned the SHM alpha/beta for these levels).
+  if (machine_.spec().has_shm_channel() && level != topo::Level::kInterNode) {
+    ADAPT_CHECK(level != topo::Level::kSelf) << "self route";
+    r.links = {shm_node(machine_.node_of(src))};
+    return r;
+  }
   switch (level) {
     case topo::Level::kIntraSocket:
       r.links = {shm(machine_.socket_id(src))};

@@ -53,6 +53,9 @@ class ClusterNet {
   // Named links, exposed for the GPU collective optimisations that compose
   // their own routes (e.g. explicit CPU-buffer staging).
   LinkId shm(int socket_id) const { return shm_.at(socket_id); }
+  /// Per-node shared-memory channel; only present when the machine enables
+  /// it (spec().has_shm_channel()).
+  LinkId shm_node(int node) const { return shm_node_.at(node); }
   LinkId qpi(int node) const { return qpi_.at(node); }
   LinkId nic_tx(int node) const { return nic_tx_.at(node); }
   LinkId nic_rx(int node) const { return nic_rx_.at(node); }
@@ -66,6 +69,7 @@ class ClusterNet {
   Fabric fabric_;
   GpuConfig gpu_;
   std::vector<LinkId> shm_;       // per global socket
+  std::vector<LinkId> shm_node_;  // per node (SHM-channel machines only)
   std::vector<LinkId> qpi_;       // per node
   std::vector<LinkId> nic_tx_;    // per node
   std::vector<LinkId> nic_rx_;    // per node

@@ -53,6 +53,42 @@ Machine::Machine(MachineSpec spec, int nranks, PlacementPolicy policy)
   }
 }
 
+Machine::Machine(MachineSpec spec, std::vector<int> slots)
+    : spec_(std::move(spec)), policy_(PlacementPolicy::kByCore) {
+  ADAPT_CHECK(!slots.empty());
+  ADAPT_CHECK(spec_.nodes > 0 && spec_.sockets_per_node > 0 &&
+              spec_.cores_per_socket > 0);
+  const int capacity = spec_.nodes * spec_.cores_per_node();
+  std::vector<char> used(static_cast<std::size_t>(capacity), 0);
+  locs_.reserve(slots.size());
+  bool dense = true;
+  for (std::size_t r = 0; r < slots.size(); ++r) {
+    const int slot = slots[r];
+    ADAPT_CHECK(slot >= 0 && slot < capacity)
+        << "slot " << slot << " outside " << capacity << " cores on "
+        << spec_.name;
+    ADAPT_CHECK(!used[static_cast<std::size_t>(slot)])
+        << "slot " << slot << " assigned twice";
+    used[static_cast<std::size_t>(slot)] = 1;
+    const int node = slot / spec_.cores_per_node();
+    const int within = slot % spec_.cores_per_node();
+    locs_.push_back(Loc{node, within / spec_.cores_per_socket,
+                        within % spec_.cores_per_socket, -1});
+    dense = dense && slot == static_cast<int>(r);
+  }
+  if (!dense) {
+    // FNV-1a over the slot sequence: distinguishes placements in the
+    // fingerprint so tuner tables recorded under one mapping are not replayed
+    // under another.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const int slot : slots) {
+      h ^= static_cast<std::uint64_t>(slot);
+      h *= 1099511628211ull;
+    }
+    placement_hash_ = h != 0 ? h : 1;
+  }
+}
+
 const Loc& Machine::loc(Rank r) const {
   ADAPT_CHECK(r >= 0 && r < nranks()) << "rank " << r << " of " << nranks();
   return locs_[static_cast<std::size_t>(r)];
@@ -69,8 +105,10 @@ Level Machine::level_between(Rank a, Rank b) const {
 
 const LinkParams& Machine::lane(Level level) const {
   switch (level) {
-    case Level::kIntraSocket: return spec_.intra_socket;
-    case Level::kInterSocket: return spec_.inter_socket;
+    case Level::kIntraSocket:
+      return spec_.has_shm_channel() ? spec_.shm_node : spec_.intra_socket;
+    case Level::kInterSocket:
+      return spec_.has_shm_channel() ? spec_.shm_node : spec_.inter_socket;
     case Level::kInterNode: return spec_.inter_node;
     case Level::kSelf: break;
   }
@@ -124,7 +162,20 @@ std::string Machine::fingerprint() const {
       static_cast<long long>(spec_.unexpected_overhead),
       static_cast<long long>(spec_.eager_threshold), spec_.reduce_gamma,
       static_cast<long long>(spec_.cpu_overhead));
-  return buf;
+  std::string out = buf;
+  // Appended only when non-default so every pre-existing machine keeps its
+  // exact fingerprint (persisted decision tables stay loadable).
+  if (spec_.has_shm_channel()) {
+    std::snprintf(buf, sizeof(buf), " shmnode=%s/%.9g",
+                  lane_sig(spec_.shm_node).c_str(), spec_.shm_node_parallel);
+    out += buf;
+  }
+  if (placement_hash_ != 0) {
+    std::snprintf(buf, sizeof(buf), " perm=%llx",
+                  static_cast<unsigned long long>(placement_hash_));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace adapt::topo

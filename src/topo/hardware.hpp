@@ -8,6 +8,7 @@
 // hwloc data inside Open MPI.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,18 @@ struct MachineSpec {
   /// single-pair bandwidth: several core pairs can stream concurrently before
   /// the socket's memory system saturates.
   double shm_parallel = 4.0;
+
+  /// First-class per-node shared-memory channel (the HAN transport). When
+  /// enabled (beta > 0) every same-node pair — regardless of socket — talks
+  /// over one node-local SHM link with these Hockney parameters instead of
+  /// the intra/inter-socket wires, and the contention pass treats the node's
+  /// memory bandwidth as its own resource (capacity = shm_node_parallel ×
+  /// the single-pair bandwidth). Disabled by default so every existing
+  /// machine keeps its lane model, fingerprint and golden hashes.
+  LinkParams shm_node{0, 0.0};
+  double shm_node_parallel = 4.0;
+
+  bool has_shm_channel() const { return shm_node.beta_ns_per_byte > 0.0; }
 
   // Local memory-system costs.
   double memcpy_beta = 0.1;        ///< ns/B for host buffer copies
@@ -98,6 +111,12 @@ class Machine {
  public:
   Machine(MachineSpec spec, int nranks,
           PlacementPolicy policy = PlacementPolicy::kByCore);
+  /// Permuted placement: rank r occupies the dense kByCore slot `slots[r]`.
+  /// `slots` must be a permutation of a subset of [0, nodes*cores_per_node).
+  /// Models launchers that scatter ranks across nodes (cyclic, reversed,
+  /// random bindings) — the layouts two-level collectives must stay correct
+  /// under.
+  Machine(MachineSpec spec, std::vector<int> slots);
 
   const MachineSpec& spec() const { return spec_; }
   int nranks() const { return static_cast<int>(locs_.size()); }
@@ -128,6 +147,7 @@ class Machine {
   MachineSpec spec_;
   PlacementPolicy policy_;
   std::vector<Loc> locs_;
+  std::uint64_t placement_hash_ = 0;  ///< 0 = dense kByCore placement
 };
 
 }  // namespace adapt::topo

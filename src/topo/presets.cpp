@@ -71,6 +71,26 @@ MachineSpec psg(int nodes) {
   return m;
 }
 
+MachineSpec han_cluster(int nodes, int ppn) {
+  ADAPT_CHECK(nodes > 0 && ppn > 0);
+  MachineSpec m;
+  m.name = "han-cluster";
+  m.nodes = nodes;
+  m.sockets_per_node = 1;
+  m.cores_per_socket = ppn;
+  m.intra_socket = link(300, 8.0);  // shadowed by the SHM channel below
+  m.shm_parallel = 8.0;
+  m.inter_socket = link(500, 6.0);
+  m.inter_node = link(1400, 8.0);   // Cray Aries
+  m.shm_node = link(400, 10.0);     // per-pair SHM copy path
+  m.shm_node_parallel = 6.0;        // ~60 GB/s node memory system
+  m.memcpy_beta = 0.12;
+  m.unexpected_overhead = 700;
+  m.reduce_gamma = 0.25;
+  m.cpu_overhead = 150;
+  return m;
+}
+
 MachineSpec preset(const std::string& name, int nodes) {
   ADAPT_CHECK(nodes > 0);
   if (name == "cori") return cori(nodes);
@@ -114,6 +134,22 @@ MachineSpec parse_spec(const std::string& text) {
       m.pcie.alpha = static_cast<TimeNs>(value);
     } else if (key == "bw_pcie") {
       m.pcie.beta_ns_per_byte = 1.0 / value;
+    } else if (key == "ppn") {
+      // "ranks per node" shorthand: single-socket nodes of `ppn` cores with
+      // the first-class SHM channel enabled at han_cluster defaults (override
+      // with alpha_shm / bw_shm / shm_par).
+      m.sockets_per_node = 1;
+      m.cores_per_socket = static_cast<int>(value);
+      if (!m.has_shm_channel()) {
+        m.shm_node = link(400, 10.0);
+        m.shm_node_parallel = 6.0;
+      }
+    } else if (key == "alpha_shm") {
+      m.shm_node.alpha = static_cast<TimeNs>(value);
+    } else if (key == "bw_shm") {
+      m.shm_node.beta_ns_per_byte = 1.0 / value;
+    } else if (key == "shm_par") {
+      m.shm_node_parallel = value;
     } else if (key == "gamma") {
       m.reduce_gamma = value;
     } else if (key == "gpu_gamma") {

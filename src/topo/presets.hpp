@@ -23,6 +23,11 @@ MachineSpec stampede2(int nodes);
 /// NVIDIA PSG-like: 2 × 10-core IvyBridge, 2 K40 GPUs per socket, FDR IB.
 MachineSpec psg(int nodes);
 
+/// HAN-capable cluster: `ppn` single-socket cores per node with a first-class
+/// per-node SHM channel (the two-level collectives' intra-node transport)
+/// over a Cori-flavoured Aries fabric.
+MachineSpec han_cluster(int nodes, int ppn);
+
 /// Looks up a preset by name ("cori", "stampede2", "psg").
 MachineSpec preset(const std::string& name, int nodes);
 

@@ -53,7 +53,7 @@ struct Edge {
 /// lane bandwidth; a socket's shared memory carries spec.shm_parallel.
 class LinkTable {
  public:
-  enum Kind { kShm, kQpi, kNicTx, kNicRx };
+  enum Kind { kShm, kQpi, kNicTx, kNicRx, kNodeShm };
 
   int get(Kind kind, int index, double cap) {
     const auto [it, fresh] =
@@ -122,6 +122,13 @@ void apply_contention(const topo::Machine& machine, const mpi::Comm& comm,
     const Level level = machine.level_between(gsrc, gdst);
 
     std::vector<int> edge_links;
+    if (spec.has_shm_channel() && level != Level::kInterNode &&
+        level != Level::kSelf) {
+      // First-class SHM channel: same-node edges share the node's memory
+      // bandwidth, mirroring ClusterNet's shm_node link.
+      edge_links = {links.get(LinkTable::kNodeShm, machine.node_of(gsrc),
+                              spec.shm_node_parallel)};
+    } else
     switch (level) {
       case Level::kIntraSocket:
         edge_links = {links.get(LinkTable::kShm, machine.socket_id(gsrc),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/coll/han.hpp"
 #include "src/coll/topo_tree.hpp"
 #include "src/support/error.hpp"
 #include "src/support/json.hpp"
@@ -15,13 +16,15 @@ const char* topology_name(Topology t) {
     case Topology::kTopoKnomial: return "topo-knomial";
     case Topology::kBinomial: return "binomial";
     case Topology::kChain: return "chain";
+    case Topology::kHan: return "han";
   }
   return "?";
 }
 
 bool topology_from_name(const std::string& name, Topology* out) {
   for (const Topology t : {Topology::kTopoChain, Topology::kTopoKnomial,
-                           Topology::kBinomial, Topology::kChain}) {
+                           Topology::kBinomial, Topology::kChain,
+                           Topology::kHan}) {
     if (name == topology_name(t)) {
       *out = t;
       return true;
@@ -134,11 +137,20 @@ std::vector<Decision> Tuner::candidates(Op op, int ranks, Bytes bytes) const {
     d.predicted = predict(op, ranks, d, rep);
     out.push_back(d);
   };
+  // Two-level HAN candidates only exist on machines with a first-class SHM
+  // channel, and only when the (dense-prefix) communicator spans more than
+  // one node — a single-node comm's HAN tree degenerates to the flat shape.
+  // Gating keeps the default grid byte-identical on every legacy machine.
+  const bool han = machine_.spec().has_shm_channel() &&
+                   ranks > machine_.spec().cores_per_node();
   for (const Bytes seg : segments) {
     price({Topology::kTopoChain, 4, seg, 0});
     for (const int radix : options_.radices)
       price({Topology::kTopoKnomial, radix, seg, 0});
     price({Topology::kBinomial, 4, seg, 0});
+    if (han)
+      for (const int radix : options_.radices)
+        price({Topology::kHan, radix, seg, 0});
   }
   return out;
 }
@@ -219,6 +231,11 @@ coll::Tree decision_tree(const topo::Machine& machine, const mpi::Comm& comm,
       return coll::build_tree(coll::TreeKind::kBinomial, comm.size(), root);
     case Topology::kChain:
       return coll::build_tree(coll::TreeKind::kChain, comm.size(), root);
+    case Topology::kHan: {
+      coll::HanSpec spec;
+      spec.radix = decision.radix;
+      return coll::build_han_tree(machine, comm, root, spec);
+    }
   }
   ADAPT_UNREACHABLE("bad tuned topology");
 }

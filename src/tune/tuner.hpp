@@ -28,8 +28,11 @@ namespace adapt::tune {
 
 /// Candidate tree families. kTopoChain is the paper's ADAPT configuration
 /// (chains at every hardware level); kTopoKnomial keeps the hardware grouping
-/// but uses k-nomial shapes per level; kBinomial/kChain are rank-order shapes.
-enum class Topology { kTopoChain, kTopoKnomial, kBinomial, kChain };
+/// but uses k-nomial shapes per level; kBinomial/kChain are rank-order shapes;
+/// kHan is the two-level HAN tree (binomial over node leaders + k-nomial per
+/// node over the SHM channel), priced only on machines with a first-class SHM
+/// channel whose communicator spans more than one node.
+enum class Topology { kTopoChain, kTopoKnomial, kBinomial, kChain, kHan };
 
 const char* topology_name(Topology t);
 bool topology_from_name(const std::string& name, Topology* out);

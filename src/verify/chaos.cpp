@@ -121,6 +121,77 @@ std::vector<CaseConfig> chaos_matrix() {
     c.bytes = kib(160);
     add(c);
   }
+  // HAN two-level rows on the han_cluster machine (world 8 × ppn 2 =
+  // 4 nodes). On the kEven comm every member is alone on its node, so every
+  // member is a node leader — ANY kKill death is a leader killed
+  // mid-collective, exactly the hole two-level designs historically leak
+  // through (a dead leader orphans its whole node's subtree). The
+  // world-comm rows mix leader and non-leader deaths, on a scrambled
+  // placement so the orphaned subtree is not rank-contiguous. The uniform-
+  // error-or-byte-exact contract must hold either way.
+  {
+    CaseConfig c;
+    c.collective = Collective::kBcast;
+    c.style = coll::Style::kAdapt;
+    c.ppn = 2;
+    c.tree = TreeChoice::kHan;
+    c.comm = CommKind::kEven;
+    c.root = 1;
+    c.bytes = 3000;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kReduce;
+    c.style = coll::Style::kAdapt;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.ppn = 2;
+    c.tree = TreeChoice::kHan;
+    c.comm = CommKind::kEven;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kBcast;
+    c.style = coll::Style::kAdapt;
+    c.ppn = 2;
+    c.rankmap = RankMap::kStrided;
+    c.tree = TreeChoice::kHan;
+    c.root = 1;
+    c.bytes = 3000;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;
+    c.collective = Collective::kAllreduce;
+    c.style = coll::Style::kAdapt;
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.ppn = 2;
+    c.rankmap = RankMap::kReversed;
+    c.tree = TreeChoice::kHan;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    add(c);
+  }
+  {
+    CaseConfig c;  // the ompi-han personality end to end under faults
+    c.collective = Collective::kLibBcast;
+    c.library = "ompi-han";
+    c.ppn = 2;
+    c.rankmap = RankMap::kRandom;
+    c.root = 1;
+    c.bytes = kib(160);
+    add(c);
+  }
+
   // Persistent handles through the fault fabric: retransmits and rank
   // deaths must hit mid-start, and every start must individually satisfy
   // the uniform-error-or-byte-exact contract (rounds the whole job finished

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "src/coll/han.hpp"
 #include "src/coll/library.hpp"
 #include "src/coll/persistent.hpp"
 #include "src/obs/export.hpp"
@@ -66,6 +67,17 @@ const char* tree_name(TreeChoice tree) {
     case TreeChoice::kTopo: return "topo";
     case TreeChoice::kBinomial: return "binomial";
     case TreeChoice::kChain: return "chain";
+    case TreeChoice::kHan: return "han";
+  }
+  return "?";
+}
+
+const char* rankmap_name(RankMap map) {
+  switch (map) {
+    case RankMap::kDense: return "dense";
+    case RankMap::kReversed: return "reversed";
+    case RankMap::kStrided: return "strided";
+    case RankMap::kRandom: return "random";
   }
   return "?";
 }
@@ -145,6 +157,8 @@ std::string repro_string(const CaseConfig& config, const RunSpec& spec,
       << " bytes=" << config.bytes << " seg=" << config.segment
       << " N=" << config.n_out << " M=" << config.m_out
       << " tree=" << tree_name(config.tree)
+      << " ppn=" << config.ppn
+      << " rankmap=" << rankmap_name(config.rankmap)
       << " data_seed=" << config.data_seed
       << " persistent=" << (config.persistent ? 1 : 0)
       << " starts=" << config.starts << " parts=" << config.partitions
@@ -224,7 +238,12 @@ bool parse_repro(const std::string& line, CaseConfig* config, RunSpec* spec,
     } else if (key == "M") {
       ok = as_int(&cfg.m_out);
     } else if (key == "tree") {
-      ok = enum_from_name(value, 3, tree_name, &cfg.tree);
+      ok = enum_from_name(value, 4, tree_name, &cfg.tree);
+    } else if (key == "ppn") {
+      // Absent on pre-HAN repro lines; those parse to the default machine.
+      ok = as_int(&cfg.ppn) && cfg.ppn >= 0;
+    } else if (key == "rankmap") {
+      ok = enum_from_name(value, 4, rankmap_name, &cfg.rankmap);
     } else if (key == "data_seed") {
       ok = as_u64(&cfg.data_seed);
     } else if (key == "persistent") {
@@ -287,8 +306,59 @@ coll::Tree make_tree(const CaseConfig& config, const topo::Machine& machine,
       return coll::binomial_tree(comm.size(), root);
     case TreeChoice::kChain:
       return coll::chain_tree(comm.size(), root);
+    case TreeChoice::kHan:
+      return coll::build_han_tree(machine, comm, root);
   }
   ADAPT_UNREACHABLE("bad tree choice");
+}
+
+/// Core slots realising a ppn row's rank→core placement over `total`
+/// (= nodes × ppn) dense slots. Every map is injective, so the Machine
+/// constructor's occupancy check cannot fire.
+std::vector<int> case_slots(RankMap map, int world, int nodes, int ppn,
+                            std::uint64_t seed) {
+  const int total = nodes * ppn;
+  std::vector<int> slots(static_cast<std::size_t>(world));
+  switch (map) {
+    case RankMap::kDense:
+      for (int r = 0; r < world; ++r) slots[static_cast<std::size_t>(r)] = r;
+      break;
+    case RankMap::kReversed:
+      for (int r = 0; r < world; ++r)
+        slots[static_cast<std::size_t>(r)] = total - 1 - r;
+      break;
+    case RankMap::kStrided:
+      // Round-robin across nodes: consecutive ranks always land on
+      // different nodes, the inverse of the dense blocked placement.
+      for (int r = 0; r < world; ++r)
+        slots[static_cast<std::size_t>(r)] = (r % nodes) * ppn + r / nodes;
+      break;
+    case RankMap::kRandom: {
+      std::vector<int> all(static_cast<std::size_t>(total));
+      for (int s = 0; s < total; ++s) all[static_cast<std::size_t>(s)] = s;
+      Rng rng(SplitMix64(seed * 0x9E37 + 0xC0FFEE).next());
+      for (std::size_t i = all.size(); i > 1; --i) {
+        std::swap(all[i - 1], all[rng.next_below(i)]);
+      }
+      for (int r = 0; r < world; ++r)
+        slots[static_cast<std::size_t>(r)] = all[static_cast<std::size_t>(r)];
+      break;
+    }
+  }
+  return slots;
+}
+
+/// The engine machine for a case: the legacy dual-socket cori pair, or (ppn
+/// rows) a han_cluster with the case's rank→core placement.
+topo::Machine case_machine(const CaseConfig& config) {
+  if (config.ppn <= 0) return topo::Machine(topo::cori(2), config.world);
+  const int nodes = (config.world + config.ppn - 1) / config.ppn;
+  const topo::MachineSpec spec = topo::han_cluster(nodes, config.ppn);
+  if (config.rankmap == RankMap::kDense) {
+    return topo::Machine(spec, config.world);
+  }
+  return topo::Machine(spec, case_slots(config.rankmap, config.world, nodes,
+                                        config.ppn, config.data_seed));
 }
 
 /// Diffs every local rank's observable buffer against the oracle;
@@ -342,7 +412,7 @@ std::optional<std::string> run_case(const CaseConfig& config,
   }
 
   const CaseIo io = make_io(config);
-  const topo::Machine machine(topo::cori(2), config.world);
+  const topo::Machine machine = case_machine(config);
   const mpi::Comm comm(members);
 
   // Working buffers: in-place collectives mutate `work`; scatter/gather
@@ -967,6 +1037,104 @@ std::vector<CaseConfig> full_matrix() {
     r.dtype = mpi::Datatype::kInt32;
     r.op = mpi::ReduceOp::kSum;
     r.world = 12;
+    r.comm = CommKind::kWorld;
+    r.root = 1;
+    r.bytes = 4096;
+    add(r);
+  }
+
+  // HAN two-level rows (ppn > 0): the fused leader tree over a han_cluster
+  // machine whose intra-node level rides the first-class SHM channel.
+  // world 12 × ppn 4 = 3 nodes. Every row runs a deliberately scrambled
+  // rank→core placement — reversed, strided, and seeded-random all split
+  // rank-adjacent pairs across nodes, so a schedule keyed on rank index
+  // instead of the machine's node_of() mapping cannot stay byte-exact.
+  const RankMap scrambles[] = {RankMap::kReversed, RankMap::kStrided,
+                               RankMap::kRandom};
+  for (const auto style : styles) {  // bcast: style × comm × placement
+    for (int ci = 0; ci < 3; ++ci) {
+      CaseConfig c;
+      c.collective = Collective::kBcast;
+      c.style = style;
+      c.world = 12;
+      c.ppn = 4;
+      c.rankmap = scrambles[ci];
+      c.comm = comms[ci];
+      c.root = roots[ci];
+      c.bytes = 3000;
+      c.segment = 256;
+      c.tree = TreeChoice::kHan;
+      add(c);
+    }
+  }
+  for (const auto style : styles) {  // reduce: every dtype/op, cycling
+    for (int di = 0; di < 5; ++di) {  // comm shape and placement
+      CaseConfig c;
+      c.collective = Collective::kReduce;
+      c.style = style;
+      c.dtype = dtype_ops[di].first;
+      c.op = dtype_ops[di].second;
+      c.world = 12;
+      c.ppn = 4;
+      c.rankmap = scrambles[di % 3];
+      c.comm = comms[di % 3];
+      c.root = roots[di % 3];
+      c.bytes = 4096;
+      c.segment = 512;
+      c.tree = TreeChoice::kHan;
+      add(c);
+    }
+  }
+  for (int si = 0; si < 3; ++si) {  // allreduce through the han tree pair
+    CaseConfig c;
+    c.collective = Collective::kAllreduce;
+    c.style = styles[si];
+    c.dtype = mpi::Datatype::kInt32;
+    c.op = mpi::ReduceOp::kSum;
+    c.world = 12;
+    c.ppn = 4;
+    c.rankmap = scrambles[si];
+    c.comm = CommKind::kWorld;
+    c.root = 0;
+    c.bytes = 2048;
+    c.segment = 256;
+    c.tree = TreeChoice::kHan;
+    add(c);
+  }
+  {
+    CaseConfig c;  // dense placement + rendezvous-sized segments
+    c.collective = Collective::kBcast;
+    c.style = coll::Style::kAdapt;
+    c.world = 12;
+    c.ppn = 4;
+    c.comm = CommKind::kWorld;
+    c.root = 1;
+    c.bytes = kib(192);
+    c.segment = kib(96);
+    c.tree = TreeChoice::kHan;
+    add(c);
+  }
+  // The ompi-han personality end to end, dense and every scrambled map.
+  for (int mi = 0; mi < 4; ++mi) {
+    const RankMap map = mi == 0 ? RankMap::kDense : scrambles[mi - 1];
+    CaseConfig b;
+    b.collective = Collective::kLibBcast;
+    b.library = "ompi-han";
+    b.world = 12;
+    b.ppn = 4;
+    b.rankmap = map;
+    b.comm = CommKind::kWorld;
+    b.root = 1;
+    b.bytes = kib(160);
+    add(b);
+    CaseConfig r;
+    r.collective = Collective::kLibReduce;
+    r.library = "ompi-han";
+    r.dtype = mpi::Datatype::kInt32;
+    r.op = mpi::ReduceOp::kSum;
+    r.world = 12;
+    r.ppn = 4;
+    r.rankmap = map;
     r.comm = CommKind::kWorld;
     r.root = 1;
     r.bytes = 4096;

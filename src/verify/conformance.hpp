@@ -61,8 +61,17 @@ enum class Collective {
 /// even global ranks, or the contiguous middle slice [2, world - 2).
 enum class CommKind { kWorld, kEven, kSlice };
 
-/// Tree shapes for the tree-based collectives.
-enum class TreeChoice { kTopo, kBinomial, kChain };
+/// Tree shapes for the tree-based collectives. kHan is the fused two-level
+/// HAN tree (coll/han.hpp) — meaningful on ppn rows, where the machine has a
+/// first-class SHM channel for the intra-node level.
+enum class TreeChoice { kTopo, kBinomial, kChain, kHan };
+
+/// Rank→core placements for ppn rows. The scrambled maps are the regression
+/// shapes two-level designs historically get wrong: kReversed and kStrided
+/// both split rank-adjacent pairs across nodes, kRandom draws a seeded
+/// Fisher-Yates permutation from the case's data_seed. kDense is the
+/// identity placement every non-ppn row implicitly uses.
+enum class RankMap { kDense, kReversed, kStrided, kRandom };
 
 /// Deliberately seeded bugs, used to prove the harness catches what it
 /// claims to catch (see faulty.hpp). Production runs use kNone.
@@ -88,6 +97,7 @@ const char* engine_name(EngineKind engine);
 const char* collective_name(Collective collective);
 const char* comm_name(CommKind comm);
 const char* tree_name(TreeChoice tree);
+const char* rankmap_name(RankMap map);
 const char* fault_name(Fault fault);
 const char* chaos_name(ChaosClass chaos);
 
@@ -109,6 +119,12 @@ struct CaseConfig {
   int n_out = 2;                   ///< ADAPT N (outstanding sends per child)
   int m_out = 4;                   ///< ADAPT M (posted receives per parent)
   TreeChoice tree = TreeChoice::kTopo;
+  /// > 0: the case runs on a topo::han_cluster machine of
+  /// ceil(world / ppn) single-socket nodes × ppn cores — the first-class
+  /// SHM channel enabled — with `rankmap` choosing the rank→core placement.
+  /// 0 (default): the legacy dual-socket cori(2) machine, dense placement.
+  int ppn = 0;
+  RankMap rankmap = RankMap::kDense;
   std::uint64_t data_seed = 1;     ///< payload-content seed
   /// Persistent-collective row (bcast/reduce/allreduce/barrier only): the
   /// handle is init'ed ONCE, then start/wait replays `starts` rounds. Round

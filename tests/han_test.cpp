@@ -1,0 +1,211 @@
+// HAN two-level collectives (src/coll/han): the fused tree's structure under
+// arbitrary rank→node placements, byte-exactness over the SHM transport, and
+// the headline performance pin — segment-overlapped two-level broadcast beats
+// the sequential multi-communicator hierarchy it replaces.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/coll/han.hpp"
+#include "src/coll/hierarchical.hpp"
+#include "src/runtime/sim_engine.hpp"
+#include "src/support/rng.hpp"
+#include "src/topo/presets.hpp"
+
+namespace adapt::coll {
+namespace {
+
+using runtime::Context;
+using runtime::SimEngine;
+
+std::vector<std::byte> pattern(Bytes n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> v(static_cast<std::size_t>(n));
+  for (auto& b : v) b = std::byte(rng.next_below(256));
+  return v;
+}
+
+/// Core slots for the placements two-level designs historically break on.
+std::vector<int> reversed_slots(int n) {
+  std::vector<int> s(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) s[static_cast<std::size_t>(r)] = n - 1 - r;
+  return s;
+}
+
+std::vector<int> strided_slots(int n, int nodes, int ppn) {
+  std::vector<int> s(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    s[static_cast<std::size_t>(r)] = (r % nodes) * ppn + r / nodes;
+  return s;
+}
+
+std::vector<int> random_slots(int n, std::uint64_t seed) {
+  std::vector<int> s(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) s[static_cast<std::size_t>(r)] = r;
+  Rng rng(seed);
+  for (std::size_t i = s.size(); i > 1; --i)
+    std::swap(s[i - 1], s[rng.next_below(i)]);
+  return s;
+}
+
+TEST(HanGroups, ElectsRootAndFirstMembers) {
+  const topo::Machine m(topo::han_cluster(4, 4), 16);
+  const mpi::Comm world = mpi::Comm::world(16);
+  const HanGroups g = han_groups(world, m, /*root=*/5);
+  ASSERT_EQ(g.nodes.size(), 4u);
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(g.nodes[static_cast<std::size_t>(node)].size(), 4);
+  }
+  // The root leads its own node; every other node is led by its first
+  // member in communicator order.
+  EXPECT_EQ(g.leaders.members(), (std::vector<Rank>{0, 5, 8, 12}));
+}
+
+/// The two-level invariant under any placement: a non-leader's parent lives
+/// on the SAME node (SHM channel), and a non-root leader's parent is another
+/// node's leader (fabric edge). Checked for the dense, reversed, strided and
+/// random maps.
+void check_two_level_edges(const topo::Machine& m) {
+  const int n = m.nranks();
+  const mpi::Comm world = mpi::Comm::world(n);
+  for (const Rank root : {Rank{0}, Rank{n - 1}, Rank{n / 2}}) {
+    const Tree tree = build_han_tree(m, world, root);
+    const HanGroups g = han_groups(world, m, root);
+    const auto is_leader = [&](Rank r) { return g.leaders.contains(r); };
+    for (Rank r = 0; r < n; ++r) {
+      const Rank parent = tree.up(r);
+      if (r == root) {
+        EXPECT_EQ(parent, -1);
+        continue;
+      }
+      ASSERT_GE(parent, 0) << "rank " << r << " disconnected";
+      if (is_leader(r)) {
+        EXPECT_TRUE(is_leader(parent))
+            << "leader " << r << " hangs under non-leader " << parent;
+        EXPECT_NE(m.node_of(parent), m.node_of(r))
+            << "leader edge " << parent << "->" << r << " stays on-node";
+      } else {
+        EXPECT_EQ(m.node_of(parent), m.node_of(r))
+            << "non-leader " << r << " crosses nodes to " << parent;
+      }
+    }
+  }
+}
+
+TEST(HanTree, TwoLevelUnderDensePlacement) {
+  check_two_level_edges(topo::Machine(topo::han_cluster(4, 4), 16));
+}
+
+TEST(HanTree, TwoLevelUnderReversedPlacement) {
+  check_two_level_edges(
+      topo::Machine(topo::han_cluster(4, 4), reversed_slots(16)));
+}
+
+TEST(HanTree, TwoLevelUnderStridedPlacement) {
+  check_two_level_edges(
+      topo::Machine(topo::han_cluster(4, 4), strided_slots(16, 4, 4)));
+}
+
+TEST(HanTree, TwoLevelUnderRandomPlacement) {
+  check_two_level_edges(
+      topo::Machine(topo::han_cluster(4, 4), random_slots(16, 2024)));
+}
+
+TEST(HanBcast, ByteExactUnderScrambledPlacement) {
+  const topo::Machine m(topo::han_cluster(4, 4), strided_slots(16, 4, 4));
+  SimEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(16);
+  const Rank root = 7;
+  const Bytes bytes = 6000;
+  const auto golden = pattern(bytes, 42);
+  std::vector<std::vector<std::byte>> bufs(
+      16, std::vector<std::byte>(static_cast<std::size_t>(bytes)));
+  bufs[static_cast<std::size_t>(root)] = golden;
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+    co_await han_bcast(ctx, world, mpi::MutView{mine.data(), bytes}, root, m);
+  };
+  engine.run(program);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(std::memcmp(bufs[static_cast<std::size_t>(r)].data(),
+                          golden.data(), golden.size()),
+              0)
+        << "rank " << r;
+  }
+}
+
+TEST(HanReduce, ByteExactUnderReversedPlacement) {
+  const topo::Machine m(topo::han_cluster(4, 4), reversed_slots(16));
+  SimEngine engine(m);
+  const mpi::Comm world = mpi::Comm::world(16);
+  const Rank root = 3;
+  const int kInts = 512;
+  const Bytes bytes = kInts * 4;
+  std::vector<std::vector<std::int32_t>> vals(16,
+                                              std::vector<std::int32_t>(kInts));
+  std::vector<std::int32_t> want(kInts, 0);
+  for (int r = 0; r < 16; ++r) {
+    for (int i = 0; i < kInts; ++i) {
+      vals[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          r * 1000 + i;
+      want[static_cast<std::size_t>(i)] += r * 1000 + i;
+    }
+  }
+  auto program = [&](Context& ctx) -> sim::Task<> {
+    auto& mine = vals[static_cast<std::size_t>(ctx.rank())];
+    co_await han_reduce(
+        ctx, world,
+        mpi::MutView{reinterpret_cast<std::byte*>(mine.data()), bytes},
+        mpi::ReduceOp::kSum, mpi::Datatype::kInt32, root, m);
+  };
+  engine.run(program);
+  EXPECT_EQ(vals[static_cast<std::size_t>(root)], want);
+}
+
+// The acceptance pin: on a 16-node × 8-rank cluster broadcasting 1 MiB in
+// 16 KiB segments, the fused event-driven two-level tree (inter-node and
+// intra-node stages overlapping at segment granularity) must beat the
+// sequential multi-communicator hierarchy — whose intra-node phase cannot
+// start until its leader holds the whole message — by at least 1.3×.
+// Measured margin at this segment size is ~1.42×; the gap narrows as
+// segments grow (fewer pipeline stages to overlap) and the pin sits on the
+// small-segment side of that curve.
+TEST(HanPerf, BeatsSequentialHierarchicalBcast) {
+  const topo::Machine m(topo::han_cluster(16, 8), 128);
+  const mpi::Comm world = mpi::Comm::world(128);
+  const Rank root = 0;
+  const Bytes bytes = mib(1);
+  std::vector<std::byte> payload(static_cast<std::size_t>(bytes),
+                                 std::byte(0x5A));
+
+  const auto timed = [&](auto&& collective) {
+    SimEngine engine(m);
+    std::vector<std::vector<std::byte>> bufs(128, payload);
+    auto program = [&](Context& ctx) -> sim::Task<> {
+      auto& mine = bufs[static_cast<std::size_t>(ctx.rank())];
+      co_await collective(ctx, mpi::MutView{mine.data(), bytes});
+    };
+    return engine.run(program).total_time;
+  };
+
+  HierSpec hier;
+  hier.opts.segment_size = kib(16);
+  const TimeNs sequential = timed([&](Context& ctx, mpi::MutView buf) {
+    return hier_bcast(ctx, world, buf, root, m, hier);
+  });
+  HanSpec han;
+  han.opts.segment_size = kib(16);
+  const TimeNs overlapped = timed([&](Context& ctx, mpi::MutView buf) {
+    return han_bcast(ctx, world, buf, root, m, han);
+  });
+
+  EXPECT_GT(overlapped, 0);
+  // overlapped * 1.3 <= sequential, in integer arithmetic.
+  EXPECT_LE(overlapped * 13, sequential * 10)
+      << "han " << overlapped << " ns vs hier " << sequential
+      << " ns — speedup " << (static_cast<double>(sequential) /
+                              static_cast<double>(overlapped));
+}
+
+}  // namespace
+}  // namespace adapt::coll

@@ -2,6 +2,7 @@
 
 #include "src/net/fabric.hpp"
 #include "src/net/routes.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/error.hpp"
 #include "src/topo/presets.hpp"
@@ -245,6 +246,92 @@ TEST(ClusterNet, NoGpuDirectAddsStagingLatency) {
   const Route b =
       without.route_mem(0, MemSpace::kDevice, 4, MemSpace::kDevice);
   EXPECT_GT(b.alpha, a.alpha);
+}
+
+// ------------------------------------------------------ SHM node channel ---
+
+TEST(ClusterNet, ShmChannelRoutesSameNodePairs) {
+  sim::Simulator sim;
+  topo::Machine m(topo::han_cluster(2, 4), 8);
+  ClusterNet net(sim, m);
+  // Every same-node pair rides the per-node SHM link; cross-node pairs still
+  // cross the NICs with the fabric's alpha.
+  const Route same = net.route(0, 1);
+  EXPECT_EQ(same.links, std::vector<LinkId>{net.shm_node(0)});
+  EXPECT_EQ(same.alpha, m.spec().shm_node.alpha);
+  const Route far = net.route(1, 5);
+  EXPECT_EQ(far.links, (std::vector<LinkId>{net.nic_tx(0), net.nic_rx(1)}));
+  EXPECT_EQ(far.alpha, m.spec().inter_node.alpha);
+}
+
+TEST(ClusterNet, ShmChannelTimingPinsFromAlphaBeta) {
+  sim::Simulator sim;
+  topo::Machine m(topo::han_cluster(1, 4), 4);
+  ClusterNet net(sim, m);
+  // A single stream below the node memory system's aggregate capacity moves
+  // at exactly the channel's Hockney time.
+  const Bytes bytes = 1000000;
+  TimeNs done = -1;
+  net.transfer(net.route(1, 3), bytes, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, m.spec().shm_node.time(bytes), 2);
+}
+
+TEST(ClusterNet, SameNodeTrafficNeverTouchesFabricLinks) {
+  sim::Simulator sim;
+  topo::Machine m(topo::han_cluster(2, 4), 8);
+  ClusterNet net(sim, m);
+  obs::Recorder rec;
+  net.fabric().set_recorder(&rec);
+  // All-pairs traffic within node 0: the per-link byte counters must show
+  // every byte on node 0's SHM channel and none on the QPI or NIC lanes —
+  // same-node traffic is invisible to the fabric.
+  Bytes sent = 0;
+  for (Rank a = 0; a < 4; ++a) {
+    for (Rank b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      net.transfer(net.route(a, b), 10000, [] {});
+      sent += 10000;
+    }
+  }
+  sim.run();
+  EXPECT_EQ(rec.metrics().link_bytes(net.shm_node(0)), sent);
+  EXPECT_EQ(rec.metrics().link_bytes(net.shm_node(1)), 0);
+  for (int node = 0; node < 2; ++node) {
+    EXPECT_EQ(rec.metrics().link_bytes(net.qpi(node)), 0);
+    EXPECT_EQ(rec.metrics().link_bytes(net.nic_tx(node)), 0);
+    EXPECT_EQ(rec.metrics().link_bytes(net.nic_rx(node)), 0);
+  }
+}
+
+TEST(ClusterNet, ShmBandwidthContendsAmongOnNodePairs) {
+  sim::Simulator sim;
+  topo::Machine m(topo::han_cluster(1, 16), 16);
+  ClusterNet net(sim, m);
+  // Eight disjoint on-node pairs stream at once. Each flow is capped at the
+  // single-stream rate 1/beta = 10 B/ns, but the node memory system only
+  // supplies shm_node_parallel/beta = 60 B/ns in aggregate, so the fair
+  // share is 7.5 B/ns per flow — node memory bandwidth is a real, shared
+  // resource, not eight private wires.
+  const Bytes bytes = 1 << 20;
+  int completed = 0;
+  TimeNs last = 0;
+  for (Rank p = 0; p < 8; ++p) {
+    net.transfer(net.route(2 * p, 2 * p + 1), bytes, [&] {
+      ++completed;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 8);
+  const auto& spec = m.spec();
+  const double share =
+      spec.shm_node_parallel / spec.shm_node.beta_ns_per_byte / 8.0;
+  const TimeNs expected =
+      spec.shm_node.alpha +
+      static_cast<TimeNs>(static_cast<double>(bytes) / share);
+  EXPECT_NEAR(last, expected, 3);
+  EXPECT_GT(last, spec.shm_node.time(bytes));  // slower than a solo stream
 }
 
 TEST(ClusterNet, HostLocalDeviceCopyUsesPcie) {

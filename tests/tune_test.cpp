@@ -5,10 +5,12 @@
 
 #include <cmath>
 
+#include "src/coll/han.hpp"
 #include "src/coll/library.hpp"
 #include "src/coll/tree.hpp"
 #include "src/mpi/comm.hpp"
 #include "src/topo/hardware.hpp"
+#include "src/topo/presets.hpp"
 #include "src/tune/cost.hpp"
 #include "src/tune/tuner.hpp"
 
@@ -290,6 +292,76 @@ TEST(DefaultSegmentSize, PinsHeuristicTable) {
   for (const auto& row : kTable)
     EXPECT_EQ(coll::default_segment_size(row.message), row.expect)
         << "message=" << row.message;
+}
+
+// -- HAN two-level candidates -------------------------------------------
+
+// Hand-computed two-level bcast on a 2-node × 4-rank han_cluster. The han
+// tree is 0→2 over the fabric (binomial over the leaders {0, 2}) plus 0→1
+// and 2→3 over each node's SHM channel. With one eager segment and no
+// contention (every edge is alone on its links), the kAdapt critical path is
+// the remote node's last rank: an activation overhead at the root, the
+// inter-node Hockney time, the remote leader's forwarding overhead, and the
+// SHM-channel Hockney time.
+TEST(CostModel, HanBcastTwoNodeClosedForm) {
+  const topo::Machine machine(topo::han_cluster(2, 2), 4);
+  const mpi::Comm comm = mpi::Comm::world(4);
+  const coll::Tree tree = coll::build_han_tree(machine, comm, /*root=*/0);
+  ASSERT_EQ(tree.up(2), 0);  // leader edge crosses the fabric
+  ASSERT_EQ(tree.up(1), 0);  // intra-node edges ride the SHM channel
+  ASSERT_EQ(tree.up(3), 2);
+
+  const Bytes m = 4096;  // eager
+  tune::Workload work;
+  work.op = tune::Op::kBcast;
+  work.style = coll::Style::kAdapt;
+  work.bytes = m;
+  work.segment = m;  // one segment
+  const topo::MachineSpec& spec = machine.spec();
+  const TimeNs inter =
+      spec.inter_node.alpha +
+      static_cast<TimeNs>(spec.inter_node.beta_ns_per_byte *
+                          static_cast<double>(m));
+  const TimeNs intra =
+      spec.shm_node.alpha +
+      static_cast<TimeNs>(spec.shm_node.beta_ns_per_byte *
+                          static_cast<double>(m));
+  EXPECT_EQ(tune::CostModel(machine).predict(work, comm, tree),
+            spec.cpu_overhead + inter + spec.cpu_overhead + intra);
+}
+
+// On a multi-node communicator over a machine with the first-class SHM
+// channel the grid gains the kHan family (2 radices × 5 segment choices on
+// top of the flat 20), and the tuner picks two-level on at least one grid
+// point — the crossover the HAN design exists for.
+TEST(Tuner, SelectsTwoLevelOnMultiNodeGrid) {
+  const topo::Machine machine(topo::han_cluster(16, 8), 128);
+  tune::Tuner tuner(machine);
+  EXPECT_EQ(tuner.candidates(tune::Op::kBcast, 128, mib(1)).size(), 30u);
+  bool chose_han = false;
+  for (const int ranks : {32, 64, 128}) {
+    for (const Bytes bytes : {kib(64), kib(256), mib(1), mib(4)}) {
+      const tune::Decision d = tuner.choose(tune::Op::kBcast, ranks, bytes);
+      if (d.topology == tune::Topology::kHan) chose_han = true;
+    }
+  }
+  EXPECT_TRUE(chose_han);
+}
+
+// A single-node communicator degenerates the han tree to the flat intra-node
+// shape, so the tuner must not even price it there: the grid stays flat and
+// the choice is never kHan.
+TEST(Tuner, SingleNodeCommStaysFlat) {
+  const topo::Machine machine(topo::han_cluster(16, 8), 128);
+  tune::Tuner tuner(machine);
+  for (const Bytes bytes : {kib(4), kib(64), mib(1)}) {
+    for (const tune::Decision& c :
+         tuner.candidates(tune::Op::kBcast, /*ranks=*/8, bytes)) {
+      EXPECT_NE(c.topology, tune::Topology::kHan);
+    }
+    const tune::Decision d = tuner.choose(tune::Op::kBcast, 8, bytes);
+    EXPECT_NE(d.topology, tune::Topology::kHan);
+  }
 }
 
 }  // namespace

@@ -46,6 +46,7 @@ int usage() {
   std::cerr
       << "usage: verify_conformance [--seeds=K] [--jitter=NS] [--no-thread]\n"
          "                          [--no-shrink] [--no-selftest]\n"
+         "                          [--han-only]\n"
          "                          [--chaos] [--chaos-only]\n"
          "                          [--soft-seeds=K] [--kill-seeds=K]\n"
          "                          [--watchdog=SECONDS]  (0 disables)\n"
@@ -56,6 +57,8 @@ int usage() {
          "--shards: also run every eligible case on the sharded engine, at 1\n"
          "shard and at N shards, under the stable schedule — the sharded\n"
          "rows must report byte-identically for any N and any --jobs.\n"
+         "--han-only: restrict the conformance matrix to the HAN two-level\n"
+         "rows (ppn > 0) — the CI TSan subset.\n"
          "--jobs: run matrix cases on N worker threads. Every run is an\n"
          "independent deterministic engine, so the report is identical for\n"
          "any N; only wall clock changes.\n"
@@ -212,6 +215,7 @@ int main(int argc, char** argv) {
   bool run_selftest = true;
   bool chaos = false;
   bool chaos_only = false;
+  bool han_only = false;
   int soft_seeds = 6;
   int kill_seeds = 4;
   long watchdog_seconds = 120;
@@ -232,6 +236,8 @@ int main(int argc, char** argv) {
       shrink = false;
     } else if (arg == "--no-selftest") {
       run_selftest = false;
+    } else if (arg == "--han-only") {
+      han_only = true;
     } else if (arg == "--chaos") {
       chaos = true;
     } else if (arg == "--chaos-only") {
@@ -273,7 +279,10 @@ int main(int argc, char** argv) {
     options.trace_dir = trace_dir;
     options.sharded_shards = sharded_shards;
 
-    const std::vector<CaseConfig> cases = full_matrix();
+    std::vector<CaseConfig> cases = full_matrix();
+    if (han_only) {
+      std::erase_if(cases, [](const CaseConfig& c) { return c.ppn == 0; });
+    }
     std::cout << "conformance matrix: " << cases.size()
               << " cases × (1 stable + " << seeds << " perturbed"
               << (thread_engine ? " + 1 thread" : "");
